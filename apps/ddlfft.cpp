@@ -1,0 +1,259 @@
+// ddlfft — command-line driver for the library.
+//
+// Subcommands:
+//   plan      search for a factorization tree and print it
+//   run       execute a tree (or a freshly planned one) and report timing
+//   simulate  replay a tree's address trace through the cache model
+//   compare   plan + time every strategy side by side
+//
+// Examples:
+//   ddlfft plan --transform fft --n 2^20 --strategy ddl_dp
+//   ddlfft run --tree "ctddl(ct(32,32),ct(32,32))" --reps 3
+//   ddlfft simulate --n 2^18 --cache 512K --line 64 --assoc 1
+//   ddlfft compare --transform wht --n 2^22
+//
+// Shared flags: --wisdom FILE / --costdb FILE persist planning artifacts.
+
+#include <iostream>
+
+#include "ddl/bench_util/bench_util.hpp"
+#include "ddl/cachesim/cache.hpp"
+#include "ddl/common/cli.hpp"
+#include "ddl/common/table.hpp"
+#include "ddl/fft/fft.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/sim/trace.hpp"
+#include "ddl/wht/planner.hpp"
+#include "ddl/wht/wht_api.hpp"
+
+namespace {
+
+using namespace ddl;
+
+int usage() {
+  std::cerr <<
+      "usage: ddlfft <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  plan      --transform fft|wht --n SIZE [--strategy ddl_dp] [--max-leaf 32]\n"
+      "            [--oracle]  plan for a simulated 512KB direct-mapped cache\n"
+      "            [--dot]     print the tree as a Graphviz digraph\n"
+      "  run       (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
+      "            [--reps 3] [--wht]\n"
+      "  simulate  (--tree GRAMMAR | --n SIZE) [--cache 512K] [--line 64]\n"
+      "            [--assoc 1] [--prefetch none|next|stream] [--wht]\n"
+      "  compare   --transform fft|wht --n SIZE\n"
+      "\n"
+      "shared:    --wisdom FILE --costdb FILE  (persist planning artifacts)\n"
+      "sizes accept 1048576, 2^20, 512K, 64M notation.\n";
+  return 2;
+}
+
+fft::Strategy parse_strategy(const std::string& name) {
+  if (name == "rightmost") return fft::Strategy::rightmost;
+  if (name == "balanced") return fft::Strategy::balanced;
+  if (name == "sdl_dp") return fft::Strategy::sdl_dp;
+  if (name == "ddl_dp") return fft::Strategy::ddl_dp;
+  throw std::invalid_argument("unknown strategy '" + name +
+                              "' (rightmost|balanced|sdl_dp|ddl_dp)");
+}
+
+/// Planning stores wired to optional --wisdom/--costdb files.
+struct Stores {
+  plan::CostDb cost_db;
+  plan::Wisdom wisdom;
+  std::string cost_file;
+  std::string wisdom_file;
+
+  explicit Stores(const cli::Args& args) {
+    cost_file = args.get_or("costdb", "");
+    wisdom_file = args.get_or("wisdom", "");
+    if (!cost_file.empty()) cost_db.load(cost_file);
+    if (!wisdom_file.empty()) wisdom.load(wisdom_file);
+  }
+  ~Stores() {
+    if (!cost_file.empty()) cost_db.save(cost_file);
+    if (!wisdom_file.empty()) wisdom.save(wisdom_file);
+  }
+};
+
+plan::TreePtr plan_tree(const cli::Args& args, Stores& stores, const std::string& transform,
+                        index_t n, fft::Strategy strategy) {
+  // --oracle: plan for a simulated 1999-style cache instead of this host.
+  // Note: oracle plans are not stored into wisdom (they answer a different
+  // question than host plans).
+  const bool oracle = args.has("oracle");
+  if (transform == "wht") {
+    wht::PlannerOptions opts;
+    if (oracle) {
+      opts.cost_oracle = sim::simulated_cost_oracle({});
+    } else {
+      opts.cost_db = &stores.cost_db;
+      opts.wisdom = &stores.wisdom;
+    }
+    opts.max_leaf = args.size_or("max-leaf", opts.max_leaf);
+    wht::WhtPlanner planner(opts);
+    return planner.plan(n, strategy);
+  }
+  fft::PlannerOptions opts;
+  if (oracle) {
+    opts.cost_oracle = sim::simulated_cost_oracle({});
+  } else {
+    opts.cost_db = &stores.cost_db;
+    opts.wisdom = &stores.wisdom;
+  }
+  opts.max_leaf = args.size_or("max-leaf", opts.max_leaf);
+  fft::FftPlanner planner(opts);
+  return planner.plan(n, strategy);
+}
+
+int cmd_plan(const cli::Args& args) {
+  Stores stores(args);
+  const std::string transform = args.get_or("transform", "fft");
+  const index_t n = args.size_or("n", 0);
+  if (n < 2) {
+    std::cerr << "plan: --n SIZE (>= 2) is required\n";
+    return 2;
+  }
+  const auto strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
+  const auto tree = plan_tree(args, stores, transform, n, strategy);
+  std::cout << transform << " " << fmt_pow2(n) << " " << fft::strategy_name(strategy) << ":\n"
+            << "  tree:      " << plan::to_string(*tree) << "\n"
+            << "  leaves:    " << plan::leaf_count(*tree) << "\n"
+            << "  height:    " << plan::height(*tree) << "\n"
+            << "  ddl nodes: " << plan::ddl_node_count(*tree) << "\n";
+  if (args.has("dot")) std::cout << "\n" << plan::to_dot(*tree);
+  return 0;
+}
+
+int cmd_run(const cli::Args& args) {
+  Stores stores(args);
+  const bool is_wht = args.has("wht") || args.get_or("transform", "fft") == "wht";
+  plan::TreePtr tree;
+  if (const auto grammar = args.get("tree")) {
+    tree = plan::parse_tree(*grammar);
+  } else {
+    const index_t n = args.size_or("n", 0);
+    if (n < 2) {
+      std::cerr << "run: need --tree or --n\n";
+      return 2;
+    }
+    tree = plan_tree(args, stores, is_wht ? "wht" : "fft", n,
+                     parse_strategy(args.get_or("strategy", "ddl_dp")));
+  }
+
+  const auto reps = static_cast<int>(args.int_or("reps", 3));
+  std::cout << "tree: " << plan::to_string(*tree) << "  (n = " << tree->n << ")\n";
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double secs = is_wht ? wht::WhtPlanner::measure_tree_seconds(*tree, 0.05)
+                               : fft::FftPlanner::measure_tree_seconds(*tree, 0.05);
+    best = std::min(best, secs);
+    std::cout << "  run " << (r + 1) << ": " << fmt_double(secs * 1e3, 3) << " ms\n";
+  }
+  if (is_wht) {
+    std::cout << "best: " << fmt_double(best * 1e3, 3) << " ms  ("
+              << fmt_double(benchutil::wht_ns_per_point(tree->n, best), 2) << " ns/point)\n";
+  } else {
+    std::cout << "best: " << fmt_double(best * 1e3, 3) << " ms  ("
+              << fmt_double(benchutil::fft_mflops(tree->n, best), 0)
+              << " normalized MFLOPS)\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const cli::Args& args) {
+  const bool is_wht = args.has("wht");
+  plan::TreePtr tree;
+  if (const auto grammar = args.get("tree")) {
+    tree = plan::parse_tree(*grammar);
+  } else {
+    const index_t n = args.size_or("n", 0);
+    if (n < 2) {
+      std::cerr << "simulate: need --tree or --n\n";
+      return 2;
+    }
+    tree = is_wht ? wht::balanced_wht_tree(n, 64) : fft::balanced_tree(n, 32);
+  }
+
+  cache::CacheConfig cfg;
+  cfg.size_bytes = static_cast<std::size_t>(args.size_or("cache", 512 * 1024));
+  cfg.line_bytes = static_cast<std::size_t>(args.size_or("line", 64));
+  cfg.associativity = static_cast<int>(args.int_or("assoc", 1));
+  const std::string pf = args.get_or("prefetch", "none");
+  if (pf == "next") cfg.prefetch = cache::Prefetch::next_line;
+  if (pf == "stream") cfg.prefetch = cache::Prefetch::stream;
+
+  cache::Cache sim_cache(cfg);
+  if (is_wht) {
+    sim::WhtTracer(sim_cache).run(*tree);
+  } else {
+    sim::FftTracer(sim_cache).run(*tree);
+  }
+
+  const auto& s = sim_cache.stats();
+  std::cout << "tree: " << plan::to_string(*tree) << "\n"
+            << "cache: " << fmt_bytes(cfg.size_bytes) << " " << cfg.associativity
+            << "-way, " << cfg.line_bytes << "B lines, prefetch=" << pf << "\n"
+            << "accesses:   " << s.accesses << "\n"
+            << "misses:     " << s.misses << "  (" << fmt_double(s.miss_rate() * 100, 2)
+            << "%)\n"
+            << "  compulsory " << s.compulsory_misses << ", conflict/capacity "
+            << s.conflict_misses << "\n"
+            << "prefetch:   " << s.prefetch_fills << " fills, " << s.prefetch_hits
+            << " useful\n";
+  return 0;
+}
+
+int cmd_compare(const cli::Args& args) {
+  Stores stores(args);
+  const std::string transform = args.get_or("transform", "fft");
+  const index_t n = args.size_or("n", 0);
+  if (n < 2) {
+    std::cerr << "compare: --n SIZE is required\n";
+    return 2;
+  }
+  TableWriter table({"strategy", "tree", "time_ms", "metric"});
+  for (const auto strategy : {fft::Strategy::rightmost, fft::Strategy::balanced,
+                              fft::Strategy::sdl_dp, fft::Strategy::ddl_dp}) {
+    const auto tree = plan_tree(args, stores, transform, n, strategy);
+    const double secs = transform == "wht"
+                            ? wht::WhtPlanner::measure_tree_seconds(*tree, 0.05)
+                            : fft::FftPlanner::measure_tree_seconds(*tree, 0.05);
+    const std::string metric =
+        transform == "wht"
+            ? fmt_double(benchutil::wht_ns_per_point(n, secs), 2) + " ns/pt"
+            : fmt_double(benchutil::fft_mflops(n, secs), 0) + " MFLOPS";
+    table.add_row({fft::strategy_name(strategy), plan::to_string(*tree),
+                   fmt_double(secs * 1e3, 3), metric});
+  }
+  table.print(std::cout, transform + " " + fmt_pow2(n).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = cli::Args::parse(argc, argv);
+    int rc = 0;
+    if (args.command() == "plan") {
+      rc = cmd_plan(args);
+    } else if (args.command() == "run") {
+      rc = cmd_run(args);
+    } else if (args.command() == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (args.command() == "compare") {
+      rc = cmd_compare(args);
+    } else {
+      return usage();
+    }
+    for (const auto& key : args.unused_keys()) {
+      std::cerr << "warning: unused flag --" << key << "\n";
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "ddlfft: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+#pragma once
+// Shared plumbing for the wall-clock bench binaries: planners whose cost
+// databases and wisdom persist in the working directory, so that running
+// the whole bench suite measures each primitive once (the paper's planning
+// is offline; these files are its artifacts).
+
+#include <filesystem>
+#include <iostream>
+
+#include "ddl/fft/planner.hpp"
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/wisdom.hpp"
+#include "ddl/wht/planner.hpp"
+
+namespace ddl::benchcommon {
+
+inline const char* kCostDbFile = "ddl_costdb.txt";
+inline const char* kWisdomFile = "ddl_wisdom.txt";
+
+/// Persistent stores: loaded on construction, saved on destruction.
+struct Stores {
+  plan::CostDb cost_db;
+  plan::Wisdom wisdom;
+
+  Stores() {
+    cost_db.load(kCostDbFile);
+    wisdom.load(kWisdomFile);
+  }
+  ~Stores() {
+    cost_db.save(kCostDbFile);
+    wisdom.save(kWisdomFile);
+  }
+};
+
+inline fft::PlannerOptions fft_opts(Stores& stores, double floor = 2e-3) {
+  fft::PlannerOptions o;
+  o.measure_floor = floor;
+  o.cost_db = &stores.cost_db;
+  o.wisdom = &stores.wisdom;
+  return o;
+}
+
+inline wht::PlannerOptions wht_opts(Stores& stores, double floor = 2e-3) {
+  wht::PlannerOptions o;
+  o.measure_floor = floor;
+  o.cost_db = &stores.cost_db;
+  o.wisdom = &stores.wisdom;
+  return o;
+}
+
+}  // namespace ddl::benchcommon

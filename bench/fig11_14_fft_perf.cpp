@@ -1,0 +1,134 @@
+// Reproduces Figs. 11-14: FFT performance (the paper's normalized MFLOPS,
+// 5 n log2 n / t) across sizes. Three views, because the paper's hardware
+// (direct-mapped / 2-way caches, no multi-stream prefetch) no longer
+// exists:
+//
+//  1. Host wall clock, searched plans: FFTW-like (stride-blind rightmost),
+//     FFT SDL (size/stride DP, no reorganization) and FFT DDL (the paper's
+//     search). On a modern high-associativity, prefetching CPU the DDL
+//     search may legitimately return a static tree — the paper's own thesis
+//     is that cache *organization* decides this.
+//  2. Host wall clock, fixed balanced shape, SDL vs DDL: isolates the
+//     reorganization mechanism itself (same tree, only the layout differs).
+//     This is where the strided-stage penalty and its recovery are visible
+//     on any machine.
+//  3. Simulated 1999-class platforms (stand-ins for Alpha 21264, MIPS
+//     R10000, Pentium 4, UltraSPARC III): the miss-rate gap that produced
+//     the paper's 2-3x wall-clock wins.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ddl/bench_util/bench_util.hpp"
+#include "ddl/cachesim/cache.hpp"
+#include "ddl/common/table.hpp"
+#include "ddl/common/timer.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/fft.hpp"
+#include "ddl/fft/stockham.hpp"
+#include "ddl/sim/trace.hpp"
+
+namespace {
+
+using namespace ddl;
+
+double measure_seconds(const plan::Node& tree) {
+  // Best of two adaptive runs: robust against scheduler blips on shared
+  // machines while keeping the whole sweep under a couple of minutes.
+  return std::min(fft::FftPlanner::measure_tree_seconds(tree, 0.05),
+                  fft::FftPlanner::measure_tree_seconds(tree, 0.05));
+}
+
+double measure_mflops(const plan::Node& tree) {
+  return benchutil::fft_mflops(tree.n, measure_seconds(tree));
+}
+
+/// Synthetic stand-ins for the paper's four platforms (L2 geometry).
+struct Platform {
+  const char* name;
+  std::size_t cache_bytes;
+  std::size_t line_bytes;
+  int assoc;
+};
+
+constexpr Platform kPlatforms[] = {
+    {"alpha21264-like", 2u << 20, 64, 1},   // 2 MB direct-mapped, 64 B
+    {"r10000-like", 1u << 20, 32, 2},       // 1 MB 2-way, 32 B lines
+    {"pentium4-like", 256u << 10, 128, 8},  // 256 KB 8-way, 128 B
+    {"usparc3-like", 1u << 20, 64, 2},      // 1 MB 2-way, 64 B
+};
+
+}  // namespace
+
+int main() {
+  benchutil::print_host_banner(std::cout);
+  std::cout << "Figs. 11-14 reproduction: FFT MFLOPS vs size\n\n";
+
+  benchcommon::Stores stores;
+  fft::FftPlanner planner(benchcommon::fft_opts(stores));
+
+  std::cout << "view 1: searched plans on the host CPU (plus fixed baselines)\n\n";
+  TableWriter table(
+      {"n", "stockham", "fftw_like", "fft_sdl", "fft_ddl", "ddl/fftw", "ddl_nodes"});
+  for (int k = 8; k <= 22; k += 2) {
+    const index_t n = index_t{1} << k;
+    const auto fftw_tree = planner.plan(n, fft::Strategy::rightmost);
+    const auto sdl_tree = planner.plan(n, fft::Strategy::sdl_dp);
+    const auto ddl_tree = planner.plan(n, fft::Strategy::ddl_dp);
+
+    // Stockham autosort: the "no strides by construction" extreme.
+    fft::StockhamFft stockham_fft(n);
+    AlignedBuffer<cplx> buf(n);
+    const double t_st = std::min(
+        time_adaptive([&] { stockham_fft.forward(buf.span()); }, {.min_total_seconds = 0.05}),
+        time_adaptive([&] { stockham_fft.forward(buf.span()); }, {.min_total_seconds = 0.05}));
+    const double st = benchutil::fft_mflops(n, t_st);
+
+    const double fftw = measure_mflops(*fftw_tree);
+    const double sdl = measure_mflops(*sdl_tree);
+    const double ddl = measure_mflops(*ddl_tree);
+
+    table.add_row({fmt_pow2(n), fmt_double(st, 0), fmt_double(fftw, 0), fmt_double(sdl, 0),
+                   fmt_double(ddl, 0), fmt_double(ddl / fftw, 2),
+                   std::to_string(plan::ddl_node_count(*ddl_tree))});
+  }
+  table.print(std::cout, "searched plans (normalized MFLOPS; higher is better)");
+
+  std::cout << "\nview 2: fixed balanced shape — the reorganization mechanism itself\n\n";
+  TableWriter mech({"n", "bal_sdl_ms", "bal_ddl_ms", "sdl/ddl"});
+  for (int k = 16; k <= 22; k += 2) {
+    const index_t n = index_t{1} << k;
+    const auto bal_sdl = fft::balanced_tree(n, 32, 0);
+    const auto bal_ddl = fft::balanced_tree(n, 32, n);  // reorganize at the root
+    const double ts = measure_seconds(*bal_sdl);
+    const double td = measure_seconds(*bal_ddl);
+    mech.add_row({fmt_pow2(n), fmt_double(ts * 1e3, 1), fmt_double(td * 1e3, 1),
+                  fmt_double(ts / td, 2)});
+  }
+  mech.print(std::cout, "same tree, static vs dynamic layout");
+
+  std::cout << "\nview 3: simulated 1999-class platforms (n = 2^18, miss rates %)\n\n";
+  TableWriter sim_table({"platform", "sdl_miss_%", "ddl_miss_%", "reduction_%"});
+  const index_t n = 1 << 18;
+  for (const auto& p : kPlatforms) {
+    const index_t cache_points = static_cast<index_t>(p.cache_bytes / sizeof(cplx));
+    const auto sdl_tree = fft::rightmost_tree(n, 32);
+    const auto ddl_tree = fft::balanced_tree(n, 32, cache_points);
+    cache::Cache sdl_cache({p.cache_bytes, p.line_bytes, p.assoc, cache::Replacement::lru});
+    sim::FftTracer(sdl_cache).run(*sdl_tree);
+    cache::Cache ddl_cache({p.cache_bytes, p.line_bytes, p.assoc, cache::Replacement::lru});
+    sim::FftTracer(ddl_cache).run(*ddl_tree);
+    const double s = sdl_cache.stats().miss_rate() * 100.0;
+    const double d = ddl_cache.stats().miss_rate() * 100.0;
+    sim_table.add_row({p.name, fmt_double(s, 2), fmt_double(d, 2),
+                       fmt_double((s - d) / s * 100.0, 1)});
+  }
+  sim_table.print(std::cout);
+
+  std::cout << "\npaper shape check: (1) searched engines tie below the cache boundary and\n"
+               "DDL never loses; (2) at fixed shape the dynamic layout recovers the\n"
+               "strided-stage penalty, growing with n; (3) on low-associativity caches\n"
+               "the miss-rate gap behind the paper's 2-3x wall-clock wins reproduces.\n";
+  return 0;
+}

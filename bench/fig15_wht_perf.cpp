@@ -1,0 +1,56 @@
+// Reproduces Fig. 15: WHT computation time per point across sizes for the
+// SDL package equivalent (size/stride DP without reorganization) and the
+// DDL-augmented package, plus the stride-blind right-most baseline.
+//
+// Expected shape: identical below the cache size (the DDL search picks the
+// same tree); past it, WHT DDL is markedly faster per point (paper: up to
+// 3.52x over the CMU WHT SDL package).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ddl/bench_util/bench_util.hpp"
+#include "ddl/common/table.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/wht/planner.hpp"
+
+namespace {
+
+using namespace ddl;
+
+}  // namespace
+
+int main() {
+  benchutil::print_host_banner(std::cout);
+  std::cout << "Fig. 15 reproduction: WHT time per point vs size (host CPU)\n"
+            << "points are 8-byte doubles, as in the paper's WHT experiments\n\n";
+
+  benchcommon::Stores stores;
+  wht::WhtPlanner planner(benchcommon::wht_opts(stores));
+
+  TableWriter table({"n", "rightmost_ns", "sdl_ns", "ddl_ns", "sdl/ddl"});
+  for (const index_t n : benchutil::pow2_range(10, 22)) {
+    const auto right_tree = planner.plan(n, fft::Strategy::rightmost);
+    const auto sdl_tree = planner.plan(n, fft::Strategy::sdl_dp);
+    const auto ddl_tree = planner.plan(n, fft::Strategy::ddl_dp);
+
+    // Best of two adaptive runs per engine: robust against scheduler blips.
+    auto measure = [](const plan::Node& tree) {
+      return std::min(wht::WhtPlanner::measure_tree_seconds(tree, 0.05),
+                      wht::WhtPlanner::measure_tree_seconds(tree, 0.05));
+    };
+    const double tr = measure(*right_tree);
+    const double ts = measure(*sdl_tree);
+    const double td = measure(*ddl_tree);
+
+    table.add_row({fmt_pow2(n), fmt_double(benchutil::wht_ns_per_point(n, tr), 2),
+                   fmt_double(benchutil::wht_ns_per_point(n, ts), 2),
+                   fmt_double(benchutil::wht_ns_per_point(n, td), 2),
+                   fmt_double(ts / td, 2)});
+  }
+  table.print(std::cout, "WHT time per point (ns; lower is better)");
+  std::cout << "\npaper shape check: curves coincide while the data fits in cache and\n"
+               "separate above it, with DDL flattest.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Offline tuner: run the factorization search for a range of FFT and WHT
+// sizes, print the chosen trees and predicted times, and persist the cost
+// database and wisdom files so later processes plan instantly — the
+// paper's "this search algorithm is performed off line" workflow.
+//
+//   $ ./tuner            # writes ddl_costdb.txt / ddl_wisdom.txt in $PWD
+
+#include <iostream>
+
+#include "ddl/common/table.hpp"
+#include "ddl/fft/planner.hpp"
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/plan/wisdom.hpp"
+#include "ddl/wht/planner.hpp"
+
+int main() {
+  using namespace ddl;
+  plan::CostDb cost_db;
+  plan::Wisdom wisdom;
+  cost_db.load("ddl_costdb.txt");
+  wisdom.load("ddl_wisdom.txt");
+
+  fft::PlannerOptions fopts;
+  fopts.measure_floor = 2e-3;
+  fopts.cost_db = &cost_db;
+  fopts.wisdom = &wisdom;
+  fft::FftPlanner fplanner(fopts);
+
+  wht::PlannerOptions wopts;
+  wopts.measure_floor = 2e-3;
+  wopts.cost_db = &cost_db;
+  wopts.wisdom = &wisdom;
+  wht::WhtPlanner wplanner(wopts);
+
+  TableWriter ffts({"n", "strategy", "tree", "predicted_us"});
+  for (int k = 10; k <= 18; k += 2) {
+    const index_t n = index_t{1} << k;
+    for (const auto strategy : {fft::Strategy::sdl_dp, fft::Strategy::ddl_dp}) {
+      const auto tree = fplanner.plan(n, strategy);
+      ffts.add_row({fmt_pow2(n), fft::strategy_name(strategy), plan::to_string(*tree),
+                    fmt_double(fplanner.planned_cost(n, strategy) * 1e6, 1)});
+    }
+  }
+  ffts.print(std::cout, "FFT tuning results");
+
+  std::cout << '\n';
+  TableWriter whts({"n", "strategy", "tree", "predicted_us"});
+  for (int k = 12; k <= 20; k += 4) {
+    const index_t n = index_t{1} << k;
+    for (const auto strategy : {fft::Strategy::sdl_dp, fft::Strategy::ddl_dp}) {
+      const auto tree = wplanner.plan(n, strategy);
+      whts.add_row({fmt_pow2(n), fft::strategy_name(strategy), plan::to_string(*tree),
+                    fmt_double(wplanner.planned_cost(n, strategy) * 1e6, 1)});
+    }
+  }
+  whts.print(std::cout, "WHT tuning results");
+
+  const bool db_ok = cost_db.save("ddl_costdb.txt");
+  const bool wi_ok = wisdom.save("ddl_wisdom.txt");
+  std::cout << "\nsaved " << cost_db.size() << " cost entries (" << (db_ok ? "ok" : "FAILED")
+            << ") and " << wisdom.size() << " plans (" << (wi_ok ? "ok" : "FAILED") << ")\n";
+  return (db_ok && wi_ok) ? 0 : 1;
+}

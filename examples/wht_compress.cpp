@@ -1,0 +1,88 @@
+// Transform-domain compression with the Walsh-Hadamard transform: keep only
+// the largest-magnitude WHT coefficients of a piecewise-constant signal and
+// reconstruct. The WHT basis is exactly the right home for step-like
+// signals, and the self-inverse property (WHT . WHT = n I) makes the
+// round trip one extra transform.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/wht/planner.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace {
+
+using namespace ddl;
+
+constexpr index_t kN = 1 << 16;
+
+double rms(const std::vector<real_t>& a, const AlignedBuffer<real_t>& b) {
+  double acc = 0;
+  for (index_t i = 0; i < static_cast<index_t>(a.size()); ++i) {
+    const double d = a[static_cast<std::size_t>(i)] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+int main() {
+  // Piecewise-constant signal with dyadic-aligned steps plus light noise.
+  Xoshiro256 rng(3);
+  std::vector<real_t> signal(static_cast<std::size_t>(kN));
+  for (index_t seg = 0; seg < 32; ++seg) {
+    const real_t level = rng.uniform(-4.0, 4.0);
+    for (index_t i = seg * (kN / 32); i < (seg + 1) * (kN / 32); ++i) {
+      signal[static_cast<std::size_t>(i)] = level + 0.01 * rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  wht::PlannerOptions opts;
+  opts.measure_floor = 1e-3;
+  wht::WhtPlanner planner(opts);
+  const auto tree = planner.plan(kN, fft::Strategy::ddl_dp);
+  wht::WhtExecutor wht_exec(*tree);
+  std::cout << "WHT plan: " << plan::to_string(*tree) << "\n\n";
+
+  AlignedBuffer<real_t> coeffs(kN);
+  for (index_t i = 0; i < kN; ++i) coeffs[i] = signal[static_cast<std::size_t>(i)];
+  wht_exec.transform(coeffs.span());
+
+  std::cout << "keep_ratio  kept_coeffs  reconstruction_rms\n";
+  for (const double keep_ratio : {0.001, 0.005, 0.02, 0.10, 1.0}) {
+    const auto keep = static_cast<std::size_t>(keep_ratio * static_cast<double>(kN));
+    // Threshold at the keep-th largest magnitude.
+    std::vector<real_t> mags(static_cast<std::size_t>(kN));
+    for (index_t i = 0; i < kN; ++i) mags[static_cast<std::size_t>(i)] = std::abs(coeffs[i]);
+    std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
+                     mags.end(), std::greater<>());
+    const real_t threshold = mags[keep - 1];
+
+    AlignedBuffer<real_t> kept(kN);
+    std::size_t kept_count = 0;
+    for (index_t i = 0; i < kN; ++i) {
+      if (std::abs(coeffs[i]) >= threshold && kept_count < keep) {
+        kept[i] = coeffs[i];
+        ++kept_count;
+      } else {
+        kept[i] = 0.0;
+      }
+    }
+
+    // Inverse = forward / n (self-inverse up to scale).
+    wht_exec.transform(kept.span());
+    for (index_t i = 0; i < kN; ++i) kept[i] /= static_cast<real_t>(kN);
+
+    std::cout << "  " << keep_ratio << "        " << kept_count << "        "
+              << rms(signal, kept) << "\n";
+  }
+
+  std::cout << "\nshape check: a fraction of a percent of WHT coefficients reconstructs\n"
+               "the step signal to within the injected noise floor.\n";
+  return 0;
+}

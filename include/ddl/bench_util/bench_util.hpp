@@ -1,0 +1,40 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared helpers for the table/figure benchmark harnesses.
+
+#include <iosfwd>
+#include <vector>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::benchutil {
+
+/// The paper's normalized FFT performance metric (Sec. V-B):
+/// MFLOPS = 5 n log2(n) / (t_us), with t in seconds here.
+double fft_mflops(index_t n, double seconds);
+
+/// WHT performance as time per point in nanoseconds (the metric of Fig. 15).
+double wht_ns_per_point(index_t n, double seconds);
+
+/// Relative improvement of `ours` over `theirs` in percent, by the paper's
+/// formula (MFLOPS_ours - MFLOPS_theirs) / MFLOPS_theirs * 100.
+double relative_improvement_pct(double ours, double theirs);
+
+/// {2^lo, ..., 2^hi} inclusive.
+std::vector<index_t> pow2_range(int lo, int hi);
+
+/// Host cache geometry as reported by sysconf (0 when unknown).
+struct HostInfo {
+  long l1d_bytes = 0;
+  long l2_bytes = 0;
+  long l3_bytes = 0;
+  long line_bytes = 0;
+};
+
+HostInfo host_info();
+
+/// One-line banner with the host cache geometry, printed by every bench so
+/// results are interpretable (the analogue of the paper's Table III).
+void print_host_banner(std::ostream& os);
+
+}  // namespace ddl::benchutil

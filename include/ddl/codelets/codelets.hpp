@@ -1,0 +1,84 @@
+#pragma once
+/// \file codelets.hpp
+/// \brief Straight-line unrolled leaf kernels ("codelets") and their registry.
+///
+/// FFTW and the CMU WHT package compute the leaves of a factorization tree
+/// with machine-generated straight-line code; this library does the same.
+/// tools/gen_codelets.py emits in-place *strided* kernels — a codelet of
+/// size n transforms x[0], x[s], ..., x[(n-1)*s] in place:
+///
+///   * DFT codelets compute the forward (sign = -1) DFT in natural order.
+///     Inverse transforms are obtained at the API layer by conjugation.
+///   * WHT codelets compute the natural (Hadamard-ordered) WHT.
+///
+/// The stride parameter is the mechanism the whole paper revolves around:
+/// the *same* codelet runs dramatically slower at a large power-of-two
+/// stride than at unit stride (Sec. III-B), which is what the dynamic data
+/// layout removes.
+
+#include <vector>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::codelets {
+
+/// In-place strided forward DFT kernel.
+using DftKernel = void (*)(cplx* x, index_t s) noexcept;
+
+/// In-place strided WHT kernel.
+using WhtKernel = void (*)(real_t* x, index_t s) noexcept;
+
+// Generated kernels (see dft_codelets_gen.cpp / wht_codelets_gen.cpp).
+void dft_codelet_2(cplx* x, index_t s) noexcept;
+void dft_codelet_3(cplx* x, index_t s) noexcept;
+void dft_codelet_4(cplx* x, index_t s) noexcept;
+void dft_codelet_5(cplx* x, index_t s) noexcept;
+void dft_codelet_6(cplx* x, index_t s) noexcept;
+void dft_codelet_7(cplx* x, index_t s) noexcept;
+void dft_codelet_8(cplx* x, index_t s) noexcept;
+void dft_codelet_9(cplx* x, index_t s) noexcept;
+void dft_codelet_10(cplx* x, index_t s) noexcept;
+void dft_codelet_12(cplx* x, index_t s) noexcept;
+void dft_codelet_15(cplx* x, index_t s) noexcept;
+void dft_codelet_16(cplx* x, index_t s) noexcept;
+void dft_codelet_20(cplx* x, index_t s) noexcept;
+void dft_codelet_24(cplx* x, index_t s) noexcept;
+void dft_codelet_32(cplx* x, index_t s) noexcept;
+void dft_codelet_48(cplx* x, index_t s) noexcept;
+void dft_codelet_64(cplx* x, index_t s) noexcept;
+void dft_codelet_128(cplx* x, index_t s) noexcept;
+
+void wht_codelet_2(real_t* x, index_t s) noexcept;
+void wht_codelet_4(real_t* x, index_t s) noexcept;
+void wht_codelet_8(real_t* x, index_t s) noexcept;
+void wht_codelet_16(real_t* x, index_t s) noexcept;
+void wht_codelet_32(real_t* x, index_t s) noexcept;
+void wht_codelet_64(real_t* x, index_t s) noexcept;
+void wht_codelet_128(real_t* x, index_t s) noexcept;
+
+/// Look up the DFT codelet for size n; nullptr if none exists.
+DftKernel dft_kernel(index_t n) noexcept;
+
+/// Look up the WHT codelet for size n; nullptr if none exists.
+WhtKernel wht_kernel(index_t n) noexcept;
+
+/// True iff a DFT codelet exists for size n.
+bool has_dft_codelet(index_t n) noexcept;
+
+/// True iff a WHT codelet exists for size n.
+bool has_wht_codelet(index_t n) noexcept;
+
+/// Sizes with a generated DFT codelet, ascending.
+const std::vector<index_t>& dft_codelet_sizes();
+
+/// Sizes with a generated WHT codelet, ascending.
+const std::vector<index_t>& wht_codelet_sizes();
+
+/// Runtime fallback: in-place strided direct O(n^2) DFT (sign = -1) for any
+/// n >= 1. Used for prime leaf sizes with no codelet; correct but slow.
+void dft_direct_inplace(cplx* x, index_t s, index_t n);
+
+/// Runtime fallback: in-place strided iterative WHT for any power-of-two n.
+void wht_direct_inplace(real_t* x, index_t s, index_t n);
+
+}  // namespace ddl::codelets

@@ -1,0 +1,42 @@
+#pragma once
+/// \file check.hpp
+/// \brief Lightweight contract-checking macros.
+///
+/// DDL_REQUIRE is for precondition violations by the caller (throws
+/// std::invalid_argument); DDL_CHECK is for internal invariants (throws
+/// std::logic_error). Both are always on: the checks guard O(1) conditions
+/// on entry paths, never hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ddl::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ddl::detail
+
+#define DDL_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::ddl::detail::fail_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define DDL_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) ::ddl::detail::fail_check(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

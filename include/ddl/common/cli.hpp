@@ -1,0 +1,60 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line parsing for the ddlfft driver and examples.
+///
+/// Supports `command --flag value --switch` style invocations with typed
+/// accessors, defaults, and generated usage text. Size values accept the
+/// notations used throughout the project: plain integers, "2^k", and
+/// K/M/G suffixes ("512K" = 512 * 1024).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::cli {
+
+/// Parse "123", "2^20", "512K", "64M", "1G" into a count.
+/// Throws std::invalid_argument on malformed input.
+index_t parse_size(const std::string& text);
+
+/// Parsed command line: a positional command plus --key value pairs.
+///
+/// Grammar: argv = [command] (--key value | --key)*. A flag followed by
+/// another flag (or end of input) is a boolean switch.
+class Args {
+ public:
+  /// Parse from main()'s argv (argv[0] is skipped).
+  static Args parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of --key, or nullopt if absent or a bare switch.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Value of --key, or `fallback`.
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  /// Size-typed accessor (parse_size notation), or `fallback`.
+  [[nodiscard]] index_t size_or(const std::string& key, index_t fallback) const;
+
+  /// Integer accessor, or `fallback`.
+  [[nodiscard]] long long int_or(const std::string& key, long long fallback) const;
+
+  /// Double accessor, or `fallback`.
+  [[nodiscard]] double double_or(const std::string& key, double fallback) const;
+
+  /// Keys that were parsed but never read — for unknown-flag diagnostics.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;  ///< empty string = bare switch
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace ddl::cli

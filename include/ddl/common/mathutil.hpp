@@ -1,0 +1,52 @@
+#pragma once
+/// \file mathutil.hpp
+/// \brief Small integer helpers: powers of two, factorization, logs.
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/types.hpp"
+
+namespace ddl {
+
+/// True iff n is a positive power of two.
+constexpr bool is_pow2(index_t n) noexcept { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Floor of log2(n) for n >= 1.
+constexpr int ilog2(index_t n) noexcept {
+  int k = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+/// 2^k as index_t.
+constexpr index_t pow2(int k) noexcept { return index_t{1} << k; }
+
+/// All ordered factor pairs (n1, n2) with n1*n2 == n, n1 > 1, n2 > 1.
+/// These are the candidate Cooley–Tukey splits of a composite node.
+std::vector<std::pair<index_t, index_t>> factor_pairs(index_t n);
+
+/// All divisors of n in increasing order (including 1 and n).
+std::vector<index_t> divisors(index_t n);
+
+/// Smallest prime factor of n >= 2.
+index_t smallest_prime_factor(index_t n);
+
+/// True iff n >= 2 is prime.
+bool is_prime(index_t n);
+
+/// Full prime factorization of n >= 1 as (prime, multiplicity) pairs.
+std::vector<std::pair<index_t, int>> prime_factorization(index_t n);
+
+/// Greatest common divisor of non-negative a, b (gcd(0, b) == b).
+index_t gcd(index_t a, index_t b);
+
+/// Multiplicative inverse of a modulo m (m >= 2, gcd(a, m) == 1),
+/// in [1, m). Throws if a is not invertible.
+index_t mod_inverse(index_t a, index_t m);
+
+}  // namespace ddl

@@ -1,0 +1,48 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random generation for test and bench inputs.
+///
+/// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded by
+/// SplitMix64; fully deterministic across platforms so every test and bench
+/// input is reproducible from its seed.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Fill with uniform complex samples in the unit square [-1,1)^2.
+void fill_random(std::span<cplx> out, std::uint64_t seed);
+
+/// Fill with uniform real samples in [-1,1).
+void fill_random(std::span<real_t> out, std::uint64_t seed);
+
+}  // namespace ddl

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// \brief Console table formatting for the benchmark harnesses.
+///
+/// Every bench binary prints the rows/series of one paper table or figure;
+/// TableWriter keeps the columns aligned and can also emit CSV so results
+/// are machine-readable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddl {
+
+/// Column-aligned console table with an optional CSV mirror.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns, a header underline, and a title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as CSV (header row first).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the benches.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_bytes(std::size_t bytes);
+std::string fmt_pow2(long long n);  ///< "2^k" when n is a power of two, else decimal
+
+}  // namespace ddl

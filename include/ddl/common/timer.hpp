@@ -1,0 +1,47 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities for planning and benchmarking.
+///
+/// The paper measures wall-clock time, repeating each computation until the
+/// total exceeds a threshold and reporting the average (Sec. V-B).
+/// time_adaptive() reproduces that protocol with a configurable floor.
+
+#include <chrono>
+#include <functional>
+
+namespace ddl {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Reset the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Timing protocol options.
+struct TimeOptions {
+  double min_total_seconds = 0.02;  ///< repeat until this much time accumulates
+  int min_reps = 1;                 ///< at least this many repetitions
+  int max_reps = 1 << 20;           ///< hard cap on repetitions
+};
+
+/// Run `fn` repeatedly until the accumulated wall time exceeds
+/// opts.min_total_seconds; return the average seconds per call.
+double time_adaptive(const std::function<void()>& fn, const TimeOptions& opts = {});
+
+/// Return the minimum of `trials` calls to time_adaptive — a robust
+/// estimate in the presence of scheduling noise.
+double time_best_of(const std::function<void()>& fn, int trials, const TimeOptions& opts = {});
+
+}  // namespace ddl

@@ -1,0 +1,33 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental scalar and complex types used throughout the library.
+///
+/// The paper computes double-precision complex DFTs (16-byte points) and
+/// double-precision real WHTs (8-byte points); these aliases pin those
+/// element types in one place.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace ddl {
+
+/// Real scalar type for all transforms (the paper uses double precision).
+using real_t = double;
+
+/// Complex sample type: two doubles, 16 bytes, matching the paper's
+/// "each data point is a double-precision complex number (16 Bytes)".
+using cplx = std::complex<real_t>;
+
+/// Signed index type. Strides and sizes are always non-negative but signed
+/// arithmetic avoids unsigned wraparound bugs in index expressions
+/// (per C++ Core Guidelines ES.100-107).
+using index_t = std::ptrdiff_t;
+
+/// Size in data points (not bytes) unless a name says otherwise.
+using size_pt = std::ptrdiff_t;
+
+inline constexpr std::size_t kCacheLineBytes = 64;  ///< host line size assumption
+inline constexpr std::size_t kAlignment = 64;       ///< allocation alignment
+
+}  // namespace ddl

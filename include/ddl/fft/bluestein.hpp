@@ -1,0 +1,55 @@
+#pragma once
+/// \file bluestein.hpp
+/// \brief Arbitrary-length DFT via Bluestein's chirp-z algorithm.
+///
+/// The paper's factorization machinery needs composite sizes; prime sizes
+/// fall back to the O(n^2) direct DFT. BluesteinFft removes that cliff: any
+/// n-point DFT is computed as a circular convolution of length M (the
+/// smallest power of two >= 2n-1) carried by the library's own planned
+/// power-of-two FFT, so the cache-conscious engine also accelerates prime
+/// and awkward sizes.
+///
+/// Identity: with the chirp c[j] = exp(-i pi j^2 / n),
+///   X[k] = c[k] * sum_j (x[j] c[j]) * conj(c[k-j]),
+/// i.e. a linear convolution of a[j] = x[j]c[j] with h[m] = conj(c[m]),
+/// evaluated with exact exponents (j^2 mod 2n) to keep precision at large n.
+
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+
+namespace ddl::fft {
+
+/// Planned Bluestein transform of one size. Movable, not copyable.
+class BluesteinFft {
+ public:
+  /// \param n     transform length, any n >= 1.
+  /// \param tree  optional factorization tree for the internal M-point FFT
+  ///              (M = smallest power of two >= 2n-1). Defaults to the
+  ///              rightmost codelet tree; pass a planner-chosen tree for a
+  ///              tuned build.
+  explicit BluesteinFft(index_t n, const plan::Node* tree = nullptr);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// Length of the internal power-of-two convolution FFT.
+  [[nodiscard]] index_t conv_size() const noexcept { return m_; }
+
+  /// In-place forward DFT, natural order (matches dft_reference).
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  index_t n_;
+  index_t m_;
+  AlignedBuffer<cplx> chirp_;          ///< c[j], j in [0, n)
+  AlignedBuffer<cplx> kernel_freq_;    ///< FFT of the wrapped conj-chirp kernel
+  AlignedBuffer<cplx> work_;           ///< length-M convolution buffer
+  std::unique_ptr<FftExecutor> conv_;  ///< M-point FFT engine
+};
+
+}  // namespace ddl::fft

@@ -1,0 +1,49 @@
+#pragma once
+/// \file dct.hpp
+/// \brief DCT-II / DCT-III via a same-length FFT (Makhoul's even-odd
+///        permutation method).
+///
+/// The paper targets "a class of signal transforms" — DFT, WHT, DCT are its
+/// named examples. This module closes the set: the DCT-II of a length-n
+/// real signal is computed from one n-point FFT of the even/odd-reordered
+/// signal, so it inherits whatever cache-conscious factorization tree the
+/// planner chose for that FFT.
+///
+/// Conventions (unnormalized, matching the common DSP definition):
+///   DCT-II:  C[k] = 2 * sum_j x[j] cos(pi k (2j+1) / (2n))
+///   DCT-III (the inverse up to 1/(2n) and the half-weighted first term) is
+///   provided as inverse(): inverse(forward(x)) == x.
+
+#include <memory>
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+
+namespace ddl::fft {
+
+/// Planned DCT-II of one size. Movable, not copyable.
+class Dct {
+ public:
+  /// \param n     transform length >= 1.
+  /// \param tree  optional tree for the internal n-point FFT (rightmost
+  ///              codelet tree by default).
+  explicit Dct(index_t n, const plan::Node* tree = nullptr);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// In-place DCT-II (see conventions above).
+  void forward(std::span<real_t> data);
+
+  /// In-place inverse (scaled DCT-III): inverse(forward(x)) == x.
+  void inverse(std::span<real_t> data);
+
+ private:
+  index_t n_;
+  AlignedBuffer<cplx> quarter_twiddle_;  ///< e^{-i pi k / (2n)}, k in [0, n)
+  AlignedBuffer<cplx> work_;
+  std::unique_ptr<FftExecutor> fft_;
+};
+
+}  // namespace ddl::fft

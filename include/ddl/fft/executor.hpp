@@ -1,0 +1,101 @@
+#pragma once
+/// \file executor.hpp
+/// \brief Tree-driven FFT executor: runs any factorization tree, with or
+///        without dynamic data layout nodes.
+///
+/// ## How a split node (n = n1*n2, physical stride s) executes (Fig. 2)
+///
+/// The node's elements data[0], data[s], ..., data[(n-1)s] are viewed as the
+/// row-major matrix M[i][j] = data[(i*n2+j)s].
+///
+/// Static layout (ct):
+///   1. n2 column DFTs of size n1, stride s*n2   (left child, Property 1)
+///   2. twiddle pass: M[i][j] *= W_n^{i*j}
+///   3. n1 row DFTs of size n2, stride s         (right child)
+///   4. stride permutation L^n_{n2} to restore natural order
+///
+/// Dynamic layout (ctddl): steps 1–2 run on a reorganized copy:
+///   1'. blocked transpose-gather: scratch[j*n1+i] = M[i][j]
+///       (columns become contiguous — the reorganization of Fig. 5/6)
+///   2'. n2 column DFTs at *unit stride* in scratch; twiddle pass in scratch
+///   3'. blocked transpose-scatter back (the paper's "reverse
+///       reorganization"); then steps 3–4 as above.
+///
+/// Scratch comes from a single arena of 2n_root elements: a ddl node parks
+/// its n-element region and hands children the remainder, and along any
+/// root-to-leaf path the regions sum to < 2*n_root.
+
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/twiddle.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::fft {
+
+/// Executable form of a factorization tree for one transform size.
+///
+/// Construction precomputes twiddle tables and the scratch arena; forward()
+/// and inverse() are then allocation-free. The executor owns a deep copy of
+/// the tree, so the caller's tree may be discarded.
+class FftExecutor {
+ public:
+  /// \param tree  factorization tree; every leaf must either have a generated
+  ///              codelet or be computed by the direct O(n^2) fallback.
+  explicit FftExecutor(const plan::Node& tree);
+
+  FftExecutor(FftExecutor&&) noexcept = default;
+  FftExecutor& operator=(FftExecutor&&) noexcept = default;
+
+  /// Transform size n (the root of the tree).
+  [[nodiscard]] index_t size() const noexcept { return tree_->n; }
+
+  /// The tree being executed (for reporting / tests).
+  [[nodiscard]] const plan::Node& tree() const noexcept { return *tree_; }
+
+  /// In-place forward DFT, natural order in and out.
+  /// data.size() must equal size().
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling: inverse(forward(x)) == x.
+  /// Implemented by the conjugation identity IDFT(x) = conj(DFT(conj(x)))/n.
+  void inverse(std::span<cplx> data);
+
+  /// Advanced: run the forward transform in place on the strided element
+  /// set data[0], data[stride], ..., data[(n-1)*stride]. The caller owns
+  /// the enclosing array. Used by the measured planner (the paper's Fig. 8
+  /// Get_Time) to time subtrees in their embedded, strided context.
+  void forward_strided(cplx* data, index_t stride);
+
+  /// Number of real floating-point operations the paper's normalized MFLOPS
+  /// metric assumes: 5 n log2(n).
+  [[nodiscard]] double nominal_flops() const noexcept;
+
+ private:
+  void run(const plan::Node& node, cplx* data, index_t stride, index_t arena_off);
+  void twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2);
+  void twiddle_cols(cplx* scratch, index_t n, index_t n1, index_t n2);
+
+  plan::TreePtr tree_;
+  TwiddleCache twiddles_;
+  AlignedBuffer<cplx> arena_;
+};
+
+/// Convenience: execute `tree` once on `data` (builds a throwaway executor).
+void execute_tree(const plan::Node& tree, std::span<cplx> data);
+
+namespace detail {
+
+/// Twiddle pass over a strided row-major node: data[(i*n2+j)*stride] *=
+/// w[(i*j) mod n]. Exposed so the planner can time the exact executor loop.
+void twiddle_pass_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2,
+                       const cplx* w);
+
+/// Twiddle pass over a transposed contiguous node: scratch[j*n1+i] *=
+/// w[(i*j) mod n].
+void twiddle_pass_cols(cplx* scratch, index_t n, index_t n1, index_t n2, const cplx* w);
+
+}  // namespace detail
+
+}  // namespace ddl::fft

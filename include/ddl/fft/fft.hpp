@@ -1,0 +1,75 @@
+#pragma once
+/// \file fft.hpp
+/// \brief Public API: cache-conscious FFT with dynamic data layouts.
+///
+/// Quickstart:
+/// \code
+///   ddl::AlignedBuffer<ddl::cplx> x(1 << 20);
+///   ... fill x ...
+///   auto fft = ddl::fft::Fft::plan(1 << 20);      // DDL-planned by default
+///   fft.forward(x.span());
+///   fft.inverse(x.span());                        // x restored
+/// \endcode
+///
+/// Planning runs the paper's dynamic-programming search over factorization
+/// trees with dynamic data layouts (Sec. IV). It times small primitives on
+/// first use, so the first plan() for a given size costs a few hundred
+/// milliseconds; pass a Wisdom store to amortize across processes.
+
+#include <span>
+#include <string>
+
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::fft {
+
+/// A planned, executable FFT of one size. Movable, not copyable.
+class Fft {
+ public:
+  /// Plan an n-point transform with a fresh planner.
+  static Fft plan(index_t n, Strategy strategy = Strategy::ddl_dp);
+
+  /// Plan with a caller-owned planner (shares its cost DB and wisdom).
+  static Fft plan_with(FftPlanner& planner, index_t n, Strategy strategy = Strategy::ddl_dp);
+
+  /// Build directly from a factorization tree in the grammar of
+  /// plan/grammar.hpp, e.g. "ctddl(ct(32,32),1024)".
+  static Fft from_tree(const std::string& grammar);
+
+  /// Build directly from a tree object.
+  static Fft from_tree(const plan::Node& tree);
+
+  [[nodiscard]] index_t size() const noexcept { return exec_.size(); }
+
+  /// The factorization tree in textual form.
+  [[nodiscard]] std::string tree_string() const { return plan::to_string(exec_.tree()); }
+
+  /// Number of ddl (reorganizing) splits in the plan.
+  [[nodiscard]] int ddl_nodes() const { return plan::ddl_node_count(exec_.tree()); }
+
+  /// In-place forward DFT, natural order. data.size() must equal size().
+  void forward(std::span<cplx> data) { exec_.forward(data); }
+
+  /// In-place inverse DFT with 1/n scaling.
+  void inverse(std::span<cplx> data) { exec_.inverse(data); }
+
+  /// Transform `count` signals stored back to back (signal b at offset
+  /// b*dist; dist >= size()). One plan serves the whole batch.
+  void forward_batch(std::span<cplx> data, index_t count, index_t dist);
+
+  /// Batched inverse, same layout as forward_batch.
+  void inverse_batch(std::span<cplx> data, index_t count, index_t dist);
+
+  /// The paper's normalized MFLOPS metric for an execution time in seconds:
+  /// 5 n log2(n) / (t * 1e6).
+  [[nodiscard]] double mflops(double seconds) const {
+    return exec_.nominal_flops() / (seconds * 1e6);
+  }
+
+ private:
+  explicit Fft(const plan::Node& tree) : exec_(tree) {}
+  FftExecutor exec_;
+};
+
+}  // namespace ddl::fft

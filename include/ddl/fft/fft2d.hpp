@@ -1,0 +1,63 @@
+#pragma once
+/// \file fft2d.hpp
+/// \brief 2-D FFT with a choice of column strategy: strided (static layout)
+///        or transpose-based (the dynamic-data-layout idea in 2-D).
+///
+/// A rows x cols 2-D DFT is separable: cols-point FFTs along every row,
+/// then rows-point FFTs along every column. The column pass is exactly the
+/// paper's pathology — a stride equal to `cols` — so Fft2d offers both
+/// executions:
+///
+///   ColumnMode::strided    column FFTs run in place at stride `cols`
+///                          (what a static-layout implementation does);
+///   ColumnMode::transpose  the matrix is transposed (cache-blocked), the
+///                          column FFTs run at unit stride, and the matrix
+///                          is transposed back — the 2-D instance of the
+///                          paper's reorganization, equivalent to the
+///                          classic four-step method.
+
+#include <memory>
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+
+namespace ddl::fft {
+
+/// Column-pass execution strategy (see file comment).
+enum class ColumnMode { strided, transpose };
+
+/// Planned 2-D FFT over row-major data. Movable, not copyable.
+class Fft2d {
+ public:
+  /// \param rows, cols  matrix shape; both >= 1.
+  /// \param mode        column strategy (transpose = dynamic layout).
+  /// \param row_tree    optional tree for the cols-point row FFTs.
+  /// \param col_tree    optional tree for the rows-point column FFTs.
+  /// Default trees are rightmost codelet trees.
+  Fft2d(index_t rows, index_t cols, ColumnMode mode = ColumnMode::transpose,
+        const plan::Node* row_tree = nullptr, const plan::Node* col_tree = nullptr);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] ColumnMode mode() const noexcept { return mode_; }
+
+  /// In-place forward 2-D DFT of row-major data (size rows*cols).
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse 2-D DFT with 1/(rows*cols) scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  void column_pass(cplx* data);
+
+  index_t rows_;
+  index_t cols_;
+  ColumnMode mode_;
+  std::unique_ptr<FftExecutor> row_fft_;  ///< cols-point
+  std::unique_ptr<FftExecutor> col_fft_;  ///< rows-point
+  AlignedBuffer<cplx> scratch_;           ///< transpose buffer (transpose mode)
+};
+
+}  // namespace ddl::fft

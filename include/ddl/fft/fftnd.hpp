@@ -1,0 +1,51 @@
+#pragma once
+/// \file fftnd.hpp
+/// \brief Rank-N multidimensional FFT over row-major data.
+///
+/// Generalizes fft2d.hpp: a separable transform applies a 1-D DFT along
+/// every axis. For axis a of a row-major array with shape {d0, …, dk-1},
+/// the lines run at stride post(a) = d_{a+1} * … * d_{k-1}. The last axis
+/// is contiguous; every earlier axis can be executed strided (static
+/// layout) or through the same pack-to-scratch reorganization the 1-D ddl
+/// nodes use (dynamic layout).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/fft2d.hpp"  // ColumnMode
+
+namespace ddl::fft {
+
+/// Planned rank-N FFT. Movable, not copyable.
+class FftNd {
+ public:
+  /// \param shape  per-axis extents, row-major, each >= 1, rank >= 1.
+  /// \param mode   non-contiguous-axis strategy (transpose = dynamic layout:
+  ///               each line is packed to scratch, transformed at unit
+  ///               stride, and unpacked).
+  explicit FftNd(std::vector<index_t> shape, ColumnMode mode = ColumnMode::transpose);
+
+  [[nodiscard]] const std::vector<index_t>& shape() const noexcept { return shape_; }
+  [[nodiscard]] index_t size() const noexcept { return total_; }
+
+  /// In-place forward rank-N DFT of row-major data (size() elements).
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse with 1/size() scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  void axis_pass(cplx* data, std::size_t axis);
+
+  std::vector<index_t> shape_;
+  index_t total_;
+  ColumnMode mode_;
+  std::vector<std::unique_ptr<FftExecutor>> axis_fft_;  ///< one per axis (null for d=1)
+  AlignedBuffer<cplx> scratch_;                         ///< one line (transpose mode)
+};
+
+}  // namespace ddl::fft

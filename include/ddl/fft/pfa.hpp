@@ -1,0 +1,55 @@
+#pragma once
+/// \file pfa.hpp
+/// \brief Good–Thomas prime-factor DFT: a second factorization rule.
+///
+/// When n = n1 * n2 with gcd(n1, n2) = 1, the Chinese-remainder index maps
+///
+///   input:  t  = (i1 * n2 + i2 * n1) mod n
+///   output: k  = (k1 * e1 + k2 * e2) mod n,
+///           e1 = n2 * (n2^{-1} mod n1),  e2 = n1 * (n1^{-1} mod n2)
+///
+/// turn the 1-D DFT into a true 2-D (n1 x n2) DFT with **no twiddle
+/// factors** — the multiplication stage of Cooley–Tukey disappears
+/// entirely, at the price of the scrambled index maps. SPIRAL treats this
+/// as a separate rewrite rule beside Cooley–Tukey; this class is our
+/// equivalent, built on the same strided executor (rows contiguous,
+/// columns through forward_strided).
+
+#include <memory>
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+
+namespace ddl::fft {
+
+/// Planned Good–Thomas transform for one coprime split. Movable.
+class PfaFft {
+ public:
+  /// \param n1, n2  coprime factors, each >= 1; n = n1 * n2.
+  /// \param row_tree / col_tree  optional factorization trees for the
+  ///        n2-point row DFTs and n1-point column DFTs (rightmost default).
+  PfaFft(index_t n1, index_t n2, const plan::Node* row_tree = nullptr,
+         const plan::Node* col_tree = nullptr);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT, natural order (matches dft_reference).
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  index_t n1_;
+  index_t n2_;
+  index_t n_;
+  AlignedBuffer<index_t> input_map_;   ///< work[i1*n2+i2] = data[input_map_[...]]
+  AlignedBuffer<index_t> output_map_;  ///< data[output_map_[k1*n2+k2]] = work[...]
+  AlignedBuffer<cplx> work_;
+  std::unique_ptr<FftExecutor> row_fft_;  ///< n2-point
+  std::unique_ptr<FftExecutor> col_fft_;  ///< n1-point
+};
+
+}  // namespace ddl::fft

@@ -1,0 +1,38 @@
+#pragma once
+/// \file radix2.hpp
+/// \brief Textbook iterative radix-2 FFT — the simplest baseline.
+///
+/// Bit-reversal permutation followed by log2(n) butterfly sweeps with a
+/// precomputed half-length twiddle table. Serves as (a) an independent
+/// correctness cross-check for the tree executor and (b) the "no
+/// factorization search at all" baseline in the benches.
+
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+
+namespace ddl::fft {
+
+/// Iterative radix-2 Cooley–Tukey FFT for power-of-two sizes.
+class Radix2Fft {
+ public:
+  /// \param n transform size; must be a power of two.
+  explicit Radix2Fft(index_t n);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT, natural order in and out.
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  void butterflies(std::span<cplx> data, bool inverse_sign);
+
+  index_t n_;
+  AlignedBuffer<cplx> twiddle_;  ///< W_n^k for k in [0, n/2)
+};
+
+}  // namespace ddl::fft

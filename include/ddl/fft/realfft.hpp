@@ -1,0 +1,49 @@
+#pragma once
+/// \file realfft.hpp
+/// \brief Real-input FFT (r2c / c2r) via the packed half-length trick.
+///
+/// A length-n real signal is viewed as n/2 complex samples
+/// z[j] = x[2j] + i x[2j+1]; one n/2-point complex FFT plus an O(n)
+/// untangling pass yields the n/2+1 non-redundant spectrum bins. Halves
+/// both the flops and — in this library's terms — the working set that has
+/// to survive the cache.
+
+#include <memory>
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+
+namespace ddl::fft {
+
+/// Planned real FFT of one (even) size. Movable, not copyable.
+class RealFft {
+ public:
+  /// \param n     even transform length >= 2.
+  /// \param tree  optional tree for the internal n/2-point complex FFT
+  ///              (rightmost codelet tree by default).
+  explicit RealFft(index_t n, const plan::Node* tree = nullptr);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// Number of complex output bins: n/2 + 1.
+  [[nodiscard]] index_t spectrum_size() const noexcept { return n_ / 2 + 1; }
+
+  /// Forward r2c: spectrum[k] = sum_j in[j] exp(-2 pi i j k / n),
+  /// k in [0, n/2]. in.size() == n, spectrum.size() == n/2+1.
+  void forward(std::span<const real_t> in, std::span<cplx> spectrum);
+
+  /// Inverse c2r with 1/n scaling: out == the signal whose forward()
+  /// spectrum is given. spectrum.size() == n/2+1, out.size() == n.
+  /// spectrum[0] and spectrum[n/2] must be (numerically) real.
+  void inverse(std::span<const cplx> spectrum, std::span<real_t> out);
+
+ private:
+  index_t n_;
+  AlignedBuffer<cplx> twiddle_;  ///< e^{-2 pi i k/n}, k in [0, n/2)
+  AlignedBuffer<cplx> work_;     ///< packed half-length buffer
+  std::unique_ptr<FftExecutor> half_fft_;
+};
+
+}  // namespace ddl::fft

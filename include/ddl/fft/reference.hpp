@@ -1,0 +1,25 @@
+#pragma once
+/// \file reference.hpp
+/// \brief Reference transforms used as correctness oracles in tests.
+///
+/// Straightforward O(n^2) evaluation of the DFT definition; numerically
+/// honest (per-term std::polar twiddles) but slow. Every fast path in the
+/// library is validated against these.
+
+#include <span>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::fft {
+
+/// out[k] = sum_j in[j] * exp(-2*pi*i*j*k/n). in and out must not alias.
+void dft_reference(std::span<const cplx> in, std::span<cplx> out);
+
+/// out[k] = (1/n) * sum_j in[j] * exp(+2*pi*i*j*k/n). Unitary pairing with
+/// dft_reference: idft_reference(dft_reference(x)) == x.
+void idft_reference(std::span<const cplx> in, std::span<cplx> out);
+
+/// Max absolute componentwise difference between two equal-length vectors.
+double max_abs_diff(std::span<const cplx> a, std::span<const cplx> b);
+
+}  // namespace ddl::fft

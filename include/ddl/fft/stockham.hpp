@@ -1,0 +1,45 @@
+#pragma once
+/// \file stockham.hpp
+/// \brief Stockham autosort FFT — the classic "avoid strides by
+///        construction" algorithm.
+///
+/// Stockham's formulation ping-pongs between two buffers so that every
+/// stage reads and writes at unit stride and no bit-reversal or stride
+/// permutation is ever needed. It is the historical alternative answer to
+/// the problem the paper attacks: where DDL *fixes* a strided factorization
+/// by reorganizing data between stages, Stockham reshapes the computation
+/// so strides never appear — at the cost of a second full-size buffer and
+/// doubled write traffic. Comparing the two (bench/fig11_14_fft_perf)
+/// locates the paper's approach between the naive radix-2 and the
+/// fully-autosorted extreme.
+
+#include <span>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+
+namespace ddl::fft {
+
+/// Radix-2 Stockham autosort FFT for power-of-two sizes. Movable.
+class StockhamFft {
+ public:
+  explicit StockhamFft(index_t n);
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT, natural order (internally out-of-place with a
+  /// private ping-pong buffer).
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling.
+  void inverse(std::span<cplx> data);
+
+ private:
+  void run(cplx* data);
+
+  index_t n_;
+  AlignedBuffer<cplx> work_;
+  AlignedBuffer<cplx> twiddle_;  ///< W_n^p for p in [0, n/2)
+};
+
+}  // namespace ddl::fft

@@ -1,0 +1,44 @@
+#pragma once
+/// \file twiddle.hpp
+/// \brief Twiddle-factor tables for factorized DFTs.
+///
+/// A composite node of size n needs the factors W_n^{i*j} (the diagonal
+/// "twiddle matrix" T of eq. (1)). Rather than storing the full n1 x n2
+/// matrix per split, we keep one length-n table W_n^k per *distinct*
+/// composite size and index it as (i*j) mod n, stepping the index
+/// incrementally inside the twiddle pass — O(total distinct node sizes)
+/// memory instead of O(n * tree depth).
+
+#include <map>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::fft {
+
+/// Build and own W_n^k tables, k in [0, n), for every composite node size
+/// of a plan tree (forward sign: W_n^k = exp(-2*pi*i*k/n)).
+class TwiddleCache {
+ public:
+  TwiddleCache() = default;
+
+  /// Ensure a table exists for size n; returns its base pointer.
+  const cplx* ensure(index_t n);
+
+  /// Look up a table previously created by ensure(). Throws if absent.
+  [[nodiscard]] const cplx* get(index_t n) const;
+
+  /// Walk `tree` and build tables for every composite node size.
+  void build_for(const plan::Node& tree);
+
+  [[nodiscard]] std::size_t tables() const noexcept { return tables_.size(); }
+
+  /// Total elements across all tables (memory footprint diagnostics).
+  [[nodiscard]] index_t total_elements() const noexcept;
+
+ private:
+  std::map<index_t, AlignedBuffer<cplx>> tables_;
+};
+
+}  // namespace ddl::fft

@@ -1,0 +1,49 @@
+#pragma once
+/// \file reorg.hpp
+/// \brief Data-reorganization primitives: the physical layer of the paper's
+///        dynamic data layout (DDL) approach.
+///
+/// A factorized transform views the n elements of a node (spaced `stride`
+/// apart in the enclosing array) as an n1 x n2 matrix
+///
+///     M[i][j] = data[(i*n2 + j) * stride],   0 <= i < n1, 0 <= j < n2.
+///
+/// The column DFTs of the Cooley–Tukey left stage walk M columns — a stride
+/// of n2*stride — which thrashes low-associativity caches when n2*stride
+/// is a large power of two (Sec. III-B of the paper). DDL reorganizes M into
+/// column-major scratch storage first (transpose_gather), runs the stage at
+/// unit stride, and restores the layout (transpose_scatter). Both transposes
+/// are cache-blocked so each touched line contributes several points, which
+/// is what makes the reorganization overhead smaller than its gain.
+///
+/// All routines are templated over the element type; the library instantiates
+/// them for `cplx` (FFT) and `real_t` (WHT).
+
+#include <span>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::layout {
+
+/// Tile edge (in elements) for the blocked transposes. 16 complex doubles =
+/// 4 cache lines per tile row; tiles of 16x16 fit comfortably in L1.
+inline constexpr index_t kTile = 16;
+
+/// Gather the strided n1 x n2 matrix into column-major contiguous storage:
+/// y[j*n1 + i] = x[(i*n2 + j)*stride]. Cache-blocked.
+template <typename T>
+void transpose_gather(const T* x, index_t stride, index_t n1, index_t n2, T* y);
+
+/// Inverse of transpose_gather: x[(i*n2 + j)*stride] = y[j*n1 + i].
+template <typename T>
+void transpose_scatter(T* x, index_t stride, index_t n1, index_t n2, const T* y);
+
+/// Pack a strided vector into contiguous storage: y[i] = x[i*stride].
+template <typename T>
+void pack(const T* x, index_t stride, index_t n, T* y);
+
+/// Unpack contiguous storage back into a strided vector: x[i*stride] = y[i].
+template <typename T>
+void unpack(T* x, index_t stride, index_t n, const T* y);
+
+}  // namespace ddl::layout

@@ -1,0 +1,35 @@
+#pragma once
+/// \file stride_perm.hpp
+/// \brief The stride permutation L^n_m of eq. (1) and bit-reversal helpers.
+///
+/// L^n_m maps the element at position q*m + r (0 <= r < m) to position
+/// r*(n/m) + q — i.e. it transposes the (n/m) x m row-major matrix view of a
+/// contiguous length-n array. The Cooley–Tukey identity
+///   DFT_n = (DFT_n1 (x) I_n2) T (I_n1 (x) DFT_n2) L^n_n1
+/// uses it to restore natural output order after the two DFT stages.
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::layout {
+
+/// Out-of-place stride permutation: out[r*(n/m) + q] = in[q*m + r].
+/// Equivalently, transpose of the (n/m) x m row-major matrix. Cache-blocked.
+template <typename T>
+void stride_permute(const T* in, T* out, index_t n, index_t m);
+
+/// In-place stride permutation on a *strided* element set using a
+/// caller-provided scratch buffer of at least n elements:
+/// data[k*stride] <- value previously at data[perm^{-1}(k)*stride].
+/// Used as step 4 of every composite node (see fft/executor.cpp).
+template <typename T>
+void stride_permute_inplace(T* data, index_t elem_stride, index_t n, index_t m, T* scratch);
+
+/// Bit-reverse the width-`bits` integer k.
+index_t bit_reverse(index_t k, int bits) noexcept;
+
+/// In-place bit-reversal permutation of a power-of-two-length array
+/// (used by the iterative radix-2 baseline).
+template <typename T>
+void bit_reverse_permute(T* data, index_t n);
+
+}  // namespace ddl::layout

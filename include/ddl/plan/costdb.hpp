@@ -1,0 +1,60 @@
+#pragma once
+/// \file costdb.hpp
+/// \brief Memoized measurement store — the "initial values" of the paper's
+///        dynamic programming search.
+///
+/// The paper determines the DP base costs "by executing the codes for these
+/// operations" offline (Sec. IV-B). CostDb caches such measurements under a
+/// (kind, a, b, c) key — e.g. ("dft_leaf", n, stride, 0) — so each primitive
+/// is timed once per process, and can persist them to a text file so that a
+/// later process (or a later bench binary in the same run) skips the
+/// measurement entirely.
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::plan {
+
+/// Key identifying one measured primitive.
+struct CostKey {
+  std::string kind;  ///< primitive name, e.g. "dft_leaf", "reorg", "twiddle"
+  index_t a = 0;     ///< primary size
+  index_t b = 0;     ///< stride or second size
+  index_t c = 0;     ///< optional third parameter
+
+  auto operator<=>(const CostKey&) const = default;
+};
+
+/// Memoizing cost store. Not thread-safe (planning is single-threaded).
+class CostDb {
+ public:
+  /// Return the cached cost for `key`, or run `measure`, cache, and return.
+  double get_or_measure(const CostKey& key, const std::function<double()>& measure);
+
+  /// True iff the key is already cached.
+  [[nodiscard]] bool contains(const CostKey& key) const;
+
+  /// Insert/overwrite a cost directly.
+  void put(const CostKey& key, double seconds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  void clear() { table_.clear(); }
+
+  /// Persist all entries as "kind a b c seconds" lines. Returns false on I/O
+  /// failure (callers treat persistence as best-effort).
+  bool save(const std::filesystem::path& file) const;
+
+  /// Merge entries from a previously saved file; unknown lines are skipped.
+  /// Returns false if the file cannot be opened.
+  bool load(const std::filesystem::path& file);
+
+ private:
+  std::map<std::tuple<std::string, index_t, index_t, index_t>, double> table_;
+};
+
+}  // namespace ddl::plan

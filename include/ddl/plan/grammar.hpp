@@ -1,0 +1,33 @@
+#pragma once
+/// \file grammar.hpp
+/// \brief Text grammar for factorization trees.
+///
+/// The CMU WHT package describes algorithmic choices "by a simple grammar,
+/// which can be parsed to create different algorithms" (paper Sec. II-B);
+/// this is our equivalent. The grammar, matching the notation of the
+/// paper's Tables I/V/VI:
+///
+///   tree   := leaf | split
+///   leaf   := integer                      (e.g. "16")
+///   split  := ("ct" | "ctddl") "(" tree "," tree ")"
+///
+/// "ct(a,b)" is a static-layout Cooley–Tukey split; "ctddl(a,b)" is a split
+/// whose left stage is executed through a dynamic data layout
+/// (reorganize -> unit-stride -> restore). Whitespace is ignored.
+/// Examples from the paper: "ct(16,ct(16,4))", "ctddl(1024,ctddl(32,32))".
+
+#include <string>
+#include <string_view>
+
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::plan {
+
+/// Parse a tree from its textual form. Throws std::invalid_argument with a
+/// position-annotated message on malformed input.
+TreePtr parse_tree(std::string_view text);
+
+/// Round-trip check helper: parse_tree(to_string(t)) is structurally equal
+/// to t for every valid tree.
+
+}  // namespace ddl::plan

@@ -1,0 +1,51 @@
+#pragma once
+/// \file wisdom.hpp
+/// \brief Persistent store of previously planned factorization trees.
+///
+/// Planning (the DP search of Sec. IV-B) is performed offline in the paper;
+/// Wisdom is the mechanism that makes it offline here: once a tree has been
+/// chosen for (transform, strategy, size) it is recorded — optionally to a
+/// file — and later plan requests reuse it without re-measuring anything.
+/// The name follows FFTW's equivalent facility.
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ddl/common/types.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::plan {
+
+/// One remembered plan.
+struct WisdomEntry {
+  std::string tree;    ///< grammar form of the chosen tree
+  double seconds = 0;  ///< predicted execution time when planned
+};
+
+/// Keyed store of chosen trees.
+class Wisdom {
+ public:
+  /// Record a plan under (transform, strategy, n); overwrites.
+  void remember(const std::string& transform, const std::string& strategy, index_t n,
+                const WisdomEntry& entry);
+
+  /// Look up a remembered plan.
+  [[nodiscard]] std::optional<WisdomEntry> recall(const std::string& transform,
+                                                  const std::string& strategy, index_t n) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  void clear() { table_.clear(); }
+
+  /// Persist as "transform strategy n seconds tree" lines; best-effort.
+  bool save(const std::filesystem::path& file) const;
+
+  /// Merge from a saved file. Returns false if the file cannot be opened.
+  bool load(const std::filesystem::path& file);
+
+ private:
+  std::map<std::tuple<std::string, std::string, index_t>, WisdomEntry> table_;
+};
+
+}  // namespace ddl::plan

@@ -1,0 +1,87 @@
+#pragma once
+/// \file planner.hpp (wht)
+/// \brief Factorization-tree search for the WHT — the FFT planner's sibling.
+///
+/// Identical DP structure to fft/planner.hpp (eq. (3) without the twiddle
+/// and output-permutation terms, since the Hadamard tensor identity needs
+/// neither): states are (size, stride, layout), base costs are measured WHT
+/// codelet and reorganization timings.
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "ddl/common/types.hpp"
+#include "ddl/fft/planner.hpp"  // Strategy enum is shared
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/plan/wisdom.hpp"
+
+namespace ddl::wht {
+
+using fft::Strategy;
+
+/// Planner configuration (subset of the FFT planner's options).
+struct PlannerOptions {
+  index_t max_leaf = 64;            ///< largest codelet leaf size to consider
+  double measure_floor = 2e-3;      ///< seconds of accumulated time per probe
+  index_t stream_points = 1 << 22;  ///< extent used to emulate stage streaming
+  plan::CostDb* cost_db = nullptr;
+  plan::Wisdom* wisdom = nullptr;
+  double ddl_margin = 0.02;  ///< see fft::PlannerOptions::ddl_margin
+
+  /// Optional cost oracle (see fft::PlannerOptions::cost_oracle): plan for
+  /// modelled hardware instead of the host.
+  std::function<double(const plan::CostKey&)> cost_oracle;
+};
+
+/// DP planner for power-of-two WHTs.
+class WhtPlanner {
+ public:
+  explicit WhtPlanner(PlannerOptions opts = {});
+  ~WhtPlanner();
+
+  WhtPlanner(const WhtPlanner&) = delete;
+  WhtPlanner& operator=(const WhtPlanner&) = delete;
+
+  /// Choose a factorization tree for an n-point WHT (n a power of two).
+  plan::TreePtr plan(index_t n, Strategy strategy);
+
+  /// DP-predicted execution time for plan(n, strategy).
+  double planned_cost(index_t n, Strategy strategy);
+
+  /// Predicted time of an arbitrary tree under the DP cost model.
+  double estimate_tree_seconds(const plan::Node& tree, index_t root_stride = 1);
+
+  /// Wall-clock time of executing `tree`, averaged (paper protocol).
+  static double measure_tree_seconds(const plan::Node& tree, double floor = 1e-2);
+
+  plan::CostDb& cost_db() noexcept { return *cost_db_; }
+
+ private:
+  struct Best {
+    double cost = 0.0;
+    plan::TreePtr tree;
+  };
+
+  const Best& best(index_t n, index_t stride, bool allow_ddl);
+  double leaf_cost(index_t n, index_t stride);
+  double reorg_cost(index_t n1, index_t n2, index_t stride);
+  void ensure_buffers(index_t points);
+
+  PlannerOptions opts_;
+  std::unique_ptr<plan::CostDb> owned_db_;
+  plan::CostDb* cost_db_;
+  std::map<std::tuple<index_t, index_t, bool>, Best> memo_;
+
+  struct Buffers;
+  std::unique_ptr<Buffers> bufs_;
+};
+
+/// Fixed right-expanded WHT tree with greedy largest-codelet leaves.
+plan::TreePtr rightmost_wht_tree(index_t n, index_t max_leaf = 64);
+
+/// Near-balanced WHT tree (optionally all-ddl above a size threshold).
+plan::TreePtr balanced_wht_tree(index_t n, index_t max_leaf = 64, index_t ddl_above = 0);
+
+}  // namespace ddl::wht

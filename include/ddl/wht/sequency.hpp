@@ -1,0 +1,34 @@
+#pragma once
+/// \file sequency.hpp
+/// \brief Walsh (sequency) ordering for WHT coefficients.
+///
+/// The executor produces coefficients in natural (Hadamard) order. Signal
+/// processing usage often wants *sequency* order — rows sorted by their
+/// number of sign changes, the Walsh functions' analogue of frequency. The
+/// permutation between the two is: sequency index s corresponds to natural
+/// index bit_reverse(gray_code(s)) (gray_code(x) = x ^ (x >> 1)); the
+/// sign-change property is verified mechanically in tests/test_wht2.cpp.
+
+#include <span>
+#include <vector>
+
+#include "ddl/common/types.hpp"
+
+namespace ddl::wht {
+
+/// Natural (Hadamard) index holding the coefficient of sequency s, for a
+/// transform of size n: bit_reverse(gray_code(s)).
+index_t sequency_to_natural(index_t s, index_t n);
+
+/// The full permutation: out[s] = natural_to_sequency_map(n)[s] is the
+/// natural-order position of the sequency-s coefficient.
+std::vector<index_t> sequency_map(index_t n);
+
+/// Reorder natural-order WHT coefficients into sequency order, in place
+/// (uses an internal buffer).
+void to_sequency_order(std::span<real_t> coeffs);
+
+/// Inverse reordering: sequency order back to natural (Hadamard) order.
+void to_natural_order(std::span<real_t> coeffs);
+
+}  // namespace ddl::wht

@@ -1,0 +1,53 @@
+#pragma once
+/// \file wht.hpp
+/// \brief Walsh–Hadamard transform with dynamic data layouts.
+///
+/// The WHT of size n = 2^k (natural / Hadamard order) factorizes as
+///   WHT_n = (WHT_n1 (x) I_n2) (I_n1 (x) WHT_n2),
+/// with no twiddle factors and no output permutation — the tensor product of
+/// Hadamard matrices preserves row-major indexing. A factorization tree is
+/// therefore executed as: row transforms (right child, stride s), then
+/// column transforms (left child, stride s*n2), optionally through a
+/// dynamic data layout exactly as in the FFT executor.
+///
+/// This mirrors the CMU WHT package the paper modifies ("WHT SDL" / our
+/// DDL-augmented equivalent, Sec. V-B, Fig. 15, Table V).
+
+#include <span>
+#include <string>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::wht {
+
+/// Reference O(n log n) WHT via the iterative butterfly algorithm — the
+/// correctness oracle for the tree executor (itself validated against the
+/// O(n^2) definition in tests).
+void wht_reference(std::span<real_t> data);
+
+/// Executable form of a WHT factorization tree.
+class WhtExecutor {
+ public:
+  /// Every node size must be a power of two; leaves without a generated
+  /// codelet fall back to the iterative strided kernel.
+  explicit WhtExecutor(const plan::Node& tree);
+
+  [[nodiscard]] index_t size() const noexcept { return tree_->n; }
+  [[nodiscard]] const plan::Node& tree() const noexcept { return *tree_; }
+
+  /// In-place WHT, natural (Hadamard) order. Self-inverse up to a factor n.
+  void transform(std::span<real_t> data);
+
+ private:
+  void run(const plan::Node& node, real_t* data, index_t stride, index_t arena_off);
+
+  plan::TreePtr tree_;
+  AlignedBuffer<real_t> arena_;
+};
+
+/// Convenience: execute `tree` once on `data`.
+void execute_tree(const plan::Node& tree, std::span<real_t> data);
+
+}  // namespace ddl::wht

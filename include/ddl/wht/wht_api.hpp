@@ -1,0 +1,56 @@
+#pragma once
+/// \file wht_api.hpp
+/// \brief Public API: cache-conscious Walsh–Hadamard transform.
+///
+/// Mirrors ddl/fft/fft.hpp for the WHT:
+/// \code
+///   auto wht = ddl::wht::Wht::plan(1 << 20);   // DDL-planned by default
+///   wht.transform(x.span());
+///   wht.inverse(x.span());                     // x restored
+/// \endcode
+
+#include <span>
+#include <string>
+
+#include "ddl/wht/planner.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl::wht {
+
+/// A planned, executable WHT of one power-of-two size. Movable, not copyable.
+class Wht {
+ public:
+  /// Plan an n-point transform with a fresh planner.
+  static Wht plan(index_t n, Strategy strategy = Strategy::ddl_dp);
+
+  /// Plan with a caller-owned planner (shares its cost DB and wisdom).
+  static Wht plan_with(WhtPlanner& planner, index_t n, Strategy strategy = Strategy::ddl_dp);
+
+  /// Build directly from a factorization tree in the shared grammar,
+  /// e.g. "ctddl(ct(64,16),1024)".
+  static Wht from_tree(const std::string& grammar);
+
+  /// Build directly from a tree object.
+  static Wht from_tree(const plan::Node& tree);
+
+  [[nodiscard]] index_t size() const noexcept { return exec_.size(); }
+
+  /// The factorization tree in textual form.
+  [[nodiscard]] std::string tree_string() const { return plan::to_string(exec_.tree()); }
+
+  /// Number of ddl (reorganizing) splits in the plan.
+  [[nodiscard]] int ddl_nodes() const { return plan::ddl_node_count(exec_.tree()); }
+
+  /// In-place WHT, natural (Hadamard) order.
+  void transform(std::span<real_t> data) { exec_.transform(data); }
+
+  /// In-place inverse: the WHT is self-inverse up to 1/n, so this is one
+  /// more transform plus a scaling pass. inverse(transform(x)) == x.
+  void inverse(std::span<real_t> data);
+
+ private:
+  explicit Wht(const plan::Node& tree) : exec_(tree) {}
+  WhtExecutor exec_;
+};
+
+}  // namespace ddl::wht

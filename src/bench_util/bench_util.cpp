@@ -1,0 +1,60 @@
+#include "ddl/bench_util/bench_util.hpp"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <ostream>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::benchutil {
+
+double fft_mflops(index_t n, double seconds) {
+  DDL_REQUIRE(n >= 2 && seconds > 0, "bad mflops arguments");
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * std::log2(dn) / (seconds * 1e6);
+}
+
+double wht_ns_per_point(index_t n, double seconds) {
+  DDL_REQUIRE(n >= 1 && seconds > 0, "bad ns/point arguments");
+  return seconds * 1e9 / static_cast<double>(n);
+}
+
+double relative_improvement_pct(double ours, double theirs) {
+  DDL_REQUIRE(theirs > 0, "baseline must be positive");
+  return (ours - theirs) / theirs * 100.0;
+}
+
+std::vector<index_t> pow2_range(int lo, int hi) {
+  DDL_REQUIRE(lo >= 1 && hi >= lo, "bad pow2 range");
+  std::vector<index_t> out;
+  for (int k = lo; k <= hi; ++k) out.push_back(index_t{1} << k);
+  return out;
+}
+
+HostInfo host_info() {
+  HostInfo info;
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  info.l1d_bytes = sysconf(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  info.l2_bytes = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  info.l3_bytes = sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  info.line_bytes = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+#endif
+  return info;
+}
+
+void print_host_banner(std::ostream& os) {
+  const HostInfo info = host_info();
+  os << "# host caches: L1d=" << info.l1d_bytes / 1024 << "KB"
+     << " L2=" << info.l2_bytes / 1024 << "KB"
+     << " L3=" << info.l3_bytes / 1024 << "KB"
+     << " line=" << info.line_bytes << "B\n";
+}
+
+}  // namespace ddl::benchutil

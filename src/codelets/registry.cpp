@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+
+namespace ddl::codelets {
+namespace {
+
+struct DftEntry {
+  index_t n;
+  DftKernel fn;
+};
+
+struct WhtEntry {
+  index_t n;
+  WhtKernel fn;
+};
+
+constexpr std::array<DftEntry, 18> kDftTable{{
+    {2, &dft_codelet_2},
+    {3, &dft_codelet_3},
+    {4, &dft_codelet_4},
+    {5, &dft_codelet_5},
+    {6, &dft_codelet_6},
+    {7, &dft_codelet_7},
+    {8, &dft_codelet_8},
+    {9, &dft_codelet_9},
+    {10, &dft_codelet_10},
+    {12, &dft_codelet_12},
+    {15, &dft_codelet_15},
+    {16, &dft_codelet_16},
+    {20, &dft_codelet_20},
+    {24, &dft_codelet_24},
+    {32, &dft_codelet_32},
+    {48, &dft_codelet_48},
+    {64, &dft_codelet_64},
+    {128, &dft_codelet_128},
+}};
+
+constexpr std::array<WhtEntry, 7> kWhtTable{{
+    {2, &wht_codelet_2},
+    {4, &wht_codelet_4},
+    {8, &wht_codelet_8},
+    {16, &wht_codelet_16},
+    {32, &wht_codelet_32},
+    {64, &wht_codelet_64},
+    {128, &wht_codelet_128},
+}};
+
+}  // namespace
+
+DftKernel dft_kernel(index_t n) noexcept {
+  for (const auto& e : kDftTable) {
+    if (e.n == n) return e.fn;
+  }
+  return nullptr;
+}
+
+WhtKernel wht_kernel(index_t n) noexcept {
+  for (const auto& e : kWhtTable) {
+    if (e.n == n) return e.fn;
+  }
+  return nullptr;
+}
+
+bool has_dft_codelet(index_t n) noexcept { return dft_kernel(n) != nullptr; }
+bool has_wht_codelet(index_t n) noexcept { return wht_kernel(n) != nullptr; }
+
+const std::vector<index_t>& dft_codelet_sizes() {
+  static const std::vector<index_t> sizes = [] {
+    std::vector<index_t> v;
+    for (const auto& e : kDftTable) v.push_back(e.n);
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  return sizes;
+}
+
+const std::vector<index_t>& wht_codelet_sizes() {
+  static const std::vector<index_t> sizes = [] {
+    std::vector<index_t> v;
+    for (const auto& e : kWhtTable) v.push_back(e.n);
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  return sizes;
+}
+
+void dft_direct_inplace(cplx* x, index_t s, index_t n) {
+  DDL_REQUIRE(n >= 1 && s >= 1, "bad direct DFT arguments");
+  if (n == 1) return;
+  AlignedBuffer<cplx> tmp(n);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (index_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (index_t j = 0; j < n; ++j) {
+      const double ang = step * static_cast<double>((j * k) % n);
+      acc += x[j * s] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    tmp[k] = acc;
+  }
+  for (index_t k = 0; k < n; ++k) x[k * s] = tmp[k];
+}
+
+void wht_direct_inplace(real_t* x, index_t s, index_t n) {
+  DDL_REQUIRE(is_pow2(n) && s >= 1, "wht_direct_inplace needs power-of-two n");
+  // Iterative natural-order WHT: log2(n) butterfly sweeps.
+  for (index_t h = 1; h < n; h *= 2) {
+    for (index_t b = 0; b < n; b += 2 * h) {
+      for (index_t i = b; i < b + h; ++i) {
+        const real_t u = x[i * s];
+        const real_t v = x[(i + h) * s];
+        x[i * s] = u + v;
+        x[(i + h) * s] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace ddl::codelets

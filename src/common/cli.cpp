@@ -1,0 +1,108 @@
+#include "ddl/common/cli.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::cli {
+
+index_t parse_size(const std::string& text) {
+  DDL_REQUIRE(!text.empty(), "empty size");
+  // "2^k" form.
+  if (const auto caret = text.find('^'); caret != std::string::npos) {
+    const std::string base = text.substr(0, caret);
+    const std::string exp = text.substr(caret + 1);
+    DDL_REQUIRE(base == "2" && !exp.empty(), "only 2^k sizes are supported");
+    index_t k = 0;
+    for (char c : exp) {
+      DDL_REQUIRE(std::isdigit(static_cast<unsigned char>(c)), "malformed exponent");
+      k = k * 10 + (c - '0');
+      DDL_REQUIRE(k <= 62, "exponent out of range");
+    }
+    return index_t{1} << k;
+  }
+  // Decimal with optional K/M/G suffix.
+  index_t value = 0;
+  std::size_t i = 0;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])); ++i) {
+    value = value * 10 + (text[i] - '0');
+    DDL_REQUIRE(value >= 0, "size overflow");
+  }
+  DDL_REQUIRE(i > 0, "size must start with a digit");
+  if (i < text.size()) {
+    DDL_REQUIRE(i + 1 == text.size(), "trailing characters after size suffix");
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': value <<= 10; break;
+      case 'M': value <<= 20; break;
+      case 'G': value <<= 30; break;
+      default: DDL_REQUIRE(false, "unknown size suffix (use K, M, or G)");
+    }
+  }
+  return value;
+}
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    DDL_REQUIRE(token.size() > 2 && token[0] == '-' && token[1] == '-',
+                "expected --flag, got '" + token + "'");
+    const std::string key = token.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.values_[key] = argv[i + 1];
+      i += 2;
+    } else {
+      args.values_[key] = "";  // bare switch
+      ++i;
+    }
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const {
+  used_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  used_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key, const std::string& fallback) const {
+  const auto v = get(key);
+  return v.has_value() ? *v : fallback;
+}
+
+index_t Args::size_or(const std::string& key, index_t fallback) const {
+  const auto v = get(key);
+  return v.has_value() ? parse_size(*v) : fallback;
+}
+
+long long Args::int_or(const std::string& key, long long fallback) const {
+  const auto v = get(key);
+  return v.has_value() ? std::stoll(*v) : fallback;
+}
+
+double Args::double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  return v.has_value() ? std::stod(*v) : fallback;
+}
+
+std::vector<std::string> Args::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (used_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace ddl::cli

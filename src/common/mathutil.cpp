@@ -1,0 +1,91 @@
+#include "ddl/common/mathutil.hpp"
+
+#include <algorithm>
+
+namespace ddl {
+
+std::vector<std::pair<index_t, index_t>> factor_pairs(index_t n) {
+  DDL_REQUIRE(n >= 1, "factor_pairs needs n >= 1");
+  std::vector<std::pair<index_t, index_t>> out;
+  for (index_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.emplace_back(d, n / d);
+      if (d != n / d) out.emplace_back(n / d, d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<index_t> divisors(index_t n) {
+  DDL_REQUIRE(n >= 1, "divisors needs n >= 1");
+  std::vector<index_t> out;
+  for (index_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) out.push_back(n / d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+index_t smallest_prime_factor(index_t n) {
+  DDL_REQUIRE(n >= 2, "smallest_prime_factor needs n >= 2");
+  if (n % 2 == 0) return 2;
+  for (index_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return d;
+  }
+  return n;
+}
+
+bool is_prime(index_t n) { return n >= 2 && smallest_prime_factor(n) == n; }
+
+std::vector<std::pair<index_t, int>> prime_factorization(index_t n) {
+  DDL_REQUIRE(n >= 1, "prime_factorization needs n >= 1");
+  std::vector<std::pair<index_t, int>> out;
+  while (n > 1) {
+    const index_t p = smallest_prime_factor(n);
+    int mult = 0;
+    while (n % p == 0) {
+      n /= p;
+      ++mult;
+    }
+    out.emplace_back(p, mult);
+  }
+  return out;
+}
+
+index_t gcd(index_t a, index_t b) {
+  DDL_REQUIRE(a >= 0 && b >= 0, "gcd needs non-negative arguments");
+  while (b != 0) {
+    const index_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+index_t mod_inverse(index_t a, index_t m) {
+  DDL_REQUIRE(m >= 2, "modulus must be >= 2");
+  a %= m;
+  DDL_REQUIRE(a != 0, "zero is not invertible");
+  // Extended Euclid: track x with a*x ≡ r (mod m).
+  index_t r0 = m;
+  index_t r1 = a;
+  index_t x0 = 0;
+  index_t x1 = 1;
+  while (r1 != 0) {
+    const index_t q = r0 / r1;
+    const index_t r2 = r0 - q * r1;
+    const index_t x2 = x0 - q * x1;
+    r0 = r1;
+    r1 = r2;
+    x0 = x1;
+    x1 = x2;
+  }
+  DDL_REQUIRE(r0 == 1, "argument is not coprime to the modulus");
+  return ((x0 % m) + m) % m;
+}
+
+}  // namespace ddl

@@ -1,0 +1,62 @@
+#include "ddl/common/rng.hpp"
+
+namespace ddl {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 — used only to expand the seed into the xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+  // 53 high bits → double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
+  // Modulo bias is negligible for the test-sized n used here.
+  return n == 0 ? 0 : (*this)() % n;
+}
+
+void fill_random(std::span<cplx> out, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& v : out) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+}
+
+void fill_random(std::span<real_t> out, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& v : out) v = rng.uniform(-1.0, 1.0);
+}
+
+}  // namespace ddl

@@ -1,0 +1,91 @@
+#include "ddl/common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DDL_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  DDL_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void TableWriter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof buf, "%zuMB", bytes >> 20);
+  } else if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    std::snprintf(buf, sizeof buf, "%zuKB", bytes >> 10);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zuB", bytes);
+  }
+  return buf;
+}
+
+std::string fmt_pow2(long long n) {
+  if (n > 0 && (n & (n - 1)) == 0) {
+    int k = 0;
+    long long m = n;
+    while (m > 1) {
+      m >>= 1;
+      ++k;
+    }
+    return "2^" + std::to_string(k);
+  }
+  return std::to_string(n);
+}
+
+}  // namespace ddl

@@ -1,0 +1,40 @@
+#include "ddl/common/timer.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl {
+
+double time_adaptive(const std::function<void()>& fn, const TimeOptions& opts) {
+  DDL_REQUIRE(opts.min_reps >= 1, "need at least one repetition");
+  DDL_REQUIRE(opts.max_reps >= opts.min_reps, "max_reps < min_reps");
+
+  // Warm-up run: touches the working set so that the timed runs do not pay
+  // first-touch page faults (the paper subtracts loop overhead; we avoid the
+  // cold-start instead).
+  fn();
+
+  int reps = opts.min_reps;
+  for (;;) {
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) fn();
+    const double total = t.seconds();
+    if (total >= opts.min_total_seconds || reps >= opts.max_reps) {
+      return total / reps;
+    }
+    // Grow the repetition count geometrically toward the target duration.
+    const double scale = total > 0 ? opts.min_total_seconds / total : 16.0;
+    const int next = static_cast<int>(reps * std::clamp(scale * 1.2, 2.0, 16.0));
+    reps = std::min(opts.max_reps, std::max(reps + 1, next));
+  }
+}
+
+double time_best_of(const std::function<void()>& fn, int trials, const TimeOptions& opts) {
+  DDL_REQUIRE(trials >= 1, "need at least one trial");
+  double best = time_adaptive(fn, opts);
+  for (int i = 1; i < trials; ++i) best = std::min(best, time_adaptive(fn, opts));
+  return best;
+}
+
+}  // namespace ddl

@@ -1,0 +1,76 @@
+#include "ddl/fft/bluestein.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::fft {
+namespace {
+
+/// exp(-i pi (j^2 mod 2n) / n), exact modular exponent to avoid the
+/// catastrophic angle blow-up of j^2 at large n.
+cplx chirp_factor(index_t j, index_t n) {
+  const index_t q = (j * j) % (2 * n);
+  const double ang = -std::numbers::pi * static_cast<double>(q) / static_cast<double>(n);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+}  // namespace
+
+BluesteinFft::BluesteinFft(index_t n, const plan::Node* tree) : n_(n) {
+  DDL_REQUIRE(n >= 1, "transform length must be >= 1");
+  m_ = 1;
+  while (m_ < 2 * n_ - 1) m_ *= 2;
+  if (m_ < 2) m_ = 2;
+
+  plan::TreePtr default_tree;
+  if (tree == nullptr) {
+    default_tree = rightmost_tree(m_, 32);
+    tree = default_tree.get();
+  }
+  DDL_REQUIRE(tree->n == m_, "tree size must equal the convolution size");
+  conv_ = std::make_unique<FftExecutor>(*tree);
+
+  chirp_ = AlignedBuffer<cplx>(n_);
+  for (index_t j = 0; j < n_; ++j) chirp_[j] = chirp_factor(j, n_);
+
+  // Wrapped kernel h[m] = conj(c[|m|]) on the length-M circle, transformed
+  // once at plan time.
+  kernel_freq_ = AlignedBuffer<cplx>(m_);
+  kernel_freq_[0] = std::conj(chirp_[0]);
+  for (index_t j = 1; j < n_; ++j) {
+    kernel_freq_[j] = std::conj(chirp_[j]);
+    kernel_freq_[m_ - j] = std::conj(chirp_[j]);
+  }
+  conv_->forward(kernel_freq_.span());
+
+  work_ = AlignedBuffer<cplx>(m_);
+}
+
+void BluesteinFft::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  if (n_ == 1) return;
+
+  for (index_t j = 0; j < n_; ++j) work_[j] = data[static_cast<std::size_t>(j)] * chirp_[j];
+  for (index_t j = n_; j < m_; ++j) work_[j] = {0.0, 0.0};
+
+  conv_->forward(work_.span());
+  for (index_t k = 0; k < m_; ++k) work_[k] *= kernel_freq_[k];
+  conv_->inverse(work_.span());
+
+  for (index_t k = 0; k < n_; ++k) data[static_cast<std::size_t>(k)] = work_[k] * chirp_[k];
+}
+
+void BluesteinFft::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  // IDFT(x) = conj(DFT(conj(x))) / n.
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+}  // namespace ddl::fft

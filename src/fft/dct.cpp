@@ -1,0 +1,81 @@
+#include "ddl/fft/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::fft {
+
+Dct::Dct(index_t n, const plan::Node* tree) : n_(n) {
+  DDL_REQUIRE(n >= 1, "transform length must be >= 1");
+  if (n_ >= 2) {
+    plan::TreePtr default_tree;
+    if (tree == nullptr) {
+      default_tree = rightmost_tree(n_, 32);
+      tree = default_tree.get();
+    }
+    DDL_REQUIRE(tree->n == n_, "tree size must equal n");
+    fft_ = std::make_unique<FftExecutor>(*tree);
+  }
+  quarter_twiddle_ = AlignedBuffer<cplx>(n_);
+  const double step = -std::numbers::pi / (2.0 * static_cast<double>(n_));
+  for (index_t k = 0; k < n_; ++k) {
+    const double ang = step * static_cast<double>(k);
+    quarter_twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+  work_ = AlignedBuffer<cplx>(n_);
+}
+
+void Dct::forward(std::span<real_t> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  if (n_ == 1) {
+    data[0] *= 2.0;
+    return;
+  }
+
+  // Makhoul reordering: v[j] = x[2j], v[n-1-j] = x[2j+1].
+  for (index_t j = 0; 2 * j < n_; ++j) work_[j] = {data[static_cast<std::size_t>(2 * j)], 0.0};
+  for (index_t j = 0; 2 * j + 1 < n_; ++j) {
+    work_[n_ - 1 - j] = {data[static_cast<std::size_t>(2 * j + 1)], 0.0};
+  }
+
+  fft_->forward(work_.span());
+
+  // C[k] = 2 Re(e^{-i pi k / 2n} V[k]).
+  for (index_t k = 0; k < n_; ++k) {
+    const cplx w = quarter_twiddle_[k] * work_[k];
+    data[static_cast<std::size_t>(k)] = 2.0 * w.real();
+  }
+}
+
+void Dct::inverse(std::span<real_t> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  if (n_ == 1) {
+    data[0] *= 0.5;
+    return;
+  }
+
+  // Invert the forward mapping: with W[k] = e^{-i pi k/2n} V[k] and v real,
+  // W[k] = (C[k] - i C[n-k]) / 2 for k >= 1, W[0] = C[0] / 2.
+  work_[0] = {data[0] * 0.5, 0.0};
+  for (index_t k = 1; k < n_; ++k) {
+    work_[k] = {data[static_cast<std::size_t>(k)] * 0.5,
+                -0.5 * data[static_cast<std::size_t>(n_ - k)]};
+  }
+  // V[k] = e^{+i pi k/2n} W[k]; v = IDFT(V).
+  for (index_t k = 0; k < n_; ++k) work_[k] *= std::conj(quarter_twiddle_[k]);
+  fft_->inverse(work_.span());
+
+  // Undo the even/odd reordering. (The forward's factor 2 was already
+  // divided out when reconstructing W[k] from C.)
+  for (index_t j = 0; 2 * j < n_; ++j) {
+    data[static_cast<std::size_t>(2 * j)] = work_[j].real();
+  }
+  for (index_t j = 0; 2 * j + 1 < n_; ++j) {
+    data[static_cast<std::size_t>(2 * j + 1)] = work_[n_ - 1 - j].real();
+  }
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,125 @@
+#include "ddl/fft/executor.hpp"
+
+#include <cmath>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/layout/reorg.hpp"
+#include "ddl/layout/stride_perm.hpp"
+
+namespace ddl::fft {
+
+FftExecutor::FftExecutor(const plan::Node& tree)
+    : tree_(plan::clone(tree)), arena_(2 * tree.n) {
+  twiddles_.build_for(*tree_);
+}
+
+void FftExecutor::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  run(*tree_, data.data(), 1, 0);
+}
+
+void FftExecutor::forward_strided(cplx* data, index_t stride) {
+  DDL_REQUIRE(data != nullptr && stride >= 1, "bad strided execution arguments");
+  run(*tree_, data, stride, 0);
+}
+
+void FftExecutor::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  // IDFT(x) = conj(DFT(conj(x))) / n.
+  for (auto& v : data) v = std::conj(v);
+  run(*tree_, data.data(), 1, 0);
+  const double scale = 1.0 / static_cast<double>(tree_->n);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+double FftExecutor::nominal_flops() const noexcept {
+  const auto n = static_cast<double>(tree_->n);
+  return 5.0 * n * std::log2(n);
+}
+
+void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, index_t arena_off) {
+  if (node.is_leaf()) {
+    if (const auto kernel = codelets::dft_kernel(node.n)) {
+      kernel(data, stride);
+    } else {
+      codelets::dft_direct_inplace(data, stride, node.n);
+    }
+    return;
+  }
+
+  const index_t n = node.n;
+  const index_t n1 = node.left->n;
+  const index_t n2 = node.right->n;
+
+  if (node.ddl) {
+    // Dynamic data layout: reorganize so the column DFTs run at unit stride.
+    cplx* scratch = arena_.data() + arena_off;
+    layout::transpose_gather(data, stride, n1, n2, scratch);
+    for (index_t j = 0; j < n2; ++j) {
+      run(*node.left, scratch + j * n1, 1, arena_off + n);
+    }
+    twiddle_cols(scratch, n, n1, n2);
+    layout::transpose_scatter(data, stride, n1, n2, scratch);
+  } else {
+    // Static layout: column DFTs walk the original strided storage.
+    for (index_t j = 0; j < n2; ++j) {
+      run(*node.left, data + j * stride, stride * n2, arena_off);
+    }
+    twiddle_rows(data, stride, n, n1, n2);
+  }
+
+  // Row DFTs (right child, stride s per Property 1).
+  for (index_t i = 0; i < n1; ++i) {
+    run(*node.right, data + i * n2 * stride, stride, arena_off);
+  }
+
+  // Restore natural order: position (i*n2+j) holds X[i + n1*j]; apply L^n_{n2}.
+  layout::stride_permute_inplace(data, stride, n, n2, arena_.data() + arena_off);
+}
+
+void FftExecutor::twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2) {
+  detail::twiddle_pass_rows(data, stride, n, n1, n2, twiddles_.get(n));
+}
+
+void FftExecutor::twiddle_cols(cplx* scratch, index_t n, index_t n1, index_t n2) {
+  detail::twiddle_pass_cols(scratch, n, n1, n2, twiddles_.get(n));
+}
+
+namespace detail {
+
+void twiddle_pass_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2,
+                       const cplx* w) {
+  // Row 0 and column 0 have unit twiddles; skip them.
+  for (index_t i = 1; i < n1; ++i) {
+    cplx* row = data + i * n2 * stride;
+    index_t idx = 0;
+    for (index_t j = 1; j < n2; ++j) {
+      idx += i;
+      if (idx >= n) idx -= n;
+      row[j * stride] *= w[idx];
+    }
+  }
+}
+
+void twiddle_pass_cols(cplx* scratch, index_t n, index_t n1, index_t n2, const cplx* w) {
+  // scratch layout: scratch[j*n1 + i] = M[i][j]; factor W_n^{i*j}.
+  for (index_t j = 1; j < n2; ++j) {
+    cplx* col = scratch + j * n1;
+    index_t idx = 0;
+    for (index_t i = 1; i < n1; ++i) {
+      idx += j;
+      if (idx >= n) idx -= n;
+      col[i] *= w[idx];
+    }
+  }
+}
+
+}  // namespace detail
+
+void execute_tree(const plan::Node& tree, std::span<cplx> data) {
+  FftExecutor exec(tree);
+  exec.forward(data);
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,45 @@
+#include "ddl/fft/fft.hpp"
+
+#include "ddl/common/check.hpp"
+#include "ddl/plan/grammar.hpp"
+
+namespace ddl::fft {
+
+Fft Fft::plan(index_t n, Strategy strategy) {
+  FftPlanner planner;
+  return plan_with(planner, n, strategy);
+}
+
+Fft Fft::plan_with(FftPlanner& planner, index_t n, Strategy strategy) {
+  const plan::TreePtr tree = planner.plan(n, strategy);
+  return Fft(*tree);
+}
+
+Fft Fft::from_tree(const std::string& grammar) {
+  const plan::TreePtr tree = plan::parse_tree(grammar);
+  return Fft(*tree);
+}
+
+Fft Fft::from_tree(const plan::Node& tree) { return Fft(tree); }
+
+void Fft::forward_batch(std::span<cplx> data, index_t count, index_t dist) {
+  DDL_REQUIRE(count >= 0 && dist >= size(), "batch distance must be >= transform size");
+  DDL_REQUIRE(count == 0 || static_cast<index_t>(data.size()) >= (count - 1) * dist + size(),
+              "batch does not fit in the provided span");
+  for (index_t b = 0; b < count; ++b) {
+    exec_.forward(data.subspan(static_cast<std::size_t>(b * dist),
+                               static_cast<std::size_t>(size())));
+  }
+}
+
+void Fft::inverse_batch(std::span<cplx> data, index_t count, index_t dist) {
+  DDL_REQUIRE(count >= 0 && dist >= size(), "batch distance must be >= transform size");
+  DDL_REQUIRE(count == 0 || static_cast<index_t>(data.size()) >= (count - 1) * dist + size(),
+              "batch does not fit in the provided span");
+  for (index_t b = 0; b < count; ++b) {
+    exec_.inverse(data.subspan(static_cast<std::size_t>(b * dist),
+                               static_cast<std::size_t>(size())));
+  }
+}
+
+}  // namespace ddl::fft

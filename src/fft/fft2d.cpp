@@ -1,0 +1,71 @@
+#include "ddl/fft/fft2d.hpp"
+
+#include "ddl/common/check.hpp"
+#include "ddl/fft/planner.hpp"
+#include "ddl/layout/stride_perm.hpp"
+
+namespace ddl::fft {
+
+Fft2d::Fft2d(index_t rows, index_t cols, ColumnMode mode, const plan::Node* row_tree,
+             const plan::Node* col_tree)
+    : rows_(rows), cols_(cols), mode_(mode) {
+  DDL_REQUIRE(rows >= 1 && cols >= 1, "matrix shape must be positive");
+  plan::TreePtr default_row;
+  plan::TreePtr default_col;
+  if (cols_ >= 2) {
+    if (row_tree == nullptr) {
+      default_row = rightmost_tree(cols_, 32);
+      row_tree = default_row.get();
+    }
+    DDL_REQUIRE(row_tree->n == cols_, "row tree size must equal cols");
+    row_fft_ = std::make_unique<FftExecutor>(*row_tree);
+  }
+  if (rows_ >= 2) {
+    if (col_tree == nullptr) {
+      default_col = rightmost_tree(rows_, 32);
+      col_tree = default_col.get();
+    }
+    DDL_REQUIRE(col_tree->n == rows_, "column tree size must equal rows");
+    col_fft_ = std::make_unique<FftExecutor>(*col_tree);
+  }
+  if (mode_ == ColumnMode::transpose) scratch_ = AlignedBuffer<cplx>(rows_ * cols_);
+}
+
+void Fft2d::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == rows_ * cols_, "data size != rows*cols");
+  cplx* x = data.data();
+  if (row_fft_ != nullptr) {
+    for (index_t r = 0; r < rows_; ++r) {
+      row_fft_->forward(std::span<cplx>(x + r * cols_, static_cast<std::size_t>(cols_)));
+    }
+  }
+  if (col_fft_ != nullptr) column_pass(x);
+}
+
+void Fft2d::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == rows_ * cols_, "data size != rows*cols");
+  // conj -> forward -> conj, scaled by 1/(rows*cols).
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const double scale = 1.0 / static_cast<double>(rows_ * cols_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+void Fft2d::column_pass(cplx* x) {
+  if (mode_ == ColumnMode::strided) {
+    // Static layout: every column FFT walks memory at stride cols.
+    for (index_t c = 0; c < cols_; ++c) {
+      col_fft_->forward_strided(x + c, cols_);
+    }
+    return;
+  }
+  // Dynamic layout: blocked transpose, unit-stride FFTs, transpose back.
+  layout::stride_permute(x, scratch_.data(), rows_ * cols_, cols_);  // -> cols x rows
+  for (index_t c = 0; c < cols_; ++c) {
+    col_fft_->forward(
+        std::span<cplx>(scratch_.data() + c * rows_, static_cast<std::size_t>(rows_)));
+  }
+  layout::stride_permute(scratch_.data(), x, rows_ * cols_, rows_);  // back to rows x cols
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,74 @@
+#include "ddl/fft/fftnd.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+#include "ddl/fft/planner.hpp"
+#include "ddl/layout/reorg.hpp"
+
+namespace ddl::fft {
+
+FftNd::FftNd(std::vector<index_t> shape, ColumnMode mode)
+    : shape_(std::move(shape)), total_(1), mode_(mode) {
+  DDL_REQUIRE(!shape_.empty(), "rank must be >= 1");
+  for (const index_t d : shape_) {
+    DDL_REQUIRE(d >= 1, "every extent must be >= 1");
+    total_ *= d;
+  }
+  index_t longest = 1;
+  for (std::size_t a = 0; a < shape_.size(); ++a) {
+    if (shape_[a] >= 2) {
+      const auto tree = rightmost_tree(shape_[a], 32);
+      axis_fft_.push_back(std::make_unique<FftExecutor>(*tree));
+      longest = std::max(longest, shape_[a]);
+    } else {
+      axis_fft_.push_back(nullptr);
+    }
+  }
+  if (mode_ == ColumnMode::transpose) scratch_ = AlignedBuffer<cplx>(longest);
+}
+
+void FftNd::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == total_, "data size != shape product");
+  for (std::size_t a = 0; a < shape_.size(); ++a) {
+    if (axis_fft_[a] != nullptr) axis_pass(data.data(), a);
+  }
+}
+
+void FftNd::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == total_, "data size != shape product");
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const double scale = 1.0 / static_cast<double>(total_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+void FftNd::axis_pass(cplx* data, std::size_t axis) {
+  const index_t d = shape_[axis];
+  index_t post = 1;  // stride of the axis in row-major layout
+  for (std::size_t a = axis + 1; a < shape_.size(); ++a) post *= shape_[a];
+  index_t pre = total_ / (d * post);  // number of outer blocks
+  FftExecutor& fft = *axis_fft_[axis];
+
+  for (index_t p = 0; p < pre; ++p) {
+    cplx* block = data + p * d * post;
+    if (post == 1) {
+      // Contiguous lines: one unit-stride transform per block row.
+      fft.forward(std::span<cplx>(block, static_cast<std::size_t>(d)));
+      continue;
+    }
+    for (index_t q = 0; q < post; ++q) {
+      cplx* line = block + q;
+      if (mode_ == ColumnMode::strided) {
+        fft.forward_strided(line, post);
+      } else {
+        // Dynamic layout: pack the line, transform at unit stride, unpack.
+        layout::pack(line, post, d, scratch_.data());
+        fft.forward(std::span<cplx>(scratch_.data(), static_cast<std::size_t>(d)));
+        layout::unpack(line, post, d, scratch_.data());
+      }
+    }
+  }
+}
+
+}  // namespace ddl::fft

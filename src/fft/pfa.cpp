@@ -1,0 +1,83 @@
+#include "ddl/fft/pfa.hpp"
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::fft {
+
+PfaFft::PfaFft(index_t n1, index_t n2, const plan::Node* row_tree, const plan::Node* col_tree)
+    : n1_(n1), n2_(n2), n_(n1 * n2) {
+  DDL_REQUIRE(n1 >= 1 && n2 >= 1, "factors must be positive");
+  DDL_REQUIRE(gcd(n1, n2) == 1, "Good-Thomas requires coprime factors");
+
+  if (n2_ >= 2) {
+    plan::TreePtr default_row;
+    if (row_tree == nullptr) {
+      default_row = rightmost_tree(n2_, 32);
+      row_tree = default_row.get();
+    }
+    DDL_REQUIRE(row_tree->n == n2_, "row tree size must equal n2");
+    row_fft_ = std::make_unique<FftExecutor>(*row_tree);
+  }
+  if (n1_ >= 2) {
+    plan::TreePtr default_col;
+    if (col_tree == nullptr) {
+      default_col = rightmost_tree(n1_, 32);
+      col_tree = default_col.get();
+    }
+    DDL_REQUIRE(col_tree->n == n1_, "column tree size must equal n1");
+    col_fft_ = std::make_unique<FftExecutor>(*col_tree);
+  }
+
+  // CRT index maps (see header).
+  input_map_ = AlignedBuffer<index_t>(n_);
+  output_map_ = AlignedBuffer<index_t>(n_);
+  work_ = AlignedBuffer<cplx>(n_);
+  if (n_ == 1) {
+    input_map_[0] = 0;
+    output_map_[0] = 0;
+    return;
+  }
+  const index_t e1 = n1_ == 1 ? 0 : (n2_ % n1_ == 0 ? 0 : n2_ * mod_inverse(n2_ % n1_, n1_));
+  const index_t e2 = n2_ == 1 ? 0 : (n1_ % n2_ == 0 ? 0 : n1_ * mod_inverse(n1_ % n2_, n2_));
+  for (index_t i1 = 0; i1 < n1_; ++i1) {
+    for (index_t i2 = 0; i2 < n2_; ++i2) {
+      input_map_[i1 * n2_ + i2] = (i1 * n2_ + i2 * n1_) % n_;
+      output_map_[i1 * n2_ + i2] = (i1 * e1 + i2 * e2) % n_;
+    }
+  }
+}
+
+void PfaFft::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  if (n_ == 1) return;
+
+  // Gather through the CRT input map into the row-major n1 x n2 work matrix.
+  for (index_t t = 0; t < n_; ++t) work_[t] = data[static_cast<std::size_t>(input_map_[t])];
+
+  // True 2-D DFT: no twiddle stage between the passes.
+  if (row_fft_ != nullptr) {
+    for (index_t i1 = 0; i1 < n1_; ++i1) {
+      row_fft_->forward(std::span<cplx>(work_.data() + i1 * n2_, static_cast<std::size_t>(n2_)));
+    }
+  }
+  if (col_fft_ != nullptr) {
+    for (index_t i2 = 0; i2 < n2_; ++i2) {
+      col_fft_->forward_strided(work_.data() + i2, n2_);
+    }
+  }
+
+  // Scatter through the CRT output map.
+  for (index_t t = 0; t < n_; ++t) data[static_cast<std::size_t>(output_map_[t])] = work_[t];
+}
+
+void PfaFft::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,53 @@
+#include "ddl/fft/radix2.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/layout/stride_perm.hpp"
+
+namespace ddl::fft {
+
+Radix2Fft::Radix2Fft(index_t n) : n_(n), twiddle_(n / 2) {
+  DDL_REQUIRE(is_pow2(n) && n >= 2, "Radix2Fft needs a power-of-two size >= 2");
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (index_t k = 0; k < n / 2; ++k) {
+    const double ang = step * static_cast<double>(k);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Radix2Fft::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  layout::bit_reverse_permute(data.data(), n_);
+  butterflies(data, /*inverse_sign=*/false);
+}
+
+void Radix2Fft::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  layout::bit_reverse_permute(data.data(), n_);
+  butterflies(data, /*inverse_sign=*/true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v *= scale;
+}
+
+void Radix2Fft::butterflies(std::span<cplx> data, bool inverse_sign) {
+  cplx* x = data.data();
+  for (index_t len = 2; len <= n_; len *= 2) {
+    const index_t half = len / 2;
+    const index_t tstep = n_ / len;  // twiddle table stride for this sweep
+    for (index_t base = 0; base < n_; base += len) {
+      for (index_t k = 0; k < half; ++k) {
+        cplx w = twiddle_[k * tstep];
+        if (inverse_sign) w = std::conj(w);
+        const cplx u = x[base + k];
+        const cplx v = x[base + k + half] * w;
+        x[base + k] = u + v;
+        x[base + k + half] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace ddl::fft

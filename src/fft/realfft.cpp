@@ -1,0 +1,82 @@
+#include "ddl/fft/realfft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::fft {
+
+RealFft::RealFft(index_t n, const plan::Node* tree) : n_(n) {
+  DDL_REQUIRE(n >= 2 && n % 2 == 0, "real FFT length must be even and >= 2");
+  const index_t m = n_ / 2;
+
+  if (m >= 2) {
+    plan::TreePtr default_tree;
+    if (tree == nullptr) {
+      default_tree = rightmost_tree(m, 32);
+      tree = default_tree.get();
+    }
+    DDL_REQUIRE(tree->n == m, "tree size must equal n/2");
+    half_fft_ = std::make_unique<FftExecutor>(*tree);
+  }
+
+  twiddle_ = AlignedBuffer<cplx>(m);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n_);
+  for (index_t k = 0; k < m; ++k) {
+    const double ang = step * static_cast<double>(k);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+  work_ = AlignedBuffer<cplx>(m);
+}
+
+void RealFft::forward(std::span<const real_t> in, std::span<cplx> spectrum) {
+  DDL_REQUIRE(static_cast<index_t>(in.size()) == n_, "input size != n");
+  DDL_REQUIRE(static_cast<index_t>(spectrum.size()) == spectrum_size(),
+              "spectrum size != n/2+1");
+  const index_t m = n_ / 2;
+
+  for (index_t j = 0; j < m; ++j) {
+    work_[j] = {in[static_cast<std::size_t>(2 * j)], in[static_cast<std::size_t>(2 * j + 1)]};
+  }
+  if (half_fft_ != nullptr) half_fft_->forward(work_.span());
+
+  // Untangle: with Z = FFT(z), E[k] = (Z[k]+conj(Z[m-k]))/2 (even part's
+  // spectrum) and O[k] = (Z[k]-conj(Z[m-k]))/(2i) (odd part's), then
+  // X[k] = E[k] + W_n^k O[k].
+  for (index_t k = 0; k <= m; ++k) {
+    const cplx zk = work_[k == m ? 0 : k];
+    const cplx zmk = std::conj(work_[k == 0 ? 0 : m - k]);
+    const cplx even = 0.5 * (zk + zmk);
+    const cplx odd = cplx{0.0, -0.5} * (zk - zmk);
+    const cplx w = k == m ? cplx{-1.0, 0.0} : twiddle_[k];
+    spectrum[static_cast<std::size_t>(k)] = even + w * odd;
+  }
+}
+
+void RealFft::inverse(std::span<const cplx> spectrum, std::span<real_t> out) {
+  DDL_REQUIRE(static_cast<index_t>(spectrum.size()) == spectrum_size(),
+              "spectrum size != n/2+1");
+  DDL_REQUIRE(static_cast<index_t>(out.size()) == n_, "output size != n");
+  const index_t m = n_ / 2;
+
+  // Re-tangle: Z[k] = E[k] + i * conj(W_n^k) ... derived by inverting the
+  // forward untangle: E[k] = (X[k]+conj(X[m-k]))/2, O[k] =
+  // (X[k]-conj(X[m-k])) * conj(W_n^k) / 2, Z[k] = E[k] + i O[k].
+  for (index_t k = 0; k < m; ++k) {
+    const cplx xk = spectrum[static_cast<std::size_t>(k)];
+    const cplx xmk = std::conj(spectrum[static_cast<std::size_t>(m - k)]);
+    const cplx even = 0.5 * (xk + xmk);
+    const cplx odd = 0.5 * (xk - xmk) * std::conj(twiddle_[k]);
+    work_[k] = even + cplx{0.0, 1.0} * odd;
+  }
+  if (half_fft_ != nullptr) half_fft_->inverse(work_.span());
+
+  for (index_t j = 0; j < m; ++j) {
+    out[static_cast<std::size_t>(2 * j)] = work_[j].real();
+    out[static_cast<std::size_t>(2 * j + 1)] = work_[j].imag();
+  }
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,51 @@
+#include "ddl/fft/reference.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::fft {
+
+void dft_reference(std::span<const cplx> in, std::span<cplx> out) {
+  DDL_REQUIRE(in.size() == out.size(), "size mismatch");
+  DDL_REQUIRE(in.data() != out.data(), "reference DFT is out-of-place only");
+  const auto n = static_cast<index_t>(in.size());
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (index_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (index_t j = 0; j < n; ++j) {
+      const double ang = step * static_cast<double>((j * k) % n);
+      acc += in[static_cast<std::size_t>(j)] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+}
+
+void idft_reference(std::span<const cplx> in, std::span<cplx> out) {
+  DDL_REQUIRE(in.size() == out.size(), "size mismatch");
+  DDL_REQUIRE(in.data() != out.data(), "reference IDFT is out-of-place only");
+  const auto n = static_cast<index_t>(in.size());
+  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (index_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (index_t j = 0; j < n; ++j) {
+      const double ang = step * static_cast<double>((j * k) % n);
+      acc += in[static_cast<std::size_t>(j)] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] = acc * scale;
+  }
+}
+
+double max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
+  DDL_REQUIRE(a.size() == b.size(), "size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i].real() - b[i].real()));
+    worst = std::max(worst, std::abs(a[i].imag() - b[i].imag()));
+  }
+  return worst;
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,67 @@
+#include "ddl/fft/stockham.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+
+namespace ddl::fft {
+
+StockhamFft::StockhamFft(index_t n) : n_(n), work_(n), twiddle_(n / 2) {
+  DDL_REQUIRE(is_pow2(n) && n >= 2, "StockhamFft needs a power-of-two size >= 2");
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (index_t p = 0; p < n / 2; ++p) {
+    const double ang = step * static_cast<double>(p);
+    twiddle_[p] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void StockhamFft::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  run(data.data());
+}
+
+void StockhamFft::inverse(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
+  for (auto& v : data) v = std::conj(v);
+  run(data.data());
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+void StockhamFft::run(cplx* data) {
+  // Decimation-in-frequency Stockham: at each stage the half-length
+  // butterflies write in self-sorting order; src/dst swap every stage and
+  // every access in both buffers is unit-stride.
+  cplx* src = data;
+  cplx* dst = work_.data();
+  index_t half = n_ / 2;  // butterflies per group
+  index_t s = 1;          // group width (duplication factor)
+  index_t tstep = 1;      // twiddle table stride for the current stage
+  while (half >= 1) {
+    for (index_t p = 0; p < half; ++p) {
+      const cplx w = twiddle_[p * tstep];
+      cplx* sp0 = src + s * p;
+      cplx* sp1 = src + s * (p + half);
+      cplx* dp0 = dst + s * 2 * p;
+      cplx* dp1 = dp0 + s;
+      for (index_t q = 0; q < s; ++q) {
+        const cplx a = sp0[q];
+        const cplx b = sp1[q];
+        dp0[q] = a + b;
+        dp1[q] = (a - b) * w;
+      }
+    }
+    std::swap(src, dst);
+    half /= 2;
+    s *= 2;
+    tstep *= 2;
+  }
+  if (src != data) {
+    for (index_t i = 0; i < n_; ++i) data[i] = src[i];
+  }
+}
+
+}  // namespace ddl::fft

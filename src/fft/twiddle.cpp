@@ -1,0 +1,44 @@
+#include "ddl/fft/twiddle.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::fft {
+
+const cplx* TwiddleCache::ensure(index_t n) {
+  DDL_REQUIRE(n >= 1, "twiddle table size must be >= 1");
+  auto it = tables_.find(n);
+  if (it != tables_.end()) return it->second.data();
+  AlignedBuffer<cplx> table(n);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (index_t k = 0; k < n; ++k) {
+    const double ang = step * static_cast<double>(k);
+    table[k] = {std::cos(ang), std::sin(ang)};
+  }
+  auto [pos, inserted] = tables_.emplace(n, std::move(table));
+  DDL_CHECK(inserted, "twiddle table insertion raced");
+  return pos->second.data();
+}
+
+const cplx* TwiddleCache::get(index_t n) const {
+  auto it = tables_.find(n);
+  DDL_REQUIRE(it != tables_.end(), "twiddle table missing; call build_for/ensure first");
+  return it->second.data();
+}
+
+void TwiddleCache::build_for(const plan::Node& tree) {
+  if (tree.is_leaf()) return;
+  ensure(tree.n);
+  build_for(*tree.left);
+  build_for(*tree.right);
+}
+
+index_t TwiddleCache::total_elements() const noexcept {
+  index_t total = 0;
+  for (const auto& [n, buf] : tables_) total += buf.size();
+  return total;
+}
+
+}  // namespace ddl::fft

@@ -1,0 +1,60 @@
+#include "ddl/layout/reorg.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::layout {
+
+template <typename T>
+void transpose_gather(const T* x, index_t stride, index_t n1, index_t n2, T* y) {
+  DDL_REQUIRE(stride >= 1 && n1 >= 1 && n2 >= 1, "bad transpose_gather geometry");
+  for (index_t jb = 0; jb < n2; jb += kTile) {
+    const index_t je = std::min(jb + kTile, n2);
+    for (index_t ib = 0; ib < n1; ib += kTile) {
+      const index_t ie = std::min(ib + kTile, n1);
+      for (index_t j = jb; j < je; ++j) {
+        T* dst = y + j * n1;
+        const T* src = x + j * stride;
+        for (index_t i = ib; i < ie; ++i) dst[i] = src[i * n2 * stride];
+      }
+    }
+  }
+}
+
+template <typename T>
+void transpose_scatter(T* x, index_t stride, index_t n1, index_t n2, const T* y) {
+  DDL_REQUIRE(stride >= 1 && n1 >= 1 && n2 >= 1, "bad transpose_scatter geometry");
+  for (index_t jb = 0; jb < n2; jb += kTile) {
+    const index_t je = std::min(jb + kTile, n2);
+    for (index_t ib = 0; ib < n1; ib += kTile) {
+      const index_t ie = std::min(ib + kTile, n1);
+      for (index_t j = jb; j < je; ++j) {
+        const T* src = y + j * n1;
+        T* dst = x + j * stride;
+        for (index_t i = ib; i < ie; ++i) dst[i * n2 * stride] = src[i];
+      }
+    }
+  }
+}
+
+template <typename T>
+void pack(const T* x, index_t stride, index_t n, T* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = x[i * stride];
+}
+
+template <typename T>
+void unpack(T* x, index_t stride, index_t n, const T* y) {
+  for (index_t i = 0; i < n; ++i) x[i * stride] = y[i];
+}
+
+template void transpose_gather<cplx>(const cplx*, index_t, index_t, index_t, cplx*);
+template void transpose_gather<real_t>(const real_t*, index_t, index_t, index_t, real_t*);
+template void transpose_scatter<cplx>(cplx*, index_t, index_t, index_t, const cplx*);
+template void transpose_scatter<real_t>(real_t*, index_t, index_t, index_t, const real_t*);
+template void pack<cplx>(const cplx*, index_t, index_t, cplx*);
+template void pack<real_t>(const real_t*, index_t, index_t, real_t*);
+template void unpack<cplx>(cplx*, index_t, index_t, const cplx*);
+template void unpack<real_t>(real_t*, index_t, index_t, const real_t*);
+
+}  // namespace ddl::layout

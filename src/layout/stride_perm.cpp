@@ -1,0 +1,62 @@
+#include "ddl/layout/stride_perm.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/layout/reorg.hpp"
+
+namespace ddl::layout {
+
+template <typename T>
+void stride_permute(const T* in, T* out, index_t n, index_t m) {
+  DDL_REQUIRE(m >= 1 && n >= 1 && n % m == 0, "stride_permute needs m | n");
+  const index_t rows = n / m;  // in is rows x m row-major; out is m x rows
+  for (index_t rb = 0; rb < m; rb += kTile) {
+    const index_t re = std::min(rb + kTile, m);
+    for (index_t qb = 0; qb < rows; qb += kTile) {
+      const index_t qe = std::min(qb + kTile, rows);
+      for (index_t r = rb; r < re; ++r) {
+        T* dst = out + r * rows;
+        for (index_t q = qb; q < qe; ++q) dst[q] = in[q * m + r];
+      }
+    }
+  }
+}
+
+template <typename T>
+void stride_permute_inplace(T* data, index_t elem_stride, index_t n, index_t m, T* scratch) {
+  DDL_REQUIRE(m >= 1 && n >= 1 && n % m == 0, "stride_permute_inplace needs m | n");
+  // Gather in permuted order (scratch[r*(n/m)+q] = data[(q*m+r)*es]) — this
+  // is exactly the blocked strided transpose — then write back linearly.
+  transpose_gather(data, elem_stride, n / m, m, scratch);
+  unpack(data, elem_stride, n, scratch);
+}
+
+index_t bit_reverse(index_t k, int bits) noexcept {
+  index_t r = 0;
+  for (int b = 0; b < bits; ++b) {
+    r = (r << 1) | (k & 1);
+    k >>= 1;
+  }
+  return r;
+}
+
+template <typename T>
+void bit_reverse_permute(T* data, index_t n) {
+  DDL_REQUIRE(is_pow2(n), "bit_reverse_permute needs a power of two");
+  const int bits = ilog2(n);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t r = bit_reverse(k, bits);
+    if (r > k) std::swap(data[k], data[r]);
+  }
+}
+
+template void stride_permute<cplx>(const cplx*, cplx*, index_t, index_t);
+template void stride_permute<real_t>(const real_t*, real_t*, index_t, index_t);
+template void stride_permute_inplace<cplx>(cplx*, index_t, index_t, index_t, cplx*);
+template void stride_permute_inplace<real_t>(real_t*, index_t, index_t, index_t, real_t*);
+template void bit_reverse_permute<cplx>(cplx*, index_t);
+template void bit_reverse_permute<real_t>(real_t*, index_t);
+
+}  // namespace ddl::layout

@@ -1,0 +1,54 @@
+#include "ddl/plan/costdb.hpp"
+
+#include <fstream>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::plan {
+namespace {
+
+std::tuple<std::string, index_t, index_t, index_t> to_tuple(const CostKey& key) {
+  return {key.kind, key.a, key.b, key.c};
+}
+
+}  // namespace
+
+double CostDb::get_or_measure(const CostKey& key, const std::function<double()>& measure) {
+  const auto k = to_tuple(key);
+  if (auto it = table_.find(k); it != table_.end()) return it->second;
+  const double seconds = measure();
+  DDL_CHECK(seconds >= 0.0, "measured cost must be non-negative");
+  table_.emplace(k, seconds);
+  return seconds;
+}
+
+bool CostDb::contains(const CostKey& key) const { return table_.count(to_tuple(key)) != 0; }
+
+void CostDb::put(const CostKey& key, double seconds) { table_[to_tuple(key)] = seconds; }
+
+bool CostDb::save(const std::filesystem::path& file) const {
+  std::ofstream os(file);
+  if (!os) return false;
+  os.precision(17);
+  for (const auto& [k, v] : table_) {
+    os << std::get<0>(k) << ' ' << std::get<1>(k) << ' ' << std::get<2>(k) << ' '
+       << std::get<3>(k) << ' ' << v << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool CostDb::load(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) return false;
+  std::string kind;
+  long long a = 0;
+  long long b = 0;
+  long long c = 0;
+  double v = 0.0;
+  while (is >> kind >> a >> b >> c >> v) {
+    table_[{kind, a, b, c}] = v;
+  }
+  return true;
+}
+
+}  // namespace ddl::plan

@@ -1,0 +1,94 @@
+#include "ddl/plan/grammar.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace ddl::plan {
+namespace {
+
+/// Minimal recursive-descent parser over the grammar in grammar.hpp.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  TreePtr parse() {
+    TreePtr tree = parse_tree();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after tree");
+    return tree;
+  }
+
+ private:
+  TreePtr parse_tree() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) return parse_leaf();
+    return parse_split();
+  }
+
+  TreePtr parse_leaf() {
+    index_t value = 0;
+    bool any = false;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      ++pos_;
+      any = true;
+      if (value > (index_t{1} << 40)) fail("leaf size out of range");
+    }
+    if (!any || value < 1) fail("expected a positive integer leaf");
+    return make_leaf(value);
+  }
+
+  TreePtr parse_split() {
+    bool ddl = false;
+    if (consume("ctddl")) {
+      ddl = true;
+    } else if (consume("ct")) {
+      ddl = false;
+    } else {
+      fail("expected 'ct' or 'ctddl'");
+    }
+    expect('(');
+    TreePtr left = parse_tree();
+    expect(',');
+    TreePtr right = parse_tree();
+    expect(')');
+    return make_split(std::move(left), std::move(right), ddl);
+  }
+
+  bool consume(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    // "ct" must not be the prefix of "ctddl".
+    if (word == "ct" && text_.substr(pos_, 5) == "ctddl") return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("tree grammar error at offset " + std::to_string(pos_) + ": " +
+                                what + " in \"" + std::string(text_) + "\"");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TreePtr parse_tree(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace ddl::plan

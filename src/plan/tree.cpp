@@ -1,0 +1,121 @@
+#include "ddl/plan/tree.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::plan {
+
+TreePtr make_leaf(index_t n) {
+  DDL_REQUIRE(n >= 1, "leaf size must be >= 1");
+  auto node = std::make_unique<Node>();
+  node->n = n;
+  return node;
+}
+
+TreePtr make_split(TreePtr left, TreePtr right, bool ddl) {
+  DDL_REQUIRE(left != nullptr && right != nullptr, "split needs two children");
+  auto node = std::make_unique<Node>();
+  node->n = left->n * right->n;
+  node->ddl = ddl;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+TreePtr clone(const Node& node) {
+  if (node.is_leaf()) return make_leaf(node.n);
+  return make_split(clone(*node.left), clone(*node.right), node.ddl);
+}
+
+bool equal(const Node& a, const Node& b) {
+  if (a.n != b.n || a.is_leaf() != b.is_leaf()) return false;
+  if (a.is_leaf()) return true;
+  return a.ddl == b.ddl && equal(*a.left, *b.left) && equal(*a.right, *b.right);
+}
+
+index_t leaf_count(const Node& node) {
+  if (node.is_leaf()) return 1;
+  return leaf_count(*node.left) + leaf_count(*node.right);
+}
+
+int height(const Node& node) {
+  if (node.is_leaf()) return 1;
+  return 1 + std::max(height(*node.left), height(*node.right));
+}
+
+int ddl_node_count(const Node& node) {
+  if (node.is_leaf()) return 0;
+  return (node.ddl ? 1 : 0) + ddl_node_count(*node.left) + ddl_node_count(*node.right);
+}
+
+void for_each_node(const Node& node, index_t root_stride,
+                   const std::function<void(const Node&, index_t stride)>& visit) {
+  visit(node, root_stride);
+  if (node.is_leaf()) return;
+  // Property 1: left child stride = s * n2, right child stride = s.
+  // A ddl split reorganizes its data to contiguous scratch before the left
+  // stage, so the left subtree sees base stride 1 (hence stride n2 for the
+  // left child within the packed matrix is already accounted by the gather:
+  // columns become fully contiguous, i.e. the left child runs at stride 1).
+  const index_t n2 = node.right->n;
+  const index_t left_stride = node.ddl ? 1 : root_stride * n2;
+  for_each_node(*node.left, left_stride, visit);
+  for_each_node(*node.right, root_stride, visit);
+}
+
+std::string to_string(const Node& node) {
+  if (node.is_leaf()) return std::to_string(node.n);
+  std::string out = node.ddl ? "ctddl(" : "ct(";
+  out += to_string(*node.left);
+  out += ',';
+  out += to_string(*node.right);
+  out += ')';
+  return out;
+}
+
+namespace {
+
+/// Emit one node and its subtree; returns this node's id.
+int dot_node(const Node& node, index_t stride, int& next_id, std::string& out) {
+  const int id = next_id++;
+  std::string label = std::to_string(node.n) + " @ " + std::to_string(stride);
+  if (!node.is_leaf() && node.ddl) label += "\\nddl";
+  out += "  n" + std::to_string(id) + " [label=\"" + label + "\"";
+  if (node.is_leaf()) {
+    out += ", shape=box";
+  } else if (node.ddl) {
+    out += ", style=filled, fillcolor=lightblue";
+  }
+  out += "];\n";
+  if (!node.is_leaf()) {
+    const index_t n2 = node.right->n;
+    const index_t left_stride = node.ddl ? 1 : stride * n2;
+    const int left = dot_node(*node.left, left_stride, next_id, out);
+    const int right = dot_node(*node.right, stride, next_id, out);
+    out += "  n" + std::to_string(id) + " -> n" + std::to_string(left) + ";\n";
+    out += "  n" + std::to_string(id) + " -> n" + std::to_string(right) + ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string to_dot(const Node& tree, index_t root_stride) {
+  std::string out = "digraph plan {\n  node [fontname=\"monospace\"];\n";
+  int next_id = 0;
+  dot_node(tree, root_stride, next_id, out);
+  out += "}\n";
+  return out;
+}
+
+TreePtr right_spine(const std::vector<index_t>& leaf_sizes) {
+  DDL_REQUIRE(!leaf_sizes.empty(), "right_spine needs at least one leaf");
+  TreePtr tree = make_leaf(leaf_sizes.back());
+  for (auto it = leaf_sizes.rbegin() + 1; it != leaf_sizes.rend(); ++it) {
+    tree = make_split(make_leaf(*it), std::move(tree));
+  }
+  return tree;
+}
+
+}  // namespace ddl::plan

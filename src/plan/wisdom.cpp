@@ -1,0 +1,43 @@
+#include "ddl/plan/wisdom.hpp"
+
+#include <fstream>
+
+namespace ddl::plan {
+
+void Wisdom::remember(const std::string& transform, const std::string& strategy, index_t n,
+                      const WisdomEntry& entry) {
+  table_[{transform, strategy, n}] = entry;
+}
+
+std::optional<WisdomEntry> Wisdom::recall(const std::string& transform,
+                                          const std::string& strategy, index_t n) const {
+  if (auto it = table_.find({transform, strategy, n}); it != table_.end()) return it->second;
+  return std::nullopt;
+}
+
+bool Wisdom::save(const std::filesystem::path& file) const {
+  std::ofstream os(file);
+  if (!os) return false;
+  os.precision(17);
+  for (const auto& [k, v] : table_) {
+    os << std::get<0>(k) << ' ' << std::get<1>(k) << ' ' << std::get<2>(k) << ' ' << v.seconds
+       << ' ' << v.tree << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool Wisdom::load(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) return false;
+  std::string transform;
+  std::string strategy;
+  long long n = 0;
+  double seconds = 0.0;
+  std::string tree;
+  while (is >> transform >> strategy >> n >> seconds >> tree) {
+    table_[{transform, strategy, n}] = WisdomEntry{tree, seconds};
+  }
+  return true;
+}
+
+}  // namespace ddl::plan

@@ -1,0 +1,82 @@
+#include "ddl/wht/wht.hpp"
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/layout/reorg.hpp"
+
+namespace ddl::wht {
+
+void wht_reference(std::span<real_t> data) {
+  const auto n = static_cast<index_t>(data.size());
+  DDL_REQUIRE(is_pow2(n), "WHT size must be a power of two");
+  codelets::wht_direct_inplace(data.data(), 1, n);
+}
+
+namespace {
+
+void check_tree_sizes(const plan::Node& node) {
+  DDL_REQUIRE(is_pow2(node.n), "every WHT node size must be a power of two");
+  if (!node.is_leaf()) {
+    check_tree_sizes(*node.left);
+    check_tree_sizes(*node.right);
+  }
+}
+
+}  // namespace
+
+WhtExecutor::WhtExecutor(const plan::Node& tree)
+    : tree_(plan::clone(tree)), arena_(2 * tree.n) {
+  check_tree_sizes(*tree_);
+}
+
+void WhtExecutor::transform(std::span<real_t> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  run(*tree_, data.data(), 1, 0);
+}
+
+void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, index_t arena_off) {
+  if (node.is_leaf()) {
+    if (const auto kernel = codelets::wht_kernel(node.n)) {
+      kernel(data, stride);
+    } else {
+      codelets::wht_direct_inplace(data, stride, node.n);
+    }
+    return;
+  }
+
+  const index_t n = node.n;
+  const index_t n1 = node.left->n;
+  const index_t n2 = node.right->n;
+
+  // Right factor first: n1 row transforms of size n2 at stride s. (The two
+  // tensor factors commute, so the order is a free choice; rows-first keeps
+  // the unit-stride work up front.)
+  for (index_t i = 0; i < n1; ++i) {
+    run(*node.right, data + i * n2 * stride, stride, arena_off);
+  }
+
+  if (node.ddl) {
+    // Reorganize so the column transforms run at unit stride (Fig. 5).
+    real_t* scratch = arena_.data() + arena_off;
+    layout::transpose_gather(data, stride, n1, n2, scratch);
+    for (index_t j = 0; j < n2; ++j) {
+      run(*node.left, scratch + j * n1, 1, arena_off + n);
+    }
+    layout::transpose_scatter(data, stride, n1, n2, scratch);
+  } else {
+    // Static layout: n2 column transforms of size n1 at stride s*n2.
+    for (index_t j = 0; j < n2; ++j) {
+      run(*node.left, data + j * stride, stride * n2, arena_off);
+    }
+  }
+  // No twiddles and no permutation: the Hadamard tensor identity is exact
+  // in natural order.
+}
+
+void execute_tree(const plan::Node& tree, std::span<real_t> data) {
+  WhtExecutor exec(tree);
+  exec.transform(data);
+}
+
+}  // namespace ddl::wht

@@ -1,0 +1,203 @@
+#include "ddl/wht/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/timer.hpp"
+#include "ddl/layout/reorg.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl::wht {
+
+struct WhtPlanner::Buffers {
+  AlignedBuffer<real_t> data;
+  AlignedBuffer<real_t> scratch;
+};
+
+WhtPlanner::WhtPlanner(PlannerOptions opts)
+    : opts_(opts),
+      owned_db_(opts.cost_db == nullptr ? std::make_unique<plan::CostDb>() : nullptr),
+      cost_db_(opts.cost_db != nullptr ? opts.cost_db : owned_db_.get()),
+      bufs_(std::make_unique<Buffers>()) {
+  DDL_REQUIRE(opts_.max_leaf >= 2 && is_pow2(opts_.max_leaf), "max_leaf must be a power of two");
+}
+
+WhtPlanner::~WhtPlanner() = default;
+
+void WhtPlanner::ensure_buffers(index_t points) {
+  if (bufs_->data.size() < points) bufs_->data = AlignedBuffer<real_t>(points);
+  if (bufs_->scratch.size() < points) bufs_->scratch = AlignedBuffer<real_t>(points);
+}
+
+double WhtPlanner::leaf_cost(index_t n, index_t stride) {
+  const plan::CostKey key{"wht_leaf", n, stride, 0};
+  if (opts_.cost_oracle) {
+    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+  }
+  return cost_db_->get_or_measure(key, [&] {
+    const index_t extent = std::max(n * stride, opts_.stream_points);
+    ensure_buffers(extent);
+    real_t* x = bufs_->data.data();  // zeros: WHT of zeros is stable
+    const auto kernel = codelets::wht_kernel(n);
+    const index_t n_offsets = stride > 1 ? stride : extent / n;
+    const index_t offset_step = stride > 1 ? 1 : n;
+    index_t j = 0;
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 4};
+    // Best of two adaptive runs (see fft/planner.cpp on probe robustness).
+    return time_best_of(
+        [&] {
+          if (kernel != nullptr) {
+            kernel(x + j * offset_step, stride);
+          } else {
+            codelets::wht_direct_inplace(x + j * offset_step, stride, n);
+          }
+          if (++j == n_offsets) j = 0;
+        },
+        2, topts);
+  });
+}
+
+double WhtPlanner::reorg_cost(index_t n1, index_t n2, index_t stride) {
+  const plan::CostKey key{"wht_reorg", n1, n2, stride};
+  if (opts_.cost_oracle) {
+    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+  }
+  return cost_db_->get_or_measure(key, [&] {
+    const index_t n = n1 * n2;
+    ensure_buffers(std::max(n * stride, n));
+    real_t* x = bufs_->data.data();
+    real_t* s = bufs_->scratch.data();
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 2};
+    return time_best_of(
+        [&] {
+          layout::transpose_gather(x, stride, n1, n2, s);
+          layout::transpose_scatter(x, stride, n1, n2, s);
+        },
+        2, topts);
+  });
+}
+
+const WhtPlanner::Best& WhtPlanner::best(index_t n, index_t stride, bool allow_ddl) {
+  const auto key = std::make_tuple(n, stride, allow_ddl);
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  Best winner;
+  winner.cost = std::numeric_limits<double>::infinity();
+
+  if (n <= opts_.max_leaf) {
+    winner.cost = leaf_cost(n, stride);
+    winner.tree = plan::make_leaf(n);
+  }
+
+  for (const auto& [n1, n2] : factor_pairs(n)) {
+    const Best& right = best(n2, stride, allow_ddl);
+    const double shared = static_cast<double>(n1) * right.cost;
+
+    {
+      const Best& left = best(n1, stride * n2, allow_ddl);
+      const double cost = shared + static_cast<double>(n2) * left.cost;
+      if (cost < winner.cost) {
+        winner.cost = cost;
+        winner.tree = plan::make_split(plan::clone(*left.tree), plan::clone(*right.tree), false);
+      }
+    }
+
+    if (allow_ddl && stride * n2 > 1) {
+      const Best& left = best(n1, 1, allow_ddl);
+      const double cost = shared + reorg_cost(n1, n2, stride) +
+                          static_cast<double>(n2) * left.cost;
+      if (cost * (1.0 + opts_.ddl_margin) < winner.cost) {
+        winner.cost = cost;
+        winner.tree = plan::make_split(plan::clone(*left.tree), plan::clone(*right.tree), true);
+      }
+    }
+  }
+
+  DDL_CHECK(winner.tree != nullptr, "no viable WHT factorization found");
+  auto [it, inserted] = memo_.emplace(key, std::move(winner));
+  DDL_CHECK(inserted, "DP memo collision");
+  return it->second;
+}
+
+plan::TreePtr WhtPlanner::plan(index_t n, Strategy strategy) {
+  DDL_REQUIRE(is_pow2(n) && n >= 2, "WHT size must be a power of two >= 2");
+  const std::string strat = fft::strategy_name(strategy);
+  if (opts_.wisdom != nullptr) {
+    if (auto hit = opts_.wisdom->recall("wht", strat, n)) {
+      return plan::parse_tree(hit->tree);
+    }
+  }
+
+  plan::TreePtr tree;
+  switch (strategy) {
+    case Strategy::rightmost: tree = rightmost_wht_tree(n, opts_.max_leaf); break;
+    case Strategy::balanced: tree = balanced_wht_tree(n, opts_.max_leaf); break;
+    case Strategy::sdl_dp: tree = plan::clone(*best(n, 1, false).tree); break;
+    case Strategy::ddl_dp: tree = plan::clone(*best(n, 1, true).tree); break;
+  }
+
+  if (opts_.wisdom != nullptr) {
+    opts_.wisdom->remember("wht", strat, n, {plan::to_string(*tree), planned_cost(n, strategy)});
+  }
+  return tree;
+}
+
+double WhtPlanner::planned_cost(index_t n, Strategy strategy) {
+  switch (strategy) {
+    case Strategy::sdl_dp: return best(n, 1, false).cost;
+    case Strategy::ddl_dp: return best(n, 1, true).cost;
+    case Strategy::rightmost:
+      return estimate_tree_seconds(*rightmost_wht_tree(n, opts_.max_leaf));
+    case Strategy::balanced:
+      return estimate_tree_seconds(*balanced_wht_tree(n, opts_.max_leaf));
+  }
+  DDL_CHECK(false, "unreachable strategy");
+  return 0.0;
+}
+
+double WhtPlanner::estimate_tree_seconds(const plan::Node& tree, index_t root_stride) {
+  if (tree.is_leaf()) return leaf_cost(tree.n, root_stride);
+  const index_t n1 = tree.left->n;
+  const index_t n2 = tree.right->n;
+  const double right = static_cast<double>(n1) * estimate_tree_seconds(*tree.right, root_stride);
+  if (tree.ddl) {
+    return right + reorg_cost(n1, n2, root_stride) +
+           static_cast<double>(n2) * estimate_tree_seconds(*tree.left, 1);
+  }
+  return right + static_cast<double>(n2) * estimate_tree_seconds(*tree.left, root_stride * n2);
+}
+
+double WhtPlanner::measure_tree_seconds(const plan::Node& tree, double floor) {
+  WhtExecutor exec(tree);
+  AlignedBuffer<real_t> data(tree.n);
+  const TimeOptions topts{.min_total_seconds = floor, .min_reps = 1};
+  return time_adaptive([&] { exec.transform(data.span()); }, topts);
+}
+
+plan::TreePtr rightmost_wht_tree(index_t n, index_t max_leaf) {
+  DDL_REQUIRE(is_pow2(n) && n >= 2, "WHT size must be a power of two >= 2");
+  if (n <= max_leaf) return plan::make_leaf(n);
+  index_t r = 2;
+  for (index_t c : codelets::wht_codelet_sizes()) {
+    if (c <= max_leaf && c < n) r = std::max(r, c);
+  }
+  return plan::make_split(plan::make_leaf(r), rightmost_wht_tree(n / r, max_leaf));
+}
+
+plan::TreePtr balanced_wht_tree(index_t n, index_t max_leaf, index_t ddl_above) {
+  DDL_REQUIRE(is_pow2(n) && n >= 2, "WHT size must be a power of two >= 2");
+  if (n <= max_leaf) return plan::make_leaf(n);
+  const int k = ilog2(n);
+  const index_t n1 = pow2(k / 2);
+  const bool ddl = ddl_above > 0 && n >= ddl_above;
+  return plan::make_split(balanced_wht_tree(n1, max_leaf, ddl_above),
+                          balanced_wht_tree(n / n1, max_leaf, ddl_above), ddl);
+}
+
+}  // namespace ddl::wht

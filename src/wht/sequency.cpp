@@ -1,0 +1,43 @@
+#include "ddl/wht/sequency.hpp"
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/layout/stride_perm.hpp"
+
+namespace ddl::wht {
+
+index_t sequency_to_natural(index_t s, index_t n) {
+  DDL_REQUIRE(is_pow2(n) && s >= 0 && s < n, "bad sequency index");
+  const index_t gray = s ^ (s >> 1);
+  return layout::bit_reverse(gray, ilog2(n));
+}
+
+std::vector<index_t> sequency_map(index_t n) {
+  DDL_REQUIRE(is_pow2(n), "sequency map needs a power-of-two size");
+  std::vector<index_t> map(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < n; ++s) map[static_cast<std::size_t>(s)] = sequency_to_natural(s, n);
+  return map;
+}
+
+void to_sequency_order(std::span<real_t> coeffs) {
+  const auto n = static_cast<index_t>(coeffs.size());
+  DDL_REQUIRE(is_pow2(n), "sequency reorder needs a power-of-two size");
+  AlignedBuffer<real_t> tmp(n);
+  for (index_t s = 0; s < n; ++s) {
+    tmp[s] = coeffs[static_cast<std::size_t>(sequency_to_natural(s, n))];
+  }
+  for (index_t s = 0; s < n; ++s) coeffs[static_cast<std::size_t>(s)] = tmp[s];
+}
+
+void to_natural_order(std::span<real_t> coeffs) {
+  const auto n = static_cast<index_t>(coeffs.size());
+  DDL_REQUIRE(is_pow2(n), "sequency reorder needs a power-of-two size");
+  AlignedBuffer<real_t> tmp(n);
+  for (index_t s = 0; s < n; ++s) {
+    tmp[sequency_to_natural(s, n)] = coeffs[static_cast<std::size_t>(s)];
+  }
+  for (index_t k = 0; k < n; ++k) coeffs[static_cast<std::size_t>(k)] = tmp[k];
+}
+
+}  // namespace ddl::wht

@@ -1,0 +1,30 @@
+#include "ddl/wht/wht_api.hpp"
+
+#include "ddl/plan/grammar.hpp"
+
+namespace ddl::wht {
+
+Wht Wht::plan(index_t n, Strategy strategy) {
+  WhtPlanner planner;
+  return plan_with(planner, n, strategy);
+}
+
+Wht Wht::plan_with(WhtPlanner& planner, index_t n, Strategy strategy) {
+  const plan::TreePtr tree = planner.plan(n, strategy);
+  return Wht(*tree);
+}
+
+Wht Wht::from_tree(const std::string& grammar) {
+  const plan::TreePtr tree = plan::parse_tree(grammar);
+  return Wht(*tree);
+}
+
+Wht Wht::from_tree(const plan::Node& tree) { return Wht(tree); }
+
+void Wht::inverse(std::span<real_t> data) {
+  exec_.transform(data);
+  const real_t scale = 1.0 / static_cast<real_t>(size());
+  for (auto& v : data) v *= scale;
+}
+
+}  // namespace ddl::wht

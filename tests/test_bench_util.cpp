@@ -1,0 +1,53 @@
+// Tests for the benchmark-harness helpers (metrics and sweeps).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ddl/bench_util/bench_util.hpp"
+
+namespace ddl::benchutil {
+namespace {
+
+TEST(Metrics, FftMflopsMatchesFormula) {
+  // 5 n log2 n / (t * 1e6): n = 1024, t = 1 ms -> 5*1024*10 / 1e3 MFLOPS.
+  EXPECT_DOUBLE_EQ(fft_mflops(1024, 1e-3), 5.0 * 1024 * 10 / 1e3);
+  // Halving the time doubles the rate.
+  EXPECT_DOUBLE_EQ(fft_mflops(1024, 5e-4), 2.0 * fft_mflops(1024, 1e-3));
+}
+
+TEST(Metrics, WhtNsPerPoint) {
+  EXPECT_DOUBLE_EQ(wht_ns_per_point(1000, 1e-6), 1.0);  // 1 us / 1000 pts = 1 ns
+  EXPECT_DOUBLE_EQ(wht_ns_per_point(1, 1.0), 1e9);
+}
+
+TEST(Metrics, RelativeImprovement) {
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(80.0, 100.0), -20.0);
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(100.0, 100.0), 0.0);
+}
+
+TEST(Metrics, Preconditions) {
+  EXPECT_THROW(fft_mflops(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(fft_mflops(1024, 0.0), std::invalid_argument);
+  EXPECT_THROW(wht_ns_per_point(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(relative_improvement_pct(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Sweeps, Pow2Range) {
+  const auto r = pow2_range(3, 6);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], 8);
+  EXPECT_EQ(r[3], 64);
+  EXPECT_THROW(pow2_range(5, 4), std::invalid_argument);
+  EXPECT_EQ(pow2_range(7, 7).size(), 1u);
+}
+
+TEST(Host, BannerPrintsWithoutCrashing) {
+  std::ostringstream os;
+  print_host_banner(os);
+  EXPECT_NE(os.str().find("host caches"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddl::benchutil

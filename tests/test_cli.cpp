@@ -1,0 +1,147 @@
+// Tests for the command-line utilities (size notation parser, Args) and
+// the WHT public facade.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/cli.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/wht/wht.hpp"
+#include "ddl/wht/wht_api.hpp"
+
+namespace ddl::cli {
+namespace {
+
+TEST(ParseSize, PlainDecimal) {
+  EXPECT_EQ(parse_size("0"), 0);
+  EXPECT_EQ(parse_size("1"), 1);
+  EXPECT_EQ(parse_size("1048576"), 1048576);
+}
+
+TEST(ParseSize, PowerNotation) {
+  EXPECT_EQ(parse_size("2^0"), 1);
+  EXPECT_EQ(parse_size("2^10"), 1024);
+  EXPECT_EQ(parse_size("2^20"), 1 << 20);
+  EXPECT_EQ(parse_size("2^40"), index_t{1} << 40);
+}
+
+TEST(ParseSize, Suffixes) {
+  EXPECT_EQ(parse_size("512K"), 512 * 1024);
+  EXPECT_EQ(parse_size("512k"), 512 * 1024);
+  EXPECT_EQ(parse_size("64M"), 64 * 1024 * 1024);
+  EXPECT_EQ(parse_size("2G"), index_t{2} << 30);
+}
+
+TEST(ParseSize, Errors) {
+  EXPECT_THROW(parse_size(""), std::invalid_argument);
+  EXPECT_THROW(parse_size("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_size("3^4"), std::invalid_argument);
+  EXPECT_THROW(parse_size("2^"), std::invalid_argument);
+  EXPECT_THROW(parse_size("2^99"), std::invalid_argument);
+  EXPECT_THROW(parse_size("12Q"), std::invalid_argument);
+  EXPECT_THROW(parse_size("12KB"), std::invalid_argument);
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  return {items};
+}
+
+TEST(Args, CommandAndFlags) {
+  const auto argv = argv_of({"prog", "plan", "--n", "2^20", "--verbose", "--strategy", "ddl_dp"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.command(), "plan");
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.get("verbose").has_value());  // bare switch
+  EXPECT_EQ(args.get_or("strategy", "x"), "ddl_dp");
+  EXPECT_EQ(args.size_or("n", 0), 1 << 20);
+  EXPECT_EQ(args.size_or("missing", 7), 7);
+}
+
+TEST(Args, NoCommand) {
+  const auto argv = argv_of({"prog", "--n", "16"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_EQ(args.int_or("n", 0), 16);
+}
+
+TEST(Args, TypedAccessors) {
+  const auto argv = argv_of({"prog", "run", "--reps", "5", "--floor", "0.25"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.int_or("reps", 1), 5);
+  EXPECT_DOUBLE_EQ(args.double_or("floor", 0.0), 0.25);
+}
+
+TEST(Args, UnusedKeysTracksReads) {
+  const auto argv = argv_of({"prog", "x", "--a", "1", "--b", "2"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_or("a", ""), "1");
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "b");
+}
+
+TEST(Args, MalformedFlagThrows) {
+  const auto argv = argv_of({"prog", "run", "-n", "4"});
+  EXPECT_THROW(Args::parse(static_cast<int>(argv.size()), argv.data()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::cli
+
+namespace ddl::wht {
+namespace {
+
+TEST(WhtFacade, FromTreeTransformInverse) {
+  auto wht = Wht::from_tree("ctddl(ct(64,16),64)");
+  EXPECT_EQ(wht.size(), 64 * 16 * 64);
+  EXPECT_EQ(wht.tree_string(), "ctddl(ct(64,16),64)");
+  EXPECT_EQ(wht.ddl_nodes(), 1);
+
+  AlignedBuffer<real_t> x(wht.size());
+  fill_random(x.span(), 15);
+  const std::vector<real_t> original(x.begin(), x.end());
+  wht.transform(x.span());
+  wht.inverse(x.span());
+  for (index_t i = 0; i < wht.size(); ++i) {
+    ASSERT_NEAR(x[i], original[static_cast<std::size_t>(i)], 1e-9 * wht.size());
+  }
+}
+
+TEST(WhtFacade, TransformMatchesReference) {
+  auto wht = Wht::from_tree("ct(16,16)");
+  AlignedBuffer<real_t> x(256);
+  fill_random(x.span(), 23);
+  std::vector<real_t> expect(x.begin(), x.end());
+  wht_reference(std::span<real_t>(expect));
+  wht.transform(x.span());
+  for (index_t i = 0; i < 256; ++i) {
+    ASSERT_NEAR(x[i], expect[static_cast<std::size_t>(i)], 1e-10 * 256);
+  }
+}
+
+TEST(WhtFacade, PlanWithSharedPlanner) {
+  PlannerOptions opts;
+  opts.measure_floor = 2e-4;
+  opts.stream_points = 1 << 14;
+  WhtPlanner planner(opts);
+  auto wht = Wht::plan_with(planner, 1 << 12);
+  EXPECT_EQ(wht.size(), 1 << 12);
+  AlignedBuffer<real_t> x(wht.size());
+  fill_random(x.span(), 2);
+  const std::vector<real_t> original(x.begin(), x.end());
+  wht.transform(x.span());
+  wht.inverse(x.span());
+  for (index_t i = 0; i < wht.size(); ++i) {
+    ASSERT_NEAR(x[i], original[static_cast<std::size_t>(i)], 1e-9 * wht.size());
+  }
+}
+
+TEST(WhtFacade, BadGrammarThrows) {
+  EXPECT_THROW(Wht::from_tree("ct(3,4)"), std::invalid_argument);  // non-pow2
+  EXPECT_THROW(Wht::from_tree("zap(2,2)"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::wht

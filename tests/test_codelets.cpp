@@ -1,0 +1,207 @@
+// Tests for the generated straight-line codelets: every DFT codelet against
+// the O(n^2) reference at several strides (with guard slots proving no
+// out-of-bounds writes), every WHT codelet against the Hadamard definition,
+// and the registry plumbing.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/reference.hpp"
+
+namespace ddl::codelets {
+namespace {
+
+constexpr cplx kGuard{1e9, -1e9};
+
+// ---------------------------------------------------------------------------
+// DFT codelets
+// ---------------------------------------------------------------------------
+
+class DftCodeletParam : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(DftCodeletParam, MatchesReferenceAndStaysInBounds) {
+  const auto [n, stride] = GetParam();
+  const auto kernel = dft_kernel(n);
+  ASSERT_NE(kernel, nullptr) << "no codelet for n=" << n;
+
+  // Canvas with guard values everywhere off the strided element set.
+  std::vector<cplx> canvas(static_cast<std::size_t>((n - 1) * stride + 1) + 9, kGuard);
+  std::vector<cplx> input(static_cast<std::size_t>(n));
+  fill_random(std::span<cplx>(input), 1000 + static_cast<std::uint64_t>(n * stride));
+  for (index_t i = 0; i < n; ++i) canvas[static_cast<std::size_t>(i * stride)] =
+      input[static_cast<std::size_t>(i)];
+
+  kernel(canvas.data(), stride);
+
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  fft::dft_reference(std::span<const cplx>(input), std::span<cplx>(expect));
+  for (index_t i = 0; i < n; ++i) {
+    const cplx got = canvas[static_cast<std::size_t>(i * stride)];
+    EXPECT_NEAR(got.real(), expect[static_cast<std::size_t>(i)].real(), 1e-12 * n) << "k=" << i;
+    EXPECT_NEAR(got.imag(), expect[static_cast<std::size_t>(i)].imag(), 1e-12 * n) << "k=" << i;
+  }
+  // Guard slots untouched: the codelet wrote only its own strided elements.
+  for (std::size_t i = 0; i < canvas.size(); ++i) {
+    if (stride == 1 && i < static_cast<std::size_t>(n)) continue;
+    if (stride > 1 && i % static_cast<std::size_t>(stride) == 0 &&
+        i / static_cast<std::size_t>(stride) < static_cast<std::size_t>(n)) {
+      continue;
+    }
+    EXPECT_EQ(canvas[i], kGuard) << "guard clobbered at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSizesAndStrides, DftCodeletParam,
+    ::testing::Combine(
+        ::testing::Values<index_t>(2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 24, 32, 48,
+                                   64, 128),
+        ::testing::Values<index_t>(1, 2, 3, 7, 16, 101)));
+
+TEST(DftDirect, MatchesReferenceAnySize) {
+  for (index_t n : {1, 2, 5, 11, 13, 17, 24, 31, 64}) {
+    for (index_t stride : {1, 3}) {
+      std::vector<cplx> canvas(static_cast<std::size_t>((n - 1) * stride + 1), kGuard);
+      std::vector<cplx> input(static_cast<std::size_t>(n));
+      fill_random(std::span<cplx>(input), 7 * static_cast<std::uint64_t>(n));
+      for (index_t i = 0; i < n; ++i) canvas[static_cast<std::size_t>(i * stride)] =
+          input[static_cast<std::size_t>(i)];
+      dft_direct_inplace(canvas.data(), stride, n);
+      std::vector<cplx> expect(static_cast<std::size_t>(n));
+      fft::dft_reference(std::span<const cplx>(input), std::span<cplx>(expect));
+      for (index_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(std::abs(canvas[static_cast<std::size_t>(i * stride)] -
+                             expect[static_cast<std::size_t>(i)]),
+                    0.0, 1e-11 * n)
+            << "n=" << n << " k=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WHT codelets
+// ---------------------------------------------------------------------------
+
+/// Hadamard-matrix definition: y[k] = sum_j (-1)^{popcount(k & j)} x[j].
+std::vector<real_t> wht_by_definition(const std::vector<real_t>& x) {
+  const auto n = static_cast<index_t>(x.size());
+  std::vector<real_t> y(x.size(), 0.0);
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t j = 0; j < n; ++j) {
+      const int sign = std::popcount(static_cast<std::uint64_t>(k & j)) % 2 == 0 ? 1 : -1;
+      y[static_cast<std::size_t>(k)] += sign * x[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+TEST(WhtDirect, MatchesHadamardDefinition) {
+  for (index_t n : {1, 2, 4, 8, 16, 64, 256}) {
+    std::vector<real_t> x(static_cast<std::size_t>(n));
+    fill_random(std::span<real_t>(x), 3 * static_cast<std::uint64_t>(n));
+    const auto expect = wht_by_definition(x);
+    wht_direct_inplace(x.data(), 1, n);
+    for (index_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(k)], expect[static_cast<std::size_t>(k)], 1e-10 * n);
+    }
+  }
+}
+
+class WhtCodeletParam : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(WhtCodeletParam, MatchesDirectAndStaysInBounds) {
+  const auto [n, stride] = GetParam();
+  const auto kernel = wht_kernel(n);
+  ASSERT_NE(kernel, nullptr);
+
+  const real_t guard = 3.25e9;
+  std::vector<real_t> canvas(static_cast<std::size_t>((n - 1) * stride + 1) + 5, guard);
+  std::vector<real_t> input(static_cast<std::size_t>(n));
+  fill_random(std::span<real_t>(input), 17 * static_cast<std::uint64_t>(n + stride));
+  for (index_t i = 0; i < n; ++i) canvas[static_cast<std::size_t>(i * stride)] =
+      input[static_cast<std::size_t>(i)];
+
+  kernel(canvas.data(), stride);
+
+  auto expect = input;
+  wht_direct_inplace(expect.data(), 1, n);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(canvas[static_cast<std::size_t>(i * stride)], expect[static_cast<std::size_t>(i)],
+                1e-10 * n);
+  }
+  for (std::size_t i = 0; i < canvas.size(); ++i) {
+    if (stride == 1 && i < static_cast<std::size_t>(n)) continue;
+    if (stride > 1 && i % static_cast<std::size_t>(stride) == 0 &&
+        i / static_cast<std::size_t>(stride) < static_cast<std::size_t>(n)) {
+      continue;
+    }
+    EXPECT_EQ(canvas[i], guard) << "guard clobbered at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizesAndStrides, WhtCodeletParam,
+                         ::testing::Combine(::testing::Values<index_t>(2, 4, 8, 16, 32, 64, 128),
+                                            ::testing::Values<index_t>(1, 2, 5, 16, 64)));
+
+TEST(WhtDirect, StridedMatchesUnitStride) {
+  const index_t n = 128;
+  const index_t stride = 7;
+  std::vector<real_t> unit(static_cast<std::size_t>(n));
+  fill_random(std::span<real_t>(unit), 55);
+  std::vector<real_t> strided(static_cast<std::size_t>(n * stride), 0.0);
+  for (index_t i = 0; i < n; ++i) strided[static_cast<std::size_t>(i * stride)] =
+      unit[static_cast<std::size_t>(i)];
+  wht_direct_inplace(strided.data(), stride, n);
+  wht_direct_inplace(unit.data(), 1, n);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(strided[static_cast<std::size_t>(i * stride)], unit[static_cast<std::size_t>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SizesConsistentWithLookups) {
+  for (index_t n : dft_codelet_sizes()) {
+    EXPECT_TRUE(has_dft_codelet(n));
+    EXPECT_NE(dft_kernel(n), nullptr);
+  }
+  for (index_t n : wht_codelet_sizes()) {
+    EXPECT_TRUE(has_wht_codelet(n));
+    EXPECT_NE(wht_kernel(n), nullptr);
+    EXPECT_TRUE(is_pow2(n));
+  }
+}
+
+TEST(Registry, UnknownSizesReturnNull) {
+  for (index_t n : {0, 1, 11, 13, 14, 17, 33, 40, 100, 256}) {
+    EXPECT_EQ(dft_kernel(n), nullptr) << n;
+  }
+  for (index_t n : {0, 1, 3, 6, 12, 24, 256}) {
+    EXPECT_EQ(wht_kernel(n), nullptr) << n;
+  }
+}
+
+TEST(Registry, SizesAscending) {
+  const auto& d = dft_codelet_sizes();
+  for (std::size_t i = 0; i + 1 < d.size(); ++i) EXPECT_LT(d[i], d[i + 1]);
+  const auto& w = wht_codelet_sizes();
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) EXPECT_LT(w[i], w[i + 1]);
+}
+
+TEST(Registry, DirectFallbackRejectsBadArgs) {
+  std::vector<cplx> x(4);
+  EXPECT_THROW(dft_direct_inplace(x.data(), 0, 4), std::invalid_argument);
+  std::vector<real_t> y(12);
+  EXPECT_THROW(wht_direct_inplace(y.data(), 1, 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::codelets

@@ -1,0 +1,317 @@
+// Unit tests for the common runtime: integer math, aligned buffers, RNG,
+// timers, tables, and contract macros.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/common/table.hpp"
+#include "ddl/common/timer.hpp"
+#include "ddl/common/types.hpp"
+
+namespace ddl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// mathutil
+// ---------------------------------------------------------------------------
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_TRUE(is_pow2(index_t{1} << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(MathUtil, ILog2MatchesShift) {
+  for (int k = 0; k <= 40; ++k) {
+    EXPECT_EQ(ilog2(pow2(k)), k);
+    if (k >= 2) {
+      EXPECT_EQ(ilog2(pow2(k) - 1), k - 1);
+    }
+  }
+}
+
+TEST(MathUtil, FactorPairsProductAndBounds) {
+  for (index_t n : {4, 6, 12, 16, 36, 60, 1024, 1 << 16}) {
+    const auto pairs = factor_pairs(n);
+    EXPECT_FALSE(pairs.empty());
+    for (const auto& [a, b] : pairs) {
+      EXPECT_EQ(a * b, n);
+      EXPECT_GE(a, 2);
+      EXPECT_GE(b, 2);
+    }
+  }
+}
+
+TEST(MathUtil, FactorPairsCompleteForPow2) {
+  // 2^k has exactly k-1 ordered splits with both parts >= 2.
+  for (int k = 2; k <= 20; ++k) {
+    EXPECT_EQ(factor_pairs(pow2(k)).size(), static_cast<std::size_t>(k - 1)) << "k=" << k;
+  }
+}
+
+TEST(MathUtil, FactorPairsEmptyForPrimes) {
+  for (index_t p : {2, 3, 5, 7, 11, 13, 97, 8191}) {
+    EXPECT_TRUE(factor_pairs(p).empty()) << p;
+  }
+}
+
+TEST(MathUtil, DivisorsSortedAndDividing) {
+  const auto d = divisors(360);
+  EXPECT_EQ(d.size(), 24u);
+  EXPECT_EQ(d.front(), 1);
+  EXPECT_EQ(d.back(), 360);
+  for (std::size_t i = 0; i + 1 < d.size(); ++i) EXPECT_LT(d[i], d[i + 1]);
+  for (index_t v : d) EXPECT_EQ(360 % v, 0);
+}
+
+TEST(MathUtil, SmallestPrimeFactor) {
+  EXPECT_EQ(smallest_prime_factor(2), 2);
+  EXPECT_EQ(smallest_prime_factor(9), 3);
+  EXPECT_EQ(smallest_prime_factor(91), 7);   // 7*13
+  EXPECT_EQ(smallest_prime_factor(97), 97);  // prime
+}
+
+TEST(MathUtil, PrimeFactorizationReconstructs) {
+  for (index_t n : {2, 12, 97, 360, 1024, 9973, 720720}) {
+    index_t prod = 1;
+    for (const auto& [p, m] : prime_factorization(n)) {
+      EXPECT_TRUE(is_prime(p));
+      for (int i = 0; i < m; ++i) prod *= p;
+    }
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(MathUtil, PreconditionsThrow) {
+  EXPECT_THROW(factor_pairs(0), std::invalid_argument);
+  EXPECT_THROW(divisors(-1), std::invalid_argument);
+  EXPECT_THROW(smallest_prime_factor(1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AlignedBuffer
+// ---------------------------------------------------------------------------
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<cplx> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kAlignment, 0u);
+  EXPECT_EQ(buf.size(), 1000);
+  for (index_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], cplx(0.0, 0.0));
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<real_t> a(16);
+  a[3] = 7.5;
+  real_t* p = a.data();
+  AlignedBuffer<real_t> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 7.5);
+  EXPECT_EQ(a.size(), 0);
+  EXPECT_EQ(a.data(), nullptr);
+
+  AlignedBuffer<real_t> c(4);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c.size(), 16);
+}
+
+TEST(AlignedBuffer, EmptyAndSpan) {
+  AlignedBuffer<int> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.span().size(), 0u);
+
+  AlignedBuffer<int> buf(5);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 5u);
+  s[2] = 42;
+  EXPECT_EQ(buf[2], 42);
+}
+
+TEST(AlignedBuffer, IterationCoversAll) {
+  AlignedBuffer<int> buf(8);
+  std::iota(buf.begin(), buf.end(), 0);
+  int expect = 0;
+  for (int v : buf) EXPECT_EQ(v, expect++);
+  EXPECT_EQ(expect, 8);
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);  // actually covers the range
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, BelowBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, FillRandomDeterministicAndBounded) {
+  AlignedBuffer<cplx> a(256);
+  AlignedBuffer<cplx> b(256);
+  fill_random(a.span(), 99);
+  fill_random(b.span(), 99);
+  for (index_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_LT(std::abs(a[i].real()), 1.0 + 1e-12);
+    EXPECT_LT(std::abs(a[i].imag()), 1.0 + 1e-12);
+  }
+  AlignedBuffer<cplx> c(256);
+  fill_random(c.span(), 100);
+  int same = 0;
+  for (index_t i = 0; i < 256; ++i) same += (a[i] == c[i]);
+  EXPECT_LT(same, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.seconds(), 0.0);
+  (void)sink;
+}
+
+TEST(Timer, TimeAdaptivePositiveAndPlausible) {
+  volatile double sink = 0;
+  const double per_call = time_adaptive(
+      [&] {
+        for (int i = 0; i < 1000; ++i) sink = sink + i;
+      },
+      {.min_total_seconds = 1e-3, .min_reps = 2});
+  EXPECT_GT(per_call, 0.0);
+  EXPECT_LT(per_call, 0.1);
+  (void)sink;
+}
+
+TEST(Timer, TimeBestOfNotWorseThanWorstTrial) {
+  volatile double sink = 0;
+  auto fn = [&] {
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  };
+  const double single = time_adaptive(fn, {.min_total_seconds = 1e-3});
+  const double best = time_best_of(fn, 3, {.min_total_seconds = 1e-3});
+  EXPECT_GT(best, 0.0);
+  EXPECT_LE(best, single * 10.0);  // sanity envelope, generous for CI noise
+  (void)sink;
+}
+
+TEST(Timer, InvalidOptionsThrow) {
+  EXPECT_THROW(time_adaptive([] {}, {.min_total_seconds = 1e-3, .min_reps = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(time_best_of([] {}, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// TableWriter / formatters
+// ---------------------------------------------------------------------------
+
+TEST(Table, AlignedOutputContainsHeadersAndCells) {
+  TableWriter t({"n", "mflops"});
+  t.add_row({"1024", "123.4"});
+  t.add_row({"2048", "99.9"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("mflops"), std::string::npos);
+  EXPECT_NE(s.find("123.4"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(Format, Pow2AndBytes) {
+  EXPECT_EQ(fmt_pow2(1024), "2^10");
+  EXPECT_EQ(fmt_pow2(1), "2^0");
+  EXPECT_EQ(fmt_pow2(100), "100");
+  EXPECT_EQ(fmt_bytes(512 * 1024), "512KB");
+  EXPECT_EQ(fmt_bytes(2 * 1024 * 1024), "2MB");
+  EXPECT_EQ(fmt_bytes(48), "48B");
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+}
+
+// ---------------------------------------------------------------------------
+// Contract macros
+// ---------------------------------------------------------------------------
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(DDL_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(DDL_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsLogicError) {
+  EXPECT_THROW(DDL_CHECK(false, "boom"), std::logic_error);
+  EXPECT_NO_THROW(DDL_CHECK(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    DDL_REQUIRE(1 == 2, "the message");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ddl

@@ -1,0 +1,329 @@
+// Tests for the second extension round: Good–Thomas PFA, sequency-ordered
+// WHT, rank-N FFT, Graphviz plan export, and the batched transform API.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/fft.hpp"
+#include "ddl/fft/fftnd.hpp"
+#include "ddl/fft/pfa.hpp"
+#include "ddl/fft/radix2.hpp"
+#include "ddl/fft/reference.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/wht/sequency.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Number theory helpers
+// ---------------------------------------------------------------------------
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(17, 5), 1);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(7, 0), 7);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(64, 48), 16);
+}
+
+TEST(MathUtil, ModInverse) {
+  for (const index_t m : {index_t{5}, index_t{7}, index_t{16}, index_t{97}}) {
+    for (index_t a = 1; a < m; ++a) {
+      if (gcd(a, m) != 1) continue;
+      const index_t inv = mod_inverse(a, m);
+      EXPECT_EQ((a * inv) % m, 1) << a << " mod " << m;
+      EXPECT_GE(inv, 1);
+      EXPECT_LT(inv, m);
+    }
+  }
+  EXPECT_THROW(mod_inverse(4, 16), std::invalid_argument);  // not coprime
+  EXPECT_THROW(mod_inverse(0, 5), std::invalid_argument);
+  EXPECT_THROW(mod_inverse(3, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Good-Thomas PFA
+// ---------------------------------------------------------------------------
+
+class PfaParam : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(PfaParam, MatchesReferenceAndRoundTrips) {
+  const auto [n1, n2] = GetParam();
+  const index_t n = n1 * n2;
+  AlignedBuffer<cplx> x(n);
+  fill_random(x.span(), 1234 + static_cast<std::uint64_t>(n));
+  const std::vector<cplx> input(x.begin(), x.end());
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  fft::dft_reference(std::span<const cplx>(input), std::span<cplx>(expect));
+
+  fft::PfaFft pfa(n1, n2);
+  EXPECT_EQ(pfa.size(), n);
+  pfa.forward(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(expect)), 1e-9 * n)
+      << n1 << "x" << n2;
+
+  pfa.inverse(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(input)), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoprimePairs, PfaParam,
+    ::testing::Values(std::pair<index_t, index_t>{1, 1}, std::pair<index_t, index_t>{1, 16},
+                      std::pair<index_t, index_t>{3, 4}, std::pair<index_t, index_t>{4, 3},
+                      std::pair<index_t, index_t>{5, 8}, std::pair<index_t, index_t>{7, 9},
+                      std::pair<index_t, index_t>{9, 16}, std::pair<index_t, index_t>{16, 9},
+                      std::pair<index_t, index_t>{5, 7}, std::pair<index_t, index_t>{32, 9},
+                      std::pair<index_t, index_t>{15, 16}, std::pair<index_t, index_t>{13, 8}));
+
+TEST(Pfa, RejectsNonCoprimeFactors) {
+  EXPECT_THROW(fft::PfaFft(4, 6), std::invalid_argument);
+  EXPECT_THROW(fft::PfaFft(8, 8), std::invalid_argument);
+}
+
+TEST(Pfa, AgreesWithCooleyTukeyOnSameSize) {
+  // 9*16 = 144 = also ct(12,12): two different factorization rules, same DFT.
+  const index_t n = 144;
+  AlignedBuffer<cplx> a(n);
+  AlignedBuffer<cplx> b(n);
+  fill_random(a.span(), 2);
+  for (index_t i = 0; i < n; ++i) b[i] = a[i];
+  fft::PfaFft pfa(9, 16);
+  pfa.forward(a.span());
+  fft::execute_tree(*plan::parse_tree("ct(12,12)"), b.span());
+  EXPECT_LT(fft::max_abs_diff(a.span(), b.span()), 1e-10 * n);
+}
+
+// ---------------------------------------------------------------------------
+// Sequency-ordered WHT
+// ---------------------------------------------------------------------------
+
+/// Count sign changes of a Walsh basis row obtained by transforming an
+/// impulse at the given natural-order coefficient index.
+int sign_changes_of_row(index_t natural_index, index_t n) {
+  AlignedBuffer<real_t> row(n);
+  // Row r of the Hadamard matrix = WHT of the impulse e_r (symmetric).
+  row[natural_index] = 1.0;
+  wht::wht_reference(row.span());
+  int changes = 0;
+  for (index_t i = 1; i < n; ++i) {
+    if ((row[i] > 0) != (row[i - 1] > 0)) ++changes;
+  }
+  return changes;
+}
+
+TEST(Sequency, MapYieldsMonotonicSignChanges) {
+  // The defining property of sequency order: coefficient s corresponds to
+  // the Walsh function with exactly s sign changes.
+  const index_t n = 64;
+  for (index_t s = 0; s < n; ++s) {
+    EXPECT_EQ(sign_changes_of_row(wht::sequency_to_natural(s, n), n), static_cast<int>(s))
+        << "s=" << s;
+  }
+}
+
+TEST(Sequency, MapIsAPermutation) {
+  const index_t n = 256;
+  const auto map = wht::sequency_map(n);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const index_t v : map) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Sequency, ReorderRoundTrip) {
+  const index_t n = 1 << 10;
+  AlignedBuffer<real_t> x(n);
+  fill_random(x.span(), 5);
+  const std::vector<real_t> original(x.begin(), x.end());
+  wht::to_sequency_order(x.span());
+  wht::to_natural_order(x.span());
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(x[i], original[static_cast<std::size_t>(i)]);
+}
+
+TEST(Sequency, LowSequencyCapturesSmoothSignal) {
+  // A slowly varying signal concentrates its energy in low sequencies —
+  // the whole point of the ordering.
+  const index_t n = 256;
+  AlignedBuffer<real_t> x(n);
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / static_cast<double>(n));
+  }
+  wht::wht_reference(x.span());
+  wht::to_sequency_order(x.span());
+  double low = 0;
+  double total = 0;
+  for (index_t s = 0; s < n; ++s) {
+    total += x[s] * x[s];
+    if (s < n / 8) low += x[s] * x[s];
+  }
+  EXPECT_GT(low / total, 0.95);
+}
+
+TEST(Sequency, Preconditions) {
+  EXPECT_THROW(wht::sequency_to_natural(0, 12), std::invalid_argument);
+  EXPECT_THROW(wht::sequency_to_natural(16, 16), std::invalid_argument);
+  AlignedBuffer<real_t> bad(12);
+  EXPECT_THROW(wht::to_sequency_order(bad.span()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Rank-N FFT
+// ---------------------------------------------------------------------------
+
+/// Brute-force separable reference: apply dft_reference along each axis.
+std::vector<cplx> dftnd_reference(std::vector<cplx> data, const std::vector<index_t>& shape) {
+  index_t total = 1;
+  for (index_t d : shape) total *= d;
+  for (std::size_t a = 0; a < shape.size(); ++a) {
+    const index_t d = shape[a];
+    if (d < 2) continue;
+    index_t post = 1;
+    for (std::size_t b = a + 1; b < shape.size(); ++b) post *= shape[b];
+    const index_t pre = total / (d * post);
+    for (index_t p = 0; p < pre; ++p) {
+      for (index_t q = 0; q < post; ++q) {
+        std::vector<cplx> line(static_cast<std::size_t>(d));
+        std::vector<cplx> out(static_cast<std::size_t>(d));
+        for (index_t i = 0; i < d; ++i) {
+          line[static_cast<std::size_t>(i)] =
+              data[static_cast<std::size_t>(p * d * post + i * post + q)];
+        }
+        fft::dft_reference(std::span<const cplx>(line), std::span<cplx>(out));
+        for (index_t i = 0; i < d; ++i) {
+          data[static_cast<std::size_t>(p * d * post + i * post + q)] =
+              out[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  }
+  return data;
+}
+
+class FftNdParam
+    : public ::testing::TestWithParam<std::tuple<std::vector<index_t>, fft::ColumnMode>> {};
+
+TEST_P(FftNdParam, MatchesSeparableReference) {
+  const auto& [shape, mode] = GetParam();
+  fft::FftNd fft(shape, mode);
+  AlignedBuffer<cplx> x(fft.size());
+  fill_random(x.span(), 9);
+  const std::vector<cplx> input(x.begin(), x.end());
+  const auto expect = dftnd_reference(input, shape);
+
+  fft.forward(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(expect)), 1e-9 * fft.size());
+  fft.inverse(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(input)), 1e-10 * fft.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FftNdParam,
+    ::testing::Combine(
+        ::testing::Values(std::vector<index_t>{16}, std::vector<index_t>{4, 8},
+                          std::vector<index_t>{4, 4, 4}, std::vector<index_t>{2, 8, 16},
+                          std::vector<index_t>{8, 1, 8}, std::vector<index_t>{2, 2, 2, 2, 4}),
+        ::testing::Values(fft::ColumnMode::strided, fft::ColumnMode::transpose)));
+
+TEST(FftNd, Rank1MatchesRadix2) {
+  fft::FftNd fft({1 << 12});
+  AlignedBuffer<cplx> a(1 << 12);
+  AlignedBuffer<cplx> b(1 << 12);
+  fill_random(a.span(), 3);
+  for (index_t i = 0; i < a.size(); ++i) b[i] = a[i];
+  fft.forward(a.span());
+  fft::Radix2Fft r2(1 << 12);
+  r2.forward(b.span());
+  EXPECT_LT(fft::max_abs_diff(a.span(), b.span()), 1e-9);
+}
+
+TEST(FftNd, Preconditions) {
+  EXPECT_THROW(fft::FftNd({}), std::invalid_argument);
+  EXPECT_THROW(fft::FftNd({4, 0, 4}), std::invalid_argument);
+  fft::FftNd fft({4, 4});
+  AlignedBuffer<cplx> wrong(8);
+  EXPECT_THROW(fft.forward(wrong.span()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Graphviz export
+// ---------------------------------------------------------------------------
+
+TEST(Dot, ContainsNodesEdgesAndStrides) {
+  const auto tree = plan::parse_tree("ctddl(ct(4,8),32)");
+  const std::string dot = plan::to_dot(*tree);
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("1024 @ 1"), std::string::npos);  // root
+  EXPECT_NE(dot.find("ddl"), std::string::npos);       // reorganizing split marked
+  EXPECT_NE(dot.find("4 @ 8"), std::string::npos);     // left-left under ddl: stride 8
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // 5 tree nodes plus the global "node [...]" style line.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '['), 6);
+}
+
+TEST(Dot, LeafOnly) {
+  const auto tree = plan::make_leaf(16);
+  const std::string dot = plan::to_dot(*tree, 4);
+  EXPECT_NE(dot.find("16 @ 4"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+TEST(Batch, TransformsEverySignalIndependently) {
+  const index_t n = 256;
+  const index_t count = 5;
+  const index_t dist = n + 16;  // padded layout
+  auto fft = fft::Fft::from_tree("ctddl(16,16)");
+
+  AlignedBuffer<cplx> batch(count * dist);
+  fill_random(batch.span(), 21);
+  const std::vector<cplx> original(batch.begin(), batch.end());
+
+  fft.forward_batch(batch.span(), count, dist);
+
+  for (index_t b = 0; b < count; ++b) {
+    std::vector<cplx> in(static_cast<std::size_t>(n));
+    std::vector<cplx> expect(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] =
+        original[static_cast<std::size_t>(b * dist + i)];
+    fft::dft_reference(std::span<const cplx>(in), std::span<cplx>(expect));
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(std::abs(batch[b * dist + i] - expect[static_cast<std::size_t>(i)]), 0.0,
+                  1e-10 * n)
+          << "batch " << b;
+    }
+    // Padding between signals untouched.
+    for (index_t i = n; i < dist && b * dist + i < batch.size(); ++i) {
+      ASSERT_EQ(batch[b * dist + i], original[static_cast<std::size_t>(b * dist + i)]);
+    }
+  }
+
+  fft.inverse_batch(batch.span(), count, dist);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_NEAR(std::abs(batch[static_cast<index_t>(i)] - original[i]), 0.0, 1e-10 * n);
+  }
+}
+
+TEST(Batch, Preconditions) {
+  auto fft = fft::Fft::from_tree("ct(4,4)");
+  AlignedBuffer<cplx> data(100);
+  EXPECT_THROW(fft.forward_batch(data.span(), 2, 8), std::invalid_argument);   // dist < n
+  EXPECT_THROW(fft.forward_batch(data.span(), 10, 16), std::invalid_argument);  // overflow
+  EXPECT_NO_THROW(fft.forward_batch(data.span(), 0, 16));                       // empty batch
+}
+
+}  // namespace
+}  // namespace ddl

@@ -1,0 +1,195 @@
+// Property-based tests for the FFT: mathematical invariants of the DFT
+// (Parseval, shift theorem, conjugate symmetry, convolution theorem) checked
+// over randomly generated factorization trees — including random placements
+// of ddl nodes — so every structural variant of the executor is swept.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/radix2.hpp"
+#include "ddl/fft/reference.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::fft {
+namespace {
+
+/// Random factorization tree for size n: random splits, random ddl flags.
+plan::TreePtr random_tree(index_t n, Xoshiro256& rng, index_t max_leaf = 32) {
+  const auto splits = factor_pairs(n);
+  const bool can_leaf = n <= max_leaf;
+  if (splits.empty() || (can_leaf && rng.below(3) == 0)) return plan::make_leaf(n);
+  const auto& [n1, n2] = splits[rng.below(splits.size())];
+  const bool ddl = rng.below(2) == 0;
+  return plan::make_split(random_tree(n1, rng, max_leaf), random_tree(n2, rng, max_leaf), ddl);
+}
+
+class RandomTreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeSweep, RandomTreesMatchRadix2) {
+  Xoshiro256 rng(GetParam());
+  const index_t n = pow2(6 + static_cast<int>(rng.below(7)));  // 2^6 .. 2^12
+  const auto tree = random_tree(n, rng);
+  ASSERT_EQ(tree->n, n);
+
+  AlignedBuffer<cplx> a(n);
+  AlignedBuffer<cplx> b(n);
+  fill_random(a.span(), GetParam() * 31 + 7);
+  for (index_t i = 0; i < n; ++i) b[i] = a[i];
+
+  execute_tree(*tree, a.span());
+  Radix2Fft r2(n);
+  r2.forward(b.span());
+  EXPECT_LT(max_abs_diff(a.span(), b.span()), 1e-9 * n)
+      << "tree=" << plan::to_string(*tree) << " n=" << n;
+}
+
+TEST_P(RandomTreeSweep, RandomTreesRoundTrip) {
+  Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  const index_t n = pow2(5 + static_cast<int>(rng.below(8)));  // 2^5 .. 2^12
+  const auto tree = random_tree(n, rng);
+
+  AlignedBuffer<cplx> x(n);
+  fill_random(x.span(), GetParam());
+  std::vector<cplx> original(x.begin(), x.end());
+  FftExecutor exec(*tree);
+  exec.forward(x.span());
+  exec.inverse(x.span());
+  EXPECT_LT(max_abs_diff(x.span(), std::span<const cplx>(original)), 1e-10 * n)
+      << "tree=" << plan::to_string(*tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeSweep, ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// DFT invariants, swept over fixed mixed SDL/DDL trees
+// ---------------------------------------------------------------------------
+
+class DftInvariantsParam : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DftInvariantsParam, ParsevalEnergyConservation) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  AlignedBuffer<cplx> x(n);
+  fill_random(x.span(), 101);
+  double input_energy = 0;
+  for (const cplx& v : x) input_energy += std::norm(v);
+
+  execute_tree(*tree, x.span());
+  double output_energy = 0;
+  for (const cplx& v : x) output_energy += std::norm(v);
+  // Parseval with unnormalized forward transform: ||X||^2 = n ||x||^2.
+  EXPECT_NEAR(output_energy / static_cast<double>(n), input_energy, 1e-9 * input_energy);
+}
+
+TEST_P(DftInvariantsParam, ConstantInputGivesDelta) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  AlignedBuffer<cplx> x(n);
+  for (auto& v : x) v = {2.5, -1.0};
+  execute_tree(*tree, x.span());
+  EXPECT_NEAR(x[0].real(), 2.5 * static_cast<double>(n), 1e-9 * n);
+  EXPECT_NEAR(x[0].imag(), -1.0 * static_cast<double>(n), 1e-9 * n);
+  for (index_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-8 * n) << "k=" << k;
+  }
+}
+
+TEST_P(DftInvariantsParam, PureToneLandsInOneBin) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  const index_t bin = n / 4 + 3;
+  AlignedBuffer<cplx> x(n);
+  for (index_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(bin * j) /
+                       static_cast<double>(n);
+    x[j] = {std::cos(ang), std::sin(ang)};
+  }
+  execute_tree(*tree, x.span());
+  EXPECT_NEAR(x[bin].real(), static_cast<double>(n), 1e-8 * n);
+  for (index_t k = 0; k < n; ++k) {
+    if (k != bin) {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-7 * n);
+    }
+  }
+}
+
+TEST_P(DftInvariantsParam, ConjugateSymmetryForRealInput) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  AlignedBuffer<cplx> x(n);
+  Xoshiro256 rng(303);
+  for (auto& v : x) v = {rng.uniform(-1, 1), 0.0};
+  execute_tree(*tree, x.span());
+  for (index_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(x[k].real(), x[n - k].real(), 1e-9 * n) << k;
+    EXPECT_NEAR(x[k].imag(), -x[n - k].imag(), 1e-9 * n) << k;
+  }
+  EXPECT_NEAR(x[0].imag(), 0.0, 1e-9 * n);
+}
+
+TEST_P(DftInvariantsParam, CircularShiftTheorem) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  const index_t shift = 5;
+  AlignedBuffer<cplx> x(n);
+  AlignedBuffer<cplx> shifted(n);
+  fill_random(x.span(), 404);
+  for (index_t j = 0; j < n; ++j) shifted[(j + shift) % n] = x[j];
+
+  FftExecutor exec(*tree);
+  exec.forward(x.span());
+  exec.forward(shifted.span());
+  // X_shifted[k] = X[k] * exp(-2 pi i k shift / n).
+  double worst = 0;
+  for (index_t k = 0; k < n; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * shift) /
+                       static_cast<double>(n);
+    const cplx expect = x[k] * cplx{std::cos(ang), std::sin(ang)};
+    worst = std::max(worst, std::abs(shifted[k] - expect));
+  }
+  EXPECT_LT(worst, 1e-8 * n);
+}
+
+TEST_P(DftInvariantsParam, ConvolutionTheorem) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  AlignedBuffer<cplx> a(n);
+  AlignedBuffer<cplx> b(n);
+  fill_random(a.span(), 1);
+  fill_random(b.span(), 2);
+
+  // Direct circular convolution.
+  std::vector<cplx> direct(static_cast<std::size_t>(n), cplx{0, 0});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      direct[static_cast<std::size_t>((i + j) % n)] += a[i] * b[j];
+    }
+  }
+
+  FftExecutor exec(*tree);
+  exec.forward(a.span());
+  exec.forward(b.span());
+  for (index_t i = 0; i < n; ++i) a[i] *= b[i];
+  exec.inverse(a.span());
+
+  double worst = 0;
+  for (index_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(a[i] - direct[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(worst, 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trees, DftInvariantsParam,
+                         ::testing::Values("ct(16,16)", "ctddl(16,16)", "ctddl(ct(4,8),32)",
+                                           "ct(ctddl(8,16),ctddl(4,2))"));
+
+}  // namespace
+}  // namespace ddl::fft

@@ -1,0 +1,247 @@
+// Unit and property tests for the data-layout kernels: packing, blocked
+// transposes (the DDL reorganization primitive), stride permutations, and
+// bit reversal.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/layout/reorg.hpp"
+#include "ddl/layout/stride_perm.hpp"
+
+namespace ddl::layout {
+namespace {
+
+/// Fill a strided element set with distinct markers and sentinel the rest.
+std::vector<real_t> strided_canvas(index_t n, index_t stride, real_t sentinel = -1.0) {
+  std::vector<real_t> v(static_cast<std::size_t>((n - 1) * stride + 1) + 7, sentinel);
+  for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * stride)] = static_cast<real_t>(i);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// pack / unpack
+// ---------------------------------------------------------------------------
+
+class PackParam : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(PackParam, RoundTripPreservesStridedVectorAndSentinels) {
+  const auto [n, stride] = GetParam();
+  auto canvas = strided_canvas(n, stride);
+  const auto original = canvas;
+  std::vector<real_t> packed(static_cast<std::size_t>(n), 0.0);
+
+  pack(canvas.data(), stride, n, packed.data());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(packed[static_cast<std::size_t>(i)], static_cast<real_t>(i));
+  }
+
+  // Scramble the strided slots, then unpack restores them.
+  for (index_t i = 0; i < n; ++i) canvas[static_cast<std::size_t>(i * stride)] = -99.0;
+  unpack(canvas.data(), stride, n, packed.data());
+  EXPECT_EQ(canvas, original);  // sentinels untouched, values restored
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PackParam,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{1, 5}, std::tuple{7, 1},
+                                           std::tuple{16, 3}, std::tuple{64, 16},
+                                           std::tuple{100, 7}, std::tuple{256, 64}));
+
+// ---------------------------------------------------------------------------
+// transpose_gather / transpose_scatter
+// ---------------------------------------------------------------------------
+
+class TransposeParam
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(TransposeParam, GatherMatchesDefinition) {
+  const auto [n1, n2, stride] = GetParam();
+  const index_t n = n1 * n2;
+  std::vector<cplx> x(static_cast<std::size_t>(n * stride));
+  fill_random(std::span<cplx>(x), 11);
+  std::vector<cplx> y(static_cast<std::size_t>(n));
+
+  transpose_gather(x.data(), stride, n1, n2, y.data());
+  for (index_t i = 0; i < n1; ++i) {
+    for (index_t j = 0; j < n2; ++j) {
+      EXPECT_EQ(y[static_cast<std::size_t>(j * n1 + i)],
+                x[static_cast<std::size_t>((i * n2 + j) * stride)])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(TransposeParam, ScatterInvertsGather) {
+  const auto [n1, n2, stride] = GetParam();
+  const index_t n = n1 * n2;
+  std::vector<cplx> x(static_cast<std::size_t>(n * stride));
+  fill_random(std::span<cplx>(x), 23);
+  const auto original = x;
+  std::vector<cplx> y(static_cast<std::size_t>(n));
+
+  transpose_gather(x.data(), stride, n1, n2, y.data());
+  // Wipe only the strided slots gather read; scatter must restore exactly
+  // those and no others.
+  for (index_t k = 0; k < n; ++k) x[static_cast<std::size_t>(k * stride)] = cplx{-5.0, -5.0};
+  transpose_scatter(x.data(), stride, n1, n2, y.data());
+  EXPECT_EQ(x, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeParam,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 8, 1}, std::tuple{8, 2, 3},
+                      std::tuple{16, 16, 1}, std::tuple{16, 16, 4},
+                      std::tuple{17, 5, 2},        // non-tile-multiple edges
+                      std::tuple{33, 31, 1},       // odd sizes straddling tiles
+                      std::tuple{64, 128, 1}, std::tuple{128, 64, 2}));
+
+TEST(Transpose, TileBoundaryExactness) {
+  // Sizes straddling the kTile boundary exercise the partial-tile paths.
+  for (index_t n1 : {kTile - 1, kTile, kTile + 1}) {
+    for (index_t n2 : {kTile - 1, kTile, kTile + 1}) {
+      const index_t n = n1 * n2;
+      std::vector<real_t> x(static_cast<std::size_t>(n));
+      std::iota(x.begin(), x.end(), 0.0);
+      std::vector<real_t> y(static_cast<std::size_t>(n), -1.0);
+      transpose_gather(x.data(), 1, n1, n2, y.data());
+      for (index_t i = 0; i < n1; ++i) {
+        for (index_t j = 0; j < n2; ++j) {
+          ASSERT_EQ(y[static_cast<std::size_t>(j * n1 + i)], static_cast<real_t>(i * n2 + j));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stride_permute
+// ---------------------------------------------------------------------------
+
+class StridePermParam : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(StridePermParam, MatchesDefinition) {
+  const auto [n, m] = GetParam();
+  std::vector<cplx> in(static_cast<std::size_t>(n));
+  fill_random(std::span<cplx>(in), 31);
+  std::vector<cplx> out(static_cast<std::size_t>(n));
+  stride_permute(in.data(), out.data(), n, m);
+  const index_t rows = n / m;
+  for (index_t q = 0; q < rows; ++q) {
+    for (index_t r = 0; r < m; ++r) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r * rows + q)],
+                in[static_cast<std::size_t>(q * m + r)]);
+    }
+  }
+}
+
+TEST_P(StridePermParam, InverseComposition) {
+  // L^n_{n/m} undoes L^n_m.
+  const auto [n, m] = GetParam();
+  std::vector<cplx> in(static_cast<std::size_t>(n));
+  fill_random(std::span<cplx>(in), 37);
+  std::vector<cplx> mid(static_cast<std::size_t>(n));
+  std::vector<cplx> back(static_cast<std::size_t>(n));
+  stride_permute(in.data(), mid.data(), n, m);
+  stride_permute(mid.data(), back.data(), n, n / m);
+  EXPECT_EQ(back, in);
+}
+
+TEST_P(StridePermParam, InplaceMatchesOutOfPlaceOnStridedData) {
+  const auto [n, m] = GetParam();
+  const index_t stride = 3;
+  std::vector<cplx> canvas(static_cast<std::size_t>(n * stride));
+  fill_random(std::span<cplx>(canvas), 41);
+  const auto original = canvas;
+
+  // Expected: permute the strided element set out of place.
+  std::vector<cplx> elems(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) elems[static_cast<std::size_t>(k)] =
+      canvas[static_cast<std::size_t>(k * stride)];
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  stride_permute(elems.data(), expect.data(), n, m);
+
+  std::vector<cplx> scratch(static_cast<std::size_t>(n));
+  stride_permute_inplace(canvas.data(), stride, n, m, scratch.data());
+  for (index_t k = 0; k < n; ++k) {
+    EXPECT_EQ(canvas[static_cast<std::size_t>(k * stride)], expect[static_cast<std::size_t>(k)]);
+  }
+  // Off-stride slots untouched.
+  for (std::size_t i = 0; i < canvas.size(); ++i) {
+    if (i % static_cast<std::size_t>(stride) != 0) {
+      EXPECT_EQ(canvas[i], original[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StridePermParam,
+                         ::testing::Values(std::tuple{16, 4}, std::tuple{16, 1},
+                                           std::tuple{16, 16}, std::tuple{24, 6},
+                                           std::tuple{256, 16}, std::tuple{1024, 32},
+                                           std::tuple{60, 5}));
+
+TEST(StridePerm, IdentityWhenMIsOneOrN) {
+  std::vector<real_t> in(64);
+  std::iota(in.begin(), in.end(), 0.0);
+  std::vector<real_t> out(64, -1);
+  stride_permute(in.data(), out.data(), 64, 1);
+  EXPECT_EQ(out, in);
+  stride_permute(in.data(), out.data(), 64, 64);
+  EXPECT_EQ(out, in);
+}
+
+TEST(StridePerm, RejectsNonDivisor) {
+  std::vector<real_t> in(10);
+  std::vector<real_t> out(10);
+  EXPECT_THROW(stride_permute(in.data(), out.data(), 10, 3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// bit reversal
+// ---------------------------------------------------------------------------
+
+TEST(BitReverse, KnownValues) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011);
+  EXPECT_EQ(bit_reverse(0, 8), 0);
+  EXPECT_EQ(bit_reverse(1, 1), 1);
+}
+
+TEST(BitReverse, IsInvolution) {
+  for (int bits = 1; bits <= 12; ++bits) {
+    for (index_t k = 0; k < pow2(bits); k += 7) {
+      EXPECT_EQ(bit_reverse(bit_reverse(k, bits), bits), k);
+    }
+  }
+}
+
+TEST(BitReverse, PermuteMatchesIndexMap) {
+  const index_t n = 256;
+  std::vector<real_t> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0.0);
+  bit_reverse_permute(v.data(), n);
+  for (index_t k = 0; k < n; ++k) {
+    EXPECT_EQ(v[static_cast<std::size_t>(k)], static_cast<real_t>(bit_reverse(k, 8)));
+  }
+}
+
+TEST(BitReverse, PermuteIsInvolution) {
+  const index_t n = 1024;
+  std::vector<cplx> v(static_cast<std::size_t>(n));
+  fill_random(std::span<cplx>(v), 5);
+  const auto original = v;
+  bit_reverse_permute(v.data(), n);
+  bit_reverse_permute(v.data(), n);
+  EXPECT_EQ(v, original);
+}
+
+TEST(BitReverse, RejectsNonPow2) {
+  std::vector<real_t> v(12);
+  EXPECT_THROW(bit_reverse_permute(v.data(), 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::layout

@@ -1,0 +1,254 @@
+// Tests for the plan infrastructure: trees, implied strides (Property 1),
+// the grammar parser/printer, the cost database, and wisdom persistence.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/plan/wisdom.hpp"
+
+namespace ddl::plan {
+namespace {
+
+std::filesystem::path temp_file(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("ddl_test_") + tag + "_" + std::to_string(::getpid()) + ".txt");
+}
+
+// ---------------------------------------------------------------------------
+// Tree construction and metrics
+// ---------------------------------------------------------------------------
+
+TEST(Tree, LeafAndSplitBasics) {
+  auto leaf = make_leaf(16);
+  EXPECT_TRUE(leaf->is_leaf());
+  EXPECT_EQ(leaf->n, 16);
+
+  auto split = make_split(make_leaf(4), make_leaf(8), true);
+  EXPECT_FALSE(split->is_leaf());
+  EXPECT_EQ(split->n, 32);
+  EXPECT_TRUE(split->ddl);
+  EXPECT_EQ(split->left->n, 4);
+  EXPECT_EQ(split->right->n, 8);
+}
+
+TEST(Tree, Validation) {
+  EXPECT_THROW(make_leaf(0), std::invalid_argument);
+  EXPECT_THROW(make_split(nullptr, make_leaf(2)), std::invalid_argument);
+  EXPECT_THROW(make_split(make_leaf(2), nullptr), std::invalid_argument);
+}
+
+TEST(Tree, Metrics) {
+  auto t = make_split(make_split(make_leaf(2), make_leaf(4), true),
+                      make_split(make_leaf(8), make_leaf(16)), false);
+  EXPECT_EQ(t->n, 2 * 4 * 8 * 16);
+  EXPECT_EQ(leaf_count(*t), 4);
+  EXPECT_EQ(height(*t), 3);
+  EXPECT_EQ(ddl_node_count(*t), 1);
+
+  auto leaf = make_leaf(7);
+  EXPECT_EQ(leaf_count(*leaf), 1);
+  EXPECT_EQ(height(*leaf), 1);
+  EXPECT_EQ(ddl_node_count(*leaf), 0);
+}
+
+TEST(Tree, CloneAndEqual) {
+  auto t = parse_tree("ct(ctddl(4,8),ct(16,2))");
+  auto c = clone(*t);
+  EXPECT_TRUE(equal(*t, *c));
+  c->right->ddl = true;
+  EXPECT_FALSE(equal(*t, *c));
+  EXPECT_FALSE(equal(*make_leaf(4), *make_leaf(8)));
+  EXPECT_FALSE(equal(*make_leaf(32), *parse_tree("ct(4,8)")));
+}
+
+TEST(Tree, RightSpineShape) {
+  auto t = right_spine({16, 16, 4});
+  EXPECT_EQ(t->n, 1024);
+  EXPECT_TRUE(t->left->is_leaf());
+  EXPECT_EQ(t->left->n, 16);
+  EXPECT_FALSE(t->right->is_leaf());
+  EXPECT_EQ(t->right->left->n, 16);
+  EXPECT_EQ(t->right->right->n, 4);
+  EXPECT_TRUE(t->right->right->is_leaf());
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: implied strides
+// ---------------------------------------------------------------------------
+
+TEST(Tree, Property1StrideAssignment) {
+  // ct(a, b) at stride s: left child stride s*b, right child stride s.
+  auto t = parse_tree("ct(ct(4,8),ct(16,2))");  // n = 1024
+  std::vector<std::pair<index_t, index_t>> seen;  // (size, stride)
+  for_each_node(*t, 1, [&](const Node& nd, index_t s) { seen.emplace_back(nd.n, s); });
+  // Pre-order: root(1024,1), left(32, 1*32=32), 4@32*8=256, 8@32,
+  //            right(32,1), 16@1*2=2, 2@1.
+  const std::vector<std::pair<index_t, index_t>> expect = {
+      {1024, 1}, {32, 32}, {4, 256}, {8, 32}, {32, 1}, {16, 2}, {2, 1}};
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Tree, DdlNodeResetsLeftSubtreeStride) {
+  // A ddl split's left stage runs at unit stride after reorganization.
+  auto t = parse_tree("ctddl(ct(4,8),32)");  // n = 1024
+  std::vector<std::pair<index_t, index_t>> seen;
+  for_each_node(*t, 1, [&](const Node& nd, index_t s) { seen.emplace_back(nd.n, s); });
+  const std::vector<std::pair<index_t, index_t>> expect = {
+      {1024, 1}, {32, 1}, {4, 8}, {8, 1}, {32, 1}};
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Tree, RootStridePropagates) {
+  auto t = parse_tree("ct(2,2)");
+  std::vector<index_t> strides;
+  for_each_node(*t, 16, [&](const Node&, index_t s) { strides.push_back(s); });
+  EXPECT_EQ(strides, (std::vector<index_t>{16, 32, 16}));
+}
+
+// ---------------------------------------------------------------------------
+// Grammar
+// ---------------------------------------------------------------------------
+
+class GrammarRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GrammarRoundTrip, ParsePrintParse) {
+  auto t = parse_tree(GetParam());
+  EXPECT_EQ(to_string(*t), GetParam());
+  auto t2 = parse_tree(to_string(*t));
+  EXPECT_TRUE(equal(*t, *t2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Forms, GrammarRoundTrip,
+                         ::testing::Values("16", "ct(4,4)", "ctddl(16,16)",
+                                           "ct(ctddl(32,32),ct(32,2))",
+                                           "ctddl(ctddl(2,ct(3,5)),ctddl(7,9))",
+                                           "ct(1048576,2)"));
+
+TEST(Grammar, WhitespaceTolerated) {
+  auto t = parse_tree("  ct ( 4 , ctddl( 8 , 2 ) ) ");
+  EXPECT_EQ(to_string(*t), "ct(4,ctddl(8,2))");
+}
+
+TEST(Grammar, Errors) {
+  EXPECT_THROW(parse_tree(""), std::invalid_argument);
+  EXPECT_THROW(parse_tree("xt(4,4)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ct(4)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ct(4,4"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ct(4,4))"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ct(0,4)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ct(4,4)x"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("ctddl"), std::invalid_argument);
+}
+
+TEST(Grammar, ErrorMessageHasOffset) {
+  try {
+    parse_tree("ct(4,]");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CostDb
+// ---------------------------------------------------------------------------
+
+TEST(CostDb, MemoizesMeasurement) {
+  CostDb db;
+  int calls = 0;
+  auto probe = [&] {
+    ++calls;
+    return 1.5;
+  };
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"k", 8, 2, 0}, probe), 1.5);
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"k", 8, 2, 0}, probe), 1.5);
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"k", 8, 3, 0}, probe), 1.5);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(CostDb, ContainsAndPut) {
+  CostDb db;
+  EXPECT_FALSE(db.contains({"x", 1, 1, 1}));
+  db.put({"x", 1, 1, 1}, 0.25);
+  EXPECT_TRUE(db.contains({"x", 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"x", 1, 1, 1}, [] { return 9.0; }), 0.25);
+}
+
+TEST(CostDb, RejectsNegativeMeasurement) {
+  CostDb db;
+  EXPECT_THROW(db.get_or_measure({"bad", 0, 0, 0}, [] { return -1.0; }), std::logic_error);
+}
+
+TEST(CostDb, SaveLoadRoundTrip) {
+  const auto file = temp_file("costdb");
+  {
+    CostDb db;
+    db.put({"dft_leaf", 16, 4, 0}, 1.25e-7);
+    db.put({"reorg", 32, 64, 2}, 3.5e-6);
+    EXPECT_TRUE(db.save(file));
+  }
+  CostDb loaded;
+  EXPECT_TRUE(loaded.load(file));
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.get_or_measure({"dft_leaf", 16, 4, 0}, [] { return 0.0; }), 1.25e-7);
+  EXPECT_DOUBLE_EQ(loaded.get_or_measure({"reorg", 32, 64, 2}, [] { return 0.0; }), 3.5e-6);
+  std::filesystem::remove(file);
+}
+
+TEST(CostDb, LoadMissingFileFails) {
+  CostDb db;
+  EXPECT_FALSE(db.load("/nonexistent/path/costdb.txt"));
+}
+
+// ---------------------------------------------------------------------------
+// Wisdom
+// ---------------------------------------------------------------------------
+
+TEST(Wisdom, RememberRecall) {
+  Wisdom w;
+  EXPECT_FALSE(w.recall("fft", "ddl_dp", 1024).has_value());
+  w.remember("fft", "ddl_dp", 1024, {"ctddl(32,32)", 1e-5});
+  const auto hit = w.recall("fft", "ddl_dp", 1024);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tree, "ctddl(32,32)");
+  EXPECT_DOUBLE_EQ(hit->seconds, 1e-5);
+  EXPECT_FALSE(w.recall("wht", "ddl_dp", 1024).has_value());
+  EXPECT_FALSE(w.recall("fft", "sdl_dp", 1024).has_value());
+}
+
+TEST(Wisdom, OverwriteKeepsLatest) {
+  Wisdom w;
+  w.remember("fft", "ddl_dp", 64, {"ct(8,8)", 2.0});
+  w.remember("fft", "ddl_dp", 64, {"ctddl(8,8)", 1.0});
+  EXPECT_EQ(w.recall("fft", "ddl_dp", 64)->tree, "ctddl(8,8)");
+}
+
+TEST(Wisdom, SaveLoadRoundTrip) {
+  const auto file = temp_file("wisdom");
+  {
+    Wisdom w;
+    w.remember("fft", "ddl_dp", 65536, {"ctddl(ct(16,16),ct(16,16))", 4.25e-4});
+    w.remember("wht", "sdl_dp", 256, {"ct(16,16)", 1e-6});
+    EXPECT_TRUE(w.save(file));
+  }
+  Wisdom loaded;
+  EXPECT_TRUE(loaded.load(file));
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto hit = loaded.recall("fft", "ddl_dp", 65536);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tree, "ctddl(ct(16,16),ct(16,16))");
+  EXPECT_DOUBLE_EQ(hit->seconds, 4.25e-4);
+  std::filesystem::remove(file);
+}
+
+}  // namespace
+}  // namespace ddl::plan

@@ -1,0 +1,232 @@
+// Robustness and failure-injection tests: grammar fuzzing, corrupted
+// persistence files, guard-region (canary) checks around executor buffers,
+// worst-case arena shapes, and self-move safety.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/cli.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/radix2.hpp"
+#include "ddl/fft/reference.hpp"
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/plan/wisdom.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl {
+namespace {
+
+std::filesystem::path temp_file(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("ddl_robust_") + tag + "_" + std::to_string(::getpid()) + ".txt");
+}
+
+// ---------------------------------------------------------------------------
+// Grammar fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(GrammarFuzz, RandomStringsNeverCrash) {
+  // Random ASCII soup drawn from the grammar's alphabet: the parser must
+  // either produce a valid tree (which then round-trips) or throw
+  // std::invalid_argument — nothing else.
+  const std::string alphabet = "ctdl(),0123456789 ";
+  Xoshiro256 rng(0xF00D);
+  int parsed = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string s;
+    const auto len = 1 + rng.below(24);
+    for (std::uint64_t i = 0; i < len; ++i) s += alphabet[rng.below(alphabet.size())];
+    try {
+      const auto tree = plan::parse_tree(s);
+      ASSERT_NE(tree, nullptr);
+      const auto again = plan::parse_tree(plan::to_string(*tree));
+      EXPECT_TRUE(plan::equal(*tree, *again)) << s;
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    }
+  }
+  EXPECT_GT(parsed, 0);  // plain integers parse, so some inputs succeed
+}
+
+TEST(GrammarFuzz, MutatedValidTreesNeverCrash) {
+  // Start from a valid grammar string and flip characters.
+  const std::string base = "ctddl(ct(16,16),ctddl(8,ct(4,8)))";
+  Xoshiro256 rng(77);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s = base;
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < mutations; ++m) {
+      s[rng.below(s.size())] = "ctdl(),0123456789"[rng.below(17)];
+    }
+    try {
+      const auto tree = plan::parse_tree(s);
+      ASSERT_NE(tree, nullptr);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted persistence files
+// ---------------------------------------------------------------------------
+
+TEST(Persistence, CostDbSkipsGarbageLines) {
+  const auto file = temp_file("costdb");
+  {
+    std::ofstream os(file);
+    os << "dft_leaf 16 4 0 1.5e-7\n"
+       << "this line is garbage\n"
+       << "reorg 8 8 one 2.0\n"  // non-numeric field
+       << "perm 64 8 1 3.25e-6\n";
+  }
+  plan::CostDb db;
+  EXPECT_TRUE(db.load(file));
+  // The leading valid line loads; parsing stops/skips at garbage without
+  // crashing or corrupting previously loaded entries.
+  EXPECT_TRUE(db.contains({"dft_leaf", 16, 4, 0}));
+  std::filesystem::remove(file);
+}
+
+TEST(Persistence, WisdomSkipsGarbage) {
+  const auto file = temp_file("wisdom");
+  {
+    std::ofstream os(file);
+    os << "fft ddl_dp 1024 1e-5 ct(32,32)\n"
+       << "not even close\n";
+  }
+  plan::Wisdom w;
+  EXPECT_TRUE(w.load(file));
+  ASSERT_TRUE(w.recall("fft", "ddl_dp", 1024).has_value());
+  std::filesystem::remove(file);
+}
+
+TEST(Persistence, WisdomWithMalformedTreeFailsAtUse) {
+  // A wisdom file can hold a syntactically invalid tree (hand-edited);
+  // the error surfaces as invalid_argument when the plan is parsed.
+  plan::Wisdom w;
+  w.remember("fft", "ddl_dp", 64, {"ct(8,", 1.0});
+  const auto hit = w.recall("fft", "ddl_dp", 64);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_THROW(plan::parse_tree(hit->tree), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Guard regions around executor buffers
+// ---------------------------------------------------------------------------
+
+TEST(Canary, FftExecutorWritesOnlyItsRegion) {
+  const cplx guard{7.25e11, -3.5e11};
+  for (const char* g : {"ct(16,16)", "ctddl(16,16)", "ctddl(ct(4,8),ctddl(8,4))"}) {
+    const auto tree = plan::parse_tree(g);
+    const index_t n = tree->n;
+    std::vector<cplx> canvas(static_cast<std::size_t>(n) + 64, guard);
+    cplx* data = canvas.data() + 32;
+    fill_random(std::span<cplx>(data, static_cast<std::size_t>(n)), 3);
+
+    fft::FftExecutor exec(*tree);
+    exec.forward(std::span<cplx>(data, static_cast<std::size_t>(n)));
+
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(canvas[static_cast<std::size_t>(i)], guard) << g << " head " << i;
+      ASSERT_EQ(canvas[canvas.size() - 1 - static_cast<std::size_t>(i)], guard)
+          << g << " tail " << i;
+    }
+  }
+}
+
+TEST(Canary, WhtExecutorWritesOnlyItsRegion) {
+  const real_t guard = 9.75e13;
+  const auto tree = plan::parse_tree("ctddl(ctddl(16,16),ct(16,4))");
+  const index_t n = tree->n;
+  std::vector<real_t> canvas(static_cast<std::size_t>(n) + 64, guard);
+  real_t* data = canvas.data() + 32;
+  fill_random(std::span<real_t>(data, static_cast<std::size_t>(n)), 4);
+
+  wht::WhtExecutor exec(*tree);
+  exec.transform(std::span<real_t>(data, static_cast<std::size_t>(n)));
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(canvas[static_cast<std::size_t>(i)], guard);
+    ASSERT_EQ(canvas[canvas.size() - 1 - static_cast<std::size_t>(i)], guard);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worst-case arena shapes
+// ---------------------------------------------------------------------------
+
+/// Left-spine of ddl splits: every level parks a scratch region while its
+/// left subtree executes — the maximal concurrent arena demand.
+plan::TreePtr ddl_left_spine(int levels) {
+  plan::TreePtr tree = plan::make_leaf(2);
+  for (int i = 0; i < levels; ++i) {
+    tree = plan::make_split(std::move(tree), plan::make_leaf(2), true);
+  }
+  return tree;
+}
+
+TEST(Arena, DeepDdlLeftSpineStaysCorrect) {
+  const auto tree = ddl_left_spine(10);  // n = 2^11
+  const index_t n = tree->n;
+  AlignedBuffer<cplx> a(n);
+  AlignedBuffer<cplx> b(n);
+  fill_random(a.span(), 6);
+  for (index_t i = 0; i < n; ++i) b[i] = a[i];
+
+  fft::execute_tree(*tree, a.span());
+  fft::Radix2Fft r2(n);
+  r2.forward(b.span());
+  EXPECT_LT(fft::max_abs_diff(a.span(), b.span()), 1e-9 * n);
+}
+
+TEST(Arena, AllDdlBalancedTreeStaysCorrect) {
+  // Every split reorganizes: maximal simultaneous scratch regions on both
+  // sides of the recursion.
+  const auto tree = plan::parse_tree("ctddl(ctddl(8,8),ctddl(8,8))");
+  const index_t n = tree->n;
+  ASSERT_EQ(n, 4096);
+  AlignedBuffer<cplx> a(n);
+  AlignedBuffer<cplx> b(n);
+  fill_random(a.span(), 8);
+  for (index_t i = 0; i < n; ++i) b[i] = a[i];
+  fft::execute_tree(*tree, a.span());
+  fft::Radix2Fft r2(n);
+  r2.forward(b.span());
+  EXPECT_LT(fft::max_abs_diff(a.span(), b.span()), 1e-10 * n);
+}
+
+// ---------------------------------------------------------------------------
+// Misc object-lifetime hygiene
+// ---------------------------------------------------------------------------
+
+TEST(Lifetime, AlignedBufferSelfMoveIsSafe) {
+  AlignedBuffer<int> buf(8);
+  buf[0] = 42;
+  auto& self = buf;
+  buf = std::move(self);
+  EXPECT_EQ(buf.size(), 8);
+  EXPECT_EQ(buf[0], 42);
+}
+
+TEST(Lifetime, ExecutorMoveKeepsWorking) {
+  fft::FftExecutor a(*plan::parse_tree("ctddl(16,16)"));
+  fft::FftExecutor b = std::move(a);
+  AlignedBuffer<cplx> x(256);
+  fill_random(x.span(), 10);
+  const std::vector<cplx> orig(x.begin(), x.end());
+  b.forward(x.span());
+  b.inverse(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(orig)), 1e-10 * 256);
+}
+
+}  // namespace
+}  // namespace ddl

@@ -1,0 +1,190 @@
+// Tests for the WHT engine: the tree executor against the Hadamard
+// definition and the iterative reference, structural invariants
+// (self-inverse, energy scaling), and random-tree sweeps mirroring the FFT
+// property tests.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/wht/planner.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl::wht {
+namespace {
+
+std::vector<real_t> wht_by_definition(const std::vector<real_t>& x) {
+  const auto n = static_cast<index_t>(x.size());
+  std::vector<real_t> y(x.size(), 0.0);
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t j = 0; j < n; ++j) {
+      const int sign = std::popcount(static_cast<std::uint64_t>(k & j)) % 2 == 0 ? 1 : -1;
+      y[static_cast<std::size_t>(k)] += sign * x[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+TEST(WhtReference, MatchesDefinition) {
+  for (index_t n : {1, 2, 4, 16, 128, 512}) {
+    AlignedBuffer<real_t> x(n);
+    fill_random(x.span(), static_cast<std::uint64_t>(n) + 1);
+    const std::vector<real_t> input(x.begin(), x.end());
+    const auto expect = wht_by_definition(input);
+    wht_reference(x.span());
+    for (index_t k = 0; k < n; ++k) {
+      ASSERT_NEAR(x[k], expect[static_cast<std::size_t>(k)], 1e-9 * n) << "n=" << n;
+    }
+  }
+}
+
+TEST(WhtReference, RejectsNonPow2) {
+  AlignedBuffer<real_t> x(12);
+  EXPECT_THROW(wht_reference(x.span()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Tree executor
+// ---------------------------------------------------------------------------
+
+class WhtTreeParam : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WhtTreeParam, MatchesReference) {
+  auto tree = plan::parse_tree(GetParam());
+  const index_t n = tree->n;
+  AlignedBuffer<real_t> x(n);
+  fill_random(x.span(), 7);
+  std::vector<real_t> expect(x.begin(), x.end());
+  wht_reference(std::span<real_t>(expect));
+
+  execute_tree(*tree, x.span());
+  for (index_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(x[k], expect[static_cast<std::size_t>(k)], 1e-9 * n) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trees, WhtTreeParam,
+    ::testing::Values("2", "64", "ct(2,2)", "ct(4,8)", "ct(8,4)", "ctddl(16,16)",
+                      "ct(ct(4,4),ct(4,4))", "ctddl(ctddl(16,16),ct(16,4))",
+                      "ct(ctddl(32,32),ctddl(8,2))", "ctddl(64,ctddl(64,4))"));
+
+TEST(WhtExecutor, RejectsNonPow2Nodes) {
+  EXPECT_THROW(WhtExecutor(*plan::parse_tree("ct(3,4)")), std::invalid_argument);
+  EXPECT_THROW(WhtExecutor(*plan::parse_tree("12")), std::invalid_argument);
+}
+
+TEST(WhtExecutor, SizeMismatchThrows) {
+  WhtExecutor exec(*plan::parse_tree("ct(4,4)"));
+  AlignedBuffer<real_t> wrong(8);
+  EXPECT_THROW(exec.transform(wrong.span()), std::invalid_argument);
+}
+
+TEST(WhtExecutor, SelfInverseUpToN) {
+  // WHT(WHT(x)) == n * x.
+  auto tree = plan::parse_tree("ctddl(ct(8,8),16)");
+  const index_t n = tree->n;
+  AlignedBuffer<real_t> x(n);
+  fill_random(x.span(), 12);
+  const std::vector<real_t> original(x.begin(), x.end());
+  WhtExecutor exec(*tree);
+  exec.transform(x.span());
+  exec.transform(x.span());
+  for (index_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(x[k], static_cast<double>(n) * original[static_cast<std::size_t>(k)], 1e-8 * n);
+  }
+}
+
+TEST(WhtExecutor, EnergyScaling) {
+  // ||WHT x||^2 == n ||x||^2 (Hadamard rows are orthogonal, norm sqrt(n)).
+  auto tree = plan::parse_tree("ct(ctddl(16,16),4)");
+  const index_t n = tree->n;
+  AlignedBuffer<real_t> x(n);
+  fill_random(x.span(), 13);
+  double in_energy = 0;
+  for (real_t v : x) in_energy += v * v;
+  execute_tree(*tree, x.span());
+  double out_energy = 0;
+  for (real_t v : x) out_energy += v * v;
+  EXPECT_NEAR(out_energy, static_cast<double>(n) * in_energy, 1e-8 * out_energy);
+}
+
+TEST(WhtExecutor, DdlFlagsDoNotChangeAnswer) {
+  const index_t n = 1 << 12;
+  AlignedBuffer<real_t> a(n);
+  AlignedBuffer<real_t> b(n);
+  fill_random(a.span(), 14);
+  for (index_t i = 0; i < n; ++i) b[i] = a[i];
+  execute_tree(*plan::parse_tree("ct(ct(64,8),8)"), a.span());
+  execute_tree(*plan::parse_tree("ctddl(ctddl(64,8),8)"), b.span());
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(a[i], b[i]);  // identical adds, exact match
+}
+
+// ---------------------------------------------------------------------------
+// Random tree sweep
+// ---------------------------------------------------------------------------
+
+plan::TreePtr random_wht_tree(index_t n, Xoshiro256& rng, index_t max_leaf = 64) {
+  const auto splits = factor_pairs(n);
+  if (splits.empty() || (n <= max_leaf && rng.below(3) == 0)) return plan::make_leaf(n);
+  const auto& [n1, n2] = splits[rng.below(splits.size())];
+  return plan::make_split(random_wht_tree(n1, rng, max_leaf), random_wht_tree(n2, rng, max_leaf),
+                          rng.below(2) == 0);
+}
+
+class RandomWhtSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWhtSweep, MatchesReference) {
+  Xoshiro256 rng(GetParam());
+  const index_t n = pow2(4 + static_cast<int>(rng.below(10)));  // 2^4 .. 2^13
+  const auto tree = random_wht_tree(n, rng);
+  ASSERT_EQ(tree->n, n);
+
+  AlignedBuffer<real_t> x(n);
+  fill_random(x.span(), GetParam() * 3 + 1);
+  std::vector<real_t> expect(x.begin(), x.end());
+  wht_reference(std::span<real_t>(expect));
+  execute_tree(*tree, x.span());
+  for (index_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(x[k], expect[static_cast<std::size_t>(k)], 1e-8 * n)
+        << "tree=" << plan::to_string(*tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWhtSweep, ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// Fixed tree builders
+// ---------------------------------------------------------------------------
+
+TEST(WhtTrees, RightmostShape) {
+  auto t = rightmost_wht_tree(1 << 14, 64);
+  EXPECT_EQ(t->n, 1 << 14);
+  const plan::Node* cur = t.get();
+  while (!cur->is_leaf()) {
+    EXPECT_TRUE(cur->left->is_leaf());
+    EXPECT_LE(cur->left->n, 64);
+    cur = cur->right.get();
+  }
+}
+
+TEST(WhtTrees, BalancedShapeAndDdlThreshold) {
+  auto t = balanced_wht_tree(1 << 16, 4, 1 << 10);
+  EXPECT_EQ(t->n, 1 << 16);
+  EXPECT_EQ(t->left->n, 1 << 8);
+  EXPECT_TRUE(t->ddl);
+  // Nodes below the threshold carry no ddl flag.
+  plan::for_each_node(*t, 1, [&](const plan::Node& nd, index_t) {
+    if (!nd.is_leaf() && nd.n < (1 << 10)) {
+      EXPECT_FALSE(nd.ddl);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ddl::wht

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Codelet generator for the DDL-FFT library.
+
+Emits straight-line, fully unrolled, in-place *strided* transform kernels
+("codelets", after FFTW/SPIRAL terminology) as C++:
+
+  * dft_codelets_gen.cpp — forward (sign = -1) DFT codelets for the sizes in
+    DFT_SIZES. Prime sizes use the direct DFT; composite sizes use an
+    unrolled decimation-in-time Cooley-Tukey recursion with constant-folded
+    twiddles (multiplications by 1, -1, +/-i are folded away).
+  * wht_codelets_gen.cpp — Walsh-Hadamard codelets for the power-of-two
+    sizes in WHT_SIZES (natural/Hadamard order butterfly recursion).
+
+Each kernel operates in place on x[0], x[s], ..., x[(n-1)*s]; the executor
+is responsible for twiddle passes and output reordering of composite nodes.
+
+Run from the repository root:  python3 tools/gen_codelets.py
+The generated files are committed; regeneration is only needed when editing
+this script.
+"""
+
+import cmath
+import math
+import os
+
+DFT_SIZES = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 24, 32, 48, 64, 128]
+WHT_SIZES = [2, 4, 8, 16, 32, 64, 128]
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "src", "codelets")
+
+
+class Emitter:
+    """Collects SSA-style straight-line statements."""
+
+    def __init__(self):
+        self.lines = []
+        self.counter = 0
+
+    def tmp(self, expr):
+        name = f"t{self.counter}"
+        self.counter += 1
+        self.lines.append(f"  const double {name} = {expr};")
+        return name
+
+
+class CVal:
+    """A symbolic complex value: re/im are C expressions (var names or
+    negated var names)."""
+
+    __slots__ = ("re", "im")
+
+    def __init__(self, re, im):
+        self.re = re
+        self.im = im
+
+
+def neg(expr):
+    if expr.startswith("-"):
+        return expr[1:]
+    return "-" + expr
+
+
+def cadd(em, a, b):
+    return CVal(em.tmp(f"{a.re} + {b.re}"), em.tmp(f"{a.im} + {b.im}"))
+
+
+def csub(em, a, b):
+    return CVal(em.tmp(f"{a.re} - {b.re}"), em.tmp(f"{a.im} - {b.im}"))
+
+
+def lit(x):
+    """Round-trippable double literal."""
+    if x == int(x):
+        return f"{int(x)}.0"
+    return repr(x)
+
+
+def cmul_w(em, a, w):
+    """Multiply symbolic value a by the complex constant w, folding the
+    trivial rotations exactly."""
+    wr, wi = w.real, w.imag
+    eps = 1e-14
+    if abs(wr - 1) < eps and abs(wi) < eps:
+        return a
+    if abs(wr + 1) < eps and abs(wi) < eps:
+        return CVal(neg(a.re), neg(a.im))
+    if abs(wr) < eps and abs(wi + 1) < eps:  # w = -i : (r,i) -> (i, -r)
+        return CVal(a.im, neg(a.re))
+    if abs(wr) < eps and abs(wi - 1) < eps:  # w = +i : (r,i) -> (-i, r)
+        return CVal(neg(a.im), a.re)
+    if abs(wi) < eps:  # pure real scale
+        c = lit(wr)
+        return CVal(em.tmp(f"{a.re} * {c}"), em.tmp(f"{a.im} * {c}"))
+    if abs(wr) < eps:  # pure imaginary scale: w = i*wi
+        c = lit(wi)
+        return CVal(em.tmp(f"-({a.im}) * {c}"), em.tmp(f"{a.re} * {c}"))
+    cr, ci = lit(wr), lit(wi)
+    return CVal(
+        em.tmp(f"{a.re} * {cr} - {a.im} * {ci}"),
+        em.tmp(f"{a.re} * {ci} + {a.im} * {cr}"),
+    )
+
+
+def twiddle(n, k):
+    """W_n^k = exp(-2*pi*i*k/n) with exact values at the quarter points."""
+    k %= n
+    if k == 0:
+        return complex(1, 0)
+    if 4 * k == n:
+        return complex(0, -1)
+    if 2 * k == n:
+        return complex(-1, 0)
+    if 4 * k == 3 * n:
+        return complex(0, 1)
+    return cmath.exp(-2j * math.pi * k / n)
+
+
+def smallest_prime_factor(n):
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return d
+        d += 1
+    return n
+
+
+def gen_dft(em, xs):
+    """Return the DFT (sign -1, natural order) of the symbolic vector xs."""
+    n = len(xs)
+    if n == 1:
+        return xs
+    p = smallest_prime_factor(n)
+    if p == n:
+        # Direct DFT for prime sizes.
+        out = []
+        for k in range(n):
+            acc = None
+            for j in range(n):
+                term = cmul_w(em, xs[j], twiddle(n, j * k))
+                acc = term if acc is None else cadd(em, acc, term)
+            out.append(acc)
+        return out
+    # Composite: n = r*m decimation in time. Prefer radix 4 for powers of two.
+    r = 4 if (n % 4 == 0 and n > 4) else p
+    m = n // r
+    sub = [gen_dft(em, xs[q::r]) for q in range(r)]
+    out = [None] * n
+    for c in range(m):
+        z = [cmul_w(em, sub[q][c], twiddle(n, q * c)) for q in range(r)]
+        xc = gen_dft(em, z)
+        for j in range(r):
+            out[c + m * j] = xc[j]
+    return out
+
+
+def gen_wht(em, xs):
+    """Return the natural (Hadamard) order WHT of xs, |xs| a power of two."""
+    n = len(xs)
+    if n == 1:
+        return xs
+    half = n // 2
+    a = gen_wht(em, xs[:half])
+    b = gen_wht(em, xs[half:])
+    lo = []
+    hi = []
+    for i in range(half):
+        lo.append(em.tmp(f"{a[i]} + {b[i]}"))
+        hi.append(em.tmp(f"{a[i]} - {b[i]}"))
+    return lo + hi
+
+
+def dft_codelet_source(n):
+    em = Emitter()
+    xs = []
+    for i in range(n):
+        idx = "0" if i == 0 else ("s" if i == 1 else f"{i} * s")
+        re = em.tmp(f"x[{idx}].real()")
+        im = em.tmp(f"x[{idx}].imag()")
+        xs.append(CVal(re, im))
+    out = gen_dft(em, xs)
+    body = list(em.lines)
+    for k in range(n):
+        idx = "0" if k == 0 else ("s" if k == 1 else f"{k} * s")
+        body.append(f"  x[{idx}] = cplx({out[k].re}, {out[k].im});")
+    fn = [f"void dft_codelet_{n}(cplx* x, index_t s) noexcept {{"]
+    fn += body
+    fn.append("}")
+    return "\n".join(fn)
+
+
+def wht_codelet_source(n):
+    em = Emitter()
+    xs = []
+    for i in range(n):
+        idx = "0" if i == 0 else ("s" if i == 1 else f"{i} * s")
+        xs.append(em.tmp(f"x[{idx}]"))
+    out = gen_wht(em, xs)
+    body = list(em.lines)
+    for k in range(n):
+        idx = "0" if k == 0 else ("s" if k == 1 else f"{k} * s")
+        body.append(f"  x[{idx}] = {out[k]};")
+    fn = [f"void wht_codelet_{n}(real_t* x, index_t s) noexcept {{"]
+    fn += body
+    fn.append("}")
+    return "\n".join(fn)
+
+
+HEADER = """\
+// GENERATED FILE — do not edit by hand.
+// Produced by tools/gen_codelets.py; regenerate with
+//   python3 tools/gen_codelets.py
+// {what}
+
+#include "ddl/codelets/codelets.hpp"
+
+namespace ddl::codelets {{
+
+"""
+
+FOOTER = """
+}}  // namespace ddl::codelets
+"""
+
+
+def main():
+    dft_path = os.path.join(OUT_DIR, "dft_codelets_gen.cpp")
+    with open(dft_path, "w") as f:
+        f.write(HEADER.format(what="Unrolled in-place strided DFT codelets (sign = -1)."))
+        for n in DFT_SIZES:
+            f.write(dft_codelet_source(n))
+            f.write("\n\n")
+        f.write(FOOTER.format())
+    wht_path = os.path.join(OUT_DIR, "wht_codelets_gen.cpp")
+    with open(wht_path, "w") as f:
+        f.write(HEADER.format(what="Unrolled in-place strided WHT codelets (Hadamard order)."))
+        for n in WHT_SIZES:
+            f.write(wht_codelet_source(n))
+            f.write("\n\n")
+        f.write(FOOTER.format())
+    print(f"wrote {dft_path}")
+    print(f"wrote {wht_path}")
+
+
+if __name__ == "__main__":
+    main()
