@@ -6,13 +6,26 @@
 
 #include <filesystem>
 #include <iostream>
+#include <string>
 
+#include "ddl/common/parallel.hpp"
 #include "ddl/fft/planner.hpp"
 #include "ddl/plan/costdb.hpp"
 #include "ddl/plan/wisdom.hpp"
 #include "ddl/wht/planner.hpp"
 
 namespace ddl::benchcommon {
+
+/// Threads the executors will fan out across for the current process
+/// (DDL_NUM_THREADS / set_threads). Print alongside MFLOPS so rows from
+/// serial and parallel runs are comparable.
+inline int threads_used() { return parallel::max_threads(); }
+
+/// "threads=K (cores=C)" — one-line provenance note for bench tables.
+inline std::string threads_note() {
+  return "threads=" + std::to_string(threads_used()) +
+         " (cores=" + std::to_string(parallel::hardware_threads()) + ")";
+}
 
 inline const char* kCostDbFile = "ddl_costdb.txt";
 inline const char* kWisdomFile = "ddl_wisdom.txt";

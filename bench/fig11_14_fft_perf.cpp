@@ -68,9 +68,10 @@ int main() {
   benchcommon::Stores stores;
   fft::FftPlanner planner(benchcommon::fft_opts(stores));
 
-  std::cout << "view 1: searched plans on the host CPU (plus fixed baselines)\n\n";
+  std::cout << "view 1: searched plans on the host CPU (plus fixed baselines), "
+            << benchcommon::threads_note() << "\n\n";
   TableWriter table(
-      {"n", "stockham", "fftw_like", "fft_sdl", "fft_ddl", "ddl/fftw", "ddl_nodes"});
+      {"n", "thr", "stockham", "fftw_like", "fft_sdl", "fft_ddl", "ddl/fftw", "ddl_nodes"});
   for (int k = 8; k <= 22; k += 2) {
     const index_t n = index_t{1} << k;
     const auto fftw_tree = planner.plan(n, fft::Strategy::rightmost);
@@ -89,22 +90,23 @@ int main() {
     const double sdl = measure_mflops(*sdl_tree);
     const double ddl = measure_mflops(*ddl_tree);
 
-    table.add_row({fmt_pow2(n), fmt_double(st, 0), fmt_double(fftw, 0), fmt_double(sdl, 0),
-                   fmt_double(ddl, 0), fmt_double(ddl / fftw, 2),
-                   std::to_string(plan::ddl_node_count(*ddl_tree))});
+    table.add_row({fmt_pow2(n), std::to_string(benchcommon::threads_used()), fmt_double(st, 0),
+                   fmt_double(fftw, 0), fmt_double(sdl, 0), fmt_double(ddl, 0),
+                   fmt_double(ddl / fftw, 2), std::to_string(plan::ddl_node_count(*ddl_tree))});
   }
   table.print(std::cout, "searched plans (normalized MFLOPS; higher is better)");
 
-  std::cout << "\nview 2: fixed balanced shape — the reorganization mechanism itself\n\n";
-  TableWriter mech({"n", "bal_sdl_ms", "bal_ddl_ms", "sdl/ddl"});
+  std::cout << "\nview 2: fixed balanced shape — the reorganization mechanism itself, "
+            << benchcommon::threads_note() << "\n\n";
+  TableWriter mech({"n", "thr", "bal_sdl_ms", "bal_ddl_ms", "sdl/ddl"});
   for (int k = 16; k <= 22; k += 2) {
     const index_t n = index_t{1} << k;
     const auto bal_sdl = fft::balanced_tree(n, 32, 0);
     const auto bal_ddl = fft::balanced_tree(n, 32, n);  // reorganize at the root
     const double ts = measure_seconds(*bal_sdl);
     const double td = measure_seconds(*bal_ddl);
-    mech.add_row({fmt_pow2(n), fmt_double(ts * 1e3, 1), fmt_double(td * 1e3, 1),
-                  fmt_double(ts / td, 2)});
+    mech.add_row({fmt_pow2(n), std::to_string(benchcommon::threads_used()),
+                  fmt_double(ts * 1e3, 1), fmt_double(td * 1e3, 1), fmt_double(ts / td, 2)});
   }
   mech.print(std::cout, "same tree, static vs dynamic layout");
 

@@ -1,0 +1,114 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Chunked fork-join parallelism for the transform executors.
+///
+/// The paper's whole point is that DDL reorganization turns strided column
+/// DFTs into many *independent unit-stride* sub-transforms — exactly the
+/// shape that parallelizes embarrassingly well. This header provides the
+/// one primitive the executors need for that: a chunked `parallel_for`
+/// backed by a lazily-started process-wide thread pool.
+///
+/// ## Model
+///
+///  * The pool holds `max_threads() - 1` workers; the calling thread always
+///    participates, so `max_threads() == 1` means "no pool at all".
+///  * `parallel_for(begin, end, grain, body)` partitions [begin, end) into
+///    chunks of at least `grain` iterations and invokes
+///    `body(i0, i1, slot)` once per chunk, where `slot` identifies the
+///    executing lane in [0, max_threads()). Slot 0 is always the caller.
+///  * Fan-out is **non-reentrant**: a `parallel_for` issued from inside a
+///    chunk body (including from a recursive executor call on a worker)
+///    runs serially on the issuing thread with slot = its own lane. This
+///    keeps one level of parallelism — the widest loop wins — and makes
+///    deadlock impossible by construction.
+///  * Deterministic serial fallback: when `max_threads() <= 1`, the range
+///    has at most `grain` iterations, or the call is nested, the body runs
+///    as a single chunk `body(begin, end, slot)` on the caller. Because
+///    every chunk performs the same per-index floating-point operations
+///    regardless of partitioning, transform results are **bitwise
+///    identical** for every thread count.
+///
+/// ## Thread count
+///
+/// The pool honours the `DDL_NUM_THREADS` environment variable at first
+/// use; `set_threads(n)` overrides it programmatically (tests and benches
+/// sweep it). Unset, it defaults to the hardware concurrency.
+///
+/// ## Scratch ownership
+///
+/// Executors hold a `ScratchPool<T>`: one arena per slot. A chunk body may
+/// use (only) the arena for its own slot; arenas are sized by the caller
+/// *before* fan-out, so workers never allocate. See docs/PARALLELISM.md.
+
+#include <functional>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/types.hpp"
+
+namespace ddl::parallel {
+
+/// Minimum points in a transform node before the executors consider
+/// fanning out its sub-transform loops. Below this, dispatch overhead
+/// (~a few microseconds) rivals the work itself.
+inline constexpr index_t kMinParallelNode = index_t{1} << 13;
+
+/// Minimum elements moved before the layout primitives (transposes,
+/// permutations) fan out their outer tile loops.
+inline constexpr index_t kMinParallelReorg = index_t{1} << 14;
+
+/// Number of threads the pool will use (>= 1): the `set_threads` override
+/// if set, else `DDL_NUM_THREADS`, else the hardware concurrency. Reading
+/// this does not start the pool.
+int max_threads();
+
+/// Override the thread count (n >= 1). Takes effect on the next
+/// parallel_for; existing workers are kept, missing ones are spawned
+/// lazily. Intended for tests and benches that sweep thread counts.
+void set_threads(int n);
+
+/// Hardware concurrency as the pool sees it (>= 1).
+int hardware_threads();
+
+/// True while the current thread is executing a parallel_for chunk body
+/// (on any thread, including the caller). Nested parallel_for calls in
+/// this state run serially.
+bool in_parallel_region();
+
+/// Chunk body: half-open index range [i0, i1) plus the executing lane's
+/// slot in [0, max_threads()).
+using ChunkBody = std::function<void(index_t i0, index_t i1, int slot)>;
+
+/// Run `body` over [begin, end) in chunks of at least `grain` iterations,
+/// fanned across the pool. Serial (single chunk, caller thread) when the
+/// pool is down to one thread, the range is at most `grain`, or the call
+/// is nested inside another parallel_for. Exceptions thrown by chunk
+/// bodies are captured and the first one is rethrown on the caller after
+/// all chunks finish.
+void parallel_for(index_t begin, index_t end, index_t grain, const ChunkBody& body);
+
+/// Per-slot scratch arenas for chunk bodies. The owner calls ensure()
+/// before fanning out; bodies call slot() only for their own lane, so no
+/// two threads ever share an arena. Arenas grow monotonically and are
+/// value-initialized (zeros) on (re)allocation.
+template <typename T>
+class ScratchPool {
+ public:
+  /// Make at least `slots` arenas of at least `points` elements each.
+  /// Must be called outside any parallel region (the executors call it on
+  /// the orchestrating thread immediately before parallel_for).
+  void ensure(int slots, index_t points) {
+    if (static_cast<int>(arenas_.size()) < slots) arenas_.resize(static_cast<std::size_t>(slots));
+    for (auto& a : arenas_) {
+      if (a.size() < points) a = AlignedBuffer<T>(points);
+    }
+  }
+
+  [[nodiscard]] T* slot(int s) noexcept { return arenas_[static_cast<std::size_t>(s)].data(); }
+  [[nodiscard]] int slots() const noexcept { return static_cast<int>(arenas_.size()); }
+
+ private:
+  std::vector<AlignedBuffer<T>> arenas_;
+};
+
+}  // namespace ddl::parallel

@@ -55,7 +55,8 @@ class Fft {
   void inverse(std::span<cplx> data) { exec_.inverse(data); }
 
   /// Transform `count` signals stored back to back (signal b at offset
-  /// b*dist; dist >= size()). One plan serves the whole batch.
+  /// b*dist; dist >= size()). One plan serves the whole batch, and batch
+  /// elements are dispatched across the thread pool (docs/PARALLELISM.md).
   void forward_batch(std::span<cplx> data, index_t count, index_t dist);
 
   /// Batched inverse, same layout as forward_batch.

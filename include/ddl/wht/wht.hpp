@@ -17,6 +17,7 @@
 #include <string>
 
 #include "ddl/common/aligned.hpp"
+#include "ddl/common/parallel.hpp"
 #include "ddl/common/types.hpp"
 #include "ddl/plan/tree.hpp"
 
@@ -41,10 +42,12 @@ class WhtExecutor {
   void transform(std::span<real_t> data);
 
  private:
-  void run(const plan::Node& node, real_t* data, index_t stride, index_t arena_off);
+  void run(const plan::Node& node, real_t* data, index_t stride, real_t* arena,
+           index_t arena_off);
 
   plan::TreePtr tree_;
-  AlignedBuffer<real_t> arena_;
+  AlignedBuffer<real_t> arena_;                 // serial-path arena (2n points)
+  parallel::ScratchPool<real_t> lane_scratch_;  // per-lane arenas for fan-out
 };
 
 /// Convenience: execute `tree` once on `data`.

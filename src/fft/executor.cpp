@@ -1,9 +1,11 @@
 #include "ddl/fft/executor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ddl/codelets/codelets.hpp"
 #include "ddl/common/check.hpp"
+#include "ddl/fft/plan_cache.hpp"
 #include "ddl/layout/reorg.hpp"
 #include "ddl/layout/stride_perm.hpp"
 
@@ -16,21 +18,79 @@ FftExecutor::FftExecutor(const plan::Node& tree)
 
 void FftExecutor::forward(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
-  run(*tree_, data.data(), 1, 0);
+  run(*tree_, data.data(), 1, arena_.data(), 0);
 }
 
 void FftExecutor::forward_strided(cplx* data, index_t stride) {
   DDL_REQUIRE(data != nullptr && stride >= 1, "bad strided execution arguments");
-  run(*tree_, data, stride, 0);
+  run(*tree_, data, stride, arena_.data(), 0);
 }
 
 void FftExecutor::inverse(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
-  // IDFT(x) = conj(DFT(conj(x))) / n.
-  for (auto& v : data) v = std::conj(v);
-  run(*tree_, data.data(), 1, 0);
-  const double scale = 1.0 / static_cast<double>(tree_->n);
-  for (auto& v : data) v = std::conj(v) * scale;
+  run(*tree_, data.data(), 1, arena_.data(), 0);
+  inverse_finish(data.data());
+}
+
+void FftExecutor::inverse_finish(cplx* data) {
+  // IDFT(x)[k] = DFT(x)[(n-k) mod n] / n: one fused reversal + scale pass
+  // instead of the two conjugation passes of conj(DFT(conj(x)))/n.
+  const index_t n = tree_->n;
+  const double scale = 1.0 / static_cast<double>(n);
+  data[0] *= scale;
+  for (index_t lo = 1, hi = n - 1; lo <= hi; ++lo, --hi) {
+    if (lo == hi) {
+      data[lo] *= scale;
+      break;
+    }
+    const cplx t = data[lo] * scale;
+    data[lo] = data[hi] * scale;
+    data[hi] = t;
+  }
+}
+
+void FftExecutor::forward_batch(cplx* data, index_t count, index_t batch_stride) {
+  DDL_REQUIRE(count >= 0, "batch count must be non-negative");
+  DDL_REQUIRE(count == 0 || data != nullptr, "null batch data");
+  DDL_REQUIRE(count == 0 || batch_stride >= tree_->n,
+              "batch stride must be >= transform size");
+  if (count == 0) return;
+  const index_t n = tree_->n;
+  if (count > 1 && should_fan_out(count * n)) {
+    lane_scratch_.ensure(parallel::max_threads(), 2 * n);
+    parallel::parallel_for(0, count, 1, [&](index_t b0, index_t b1, int slot) {
+      cplx* lane = lane_scratch_.slot(slot);
+      for (index_t b = b0; b < b1; ++b) run(*tree_, data + b * batch_stride, 1, lane, 0);
+    });
+  } else {
+    for (index_t b = 0; b < count; ++b) run(*tree_, data + b * batch_stride, 1, arena_.data(), 0);
+  }
+}
+
+void FftExecutor::inverse_batch(cplx* data, index_t count, index_t batch_stride) {
+  DDL_REQUIRE(count >= 0, "batch count must be non-negative");
+  DDL_REQUIRE(count == 0 || data != nullptr, "null batch data");
+  DDL_REQUIRE(count == 0 || batch_stride >= tree_->n,
+              "batch stride must be >= transform size");
+  if (count == 0) return;
+  const index_t n = tree_->n;
+  if (count > 1 && should_fan_out(count * n)) {
+    lane_scratch_.ensure(parallel::max_threads(), 2 * n);
+    parallel::parallel_for(0, count, 1, [&](index_t b0, index_t b1, int slot) {
+      cplx* lane = lane_scratch_.slot(slot);
+      for (index_t b = b0; b < b1; ++b) {
+        cplx* base = data + b * batch_stride;
+        run(*tree_, base, 1, lane, 0);
+        inverse_finish(base);
+      }
+    });
+  } else {
+    for (index_t b = 0; b < count; ++b) {
+      cplx* base = data + b * batch_stride;
+      run(*tree_, base, 1, arena_.data(), 0);
+      inverse_finish(base);
+    }
+  }
 }
 
 double FftExecutor::nominal_flops() const noexcept {
@@ -38,7 +98,13 @@ double FftExecutor::nominal_flops() const noexcept {
   return 5.0 * n * std::log2(n);
 }
 
-void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, index_t arena_off) {
+bool FftExecutor::should_fan_out(index_t node_points) {
+  return node_points >= parallel::kMinParallelNode && parallel::max_threads() > 1 &&
+         !parallel::in_parallel_region();
+}
+
+void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* arena,
+                      index_t arena_off) {
   if (node.is_leaf()) {
     if (const auto kernel = codelets::dft_kernel(node.n)) {
       kernel(data, stride);
@@ -51,31 +117,65 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, index_
   const index_t n = node.n;
   const index_t n1 = node.left->n;
   const index_t n2 = node.right->n;
+  // Fan the independent sub-transform loops across the pool at most one
+  // level deep: lanes recurse serially with their own ScratchPool arena, so
+  // recursive ddl nodes no longer serialize on one shared buffer. The serial
+  // paths keep the classic single-arena offset discipline, and both paths
+  // perform identical per-element operations (bitwise-equal results).
+  const bool fan_out = should_fan_out(n);
 
   if (node.ddl) {
     // Dynamic data layout: reorganize so the column DFTs run at unit stride.
-    cplx* scratch = arena_.data() + arena_off;
+    cplx* scratch = arena + arena_off;
     layout::transpose_gather(data, stride, n1, n2, scratch);
-    for (index_t j = 0; j < n2; ++j) {
-      run(*node.left, scratch + j * n1, 1, arena_off + n);
+    if (fan_out && n2 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+        cplx* lane = lane_scratch_.slot(slot);
+        for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
+      });
+    } else {
+      for (index_t j = 0; j < n2; ++j) {
+        run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+      }
     }
     twiddle_cols(scratch, n, n1, n2);
     layout::transpose_scatter(data, stride, n1, n2, scratch);
   } else {
     // Static layout: column DFTs walk the original strided storage.
-    for (index_t j = 0; j < n2; ++j) {
-      run(*node.left, data + j * stride, stride * n2, arena_off);
+    if (fan_out && n2 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+        cplx* lane = lane_scratch_.slot(slot);
+        for (index_t j = j0; j < j1; ++j) {
+          run(*node.left, data + j * stride, stride * n2, lane, 0);
+        }
+      });
+    } else {
+      for (index_t j = 0; j < n2; ++j) {
+        run(*node.left, data + j * stride, stride * n2, arena, arena_off);
+      }
     }
     twiddle_rows(data, stride, n, n1, n2);
   }
 
   // Row DFTs (right child, stride s per Property 1).
-  for (index_t i = 0; i < n1; ++i) {
-    run(*node.right, data + i * n2 * stride, stride, arena_off);
+  if (fan_out && n1 > 1) {
+    lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
+    parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
+      cplx* lane = lane_scratch_.slot(slot);
+      for (index_t i = i0; i < i1; ++i) {
+        run(*node.right, data + i * n2 * stride, stride, lane, 0);
+      }
+    });
+  } else {
+    for (index_t i = 0; i < n1; ++i) {
+      run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
+    }
   }
 
   // Restore natural order: position (i*n2+j) holds X[i + n1*j]; apply L^n_{n2}.
-  layout::stride_permute_inplace(data, stride, n, n2, arena_.data() + arena_off);
+  layout::stride_permute_inplace(data, stride, n, n2, arena + arena_off);
 }
 
 void FftExecutor::twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2) {
@@ -90,36 +190,50 @@ namespace detail {
 
 void twiddle_pass_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2,
                        const cplx* w) {
-  // Row 0 and column 0 have unit twiddles; skip them.
-  for (index_t i = 1; i < n1; ++i) {
-    cplx* row = data + i * n2 * stride;
-    index_t idx = 0;
-    for (index_t j = 1; j < n2; ++j) {
-      idx += i;
-      if (idx >= n) idx -= n;
-      row[j * stride] *= w[idx];
+  // Row 0 and column 0 have unit twiddles; skip them. Each row's twiddle
+  // index walk starts from scratch, so rows are independent and fan across
+  // the pool for large nodes.
+  const index_t grain =
+      std::max<index_t>(1, parallel::kMinParallelReorg / std::max<index_t>(1, n2));
+  parallel::parallel_for(1, n1, grain, [&](index_t r0, index_t r1, int) {
+    for (index_t i = r0; i < r1; ++i) {
+      cplx* row = data + i * n2 * stride;
+      index_t idx = 0;
+      for (index_t j = 1; j < n2; ++j) {
+        idx += i;
+        if (idx >= n) idx -= n;
+        row[j * stride] *= w[idx];
+      }
     }
-  }
+  });
 }
 
 void twiddle_pass_cols(cplx* scratch, index_t n, index_t n1, index_t n2, const cplx* w) {
   // scratch layout: scratch[j*n1 + i] = M[i][j]; factor W_n^{i*j}.
-  for (index_t j = 1; j < n2; ++j) {
-    cplx* col = scratch + j * n1;
-    index_t idx = 0;
-    for (index_t i = 1; i < n1; ++i) {
-      idx += j;
-      if (idx >= n) idx -= n;
-      col[i] *= w[idx];
+  const index_t grain =
+      std::max<index_t>(1, parallel::kMinParallelReorg / std::max<index_t>(1, n1));
+  parallel::parallel_for(1, n2, grain, [&](index_t c0, index_t c1, int) {
+    for (index_t j = c0; j < c1; ++j) {
+      cplx* col = scratch + j * n1;
+      index_t idx = 0;
+      for (index_t i = 1; i < n1; ++i) {
+        idx += j;
+        if (idx >= n) idx -= n;
+        col[i] *= w[idx];
+      }
     }
-  }
+  });
 }
 
 }  // namespace detail
 
 void execute_tree(const plan::Node& tree, std::span<cplx> data) {
-  FftExecutor exec(tree);
-  exec.forward(data);
+  // PlanCache keeps one executor per tree shape alive, so consecutive calls
+  // stop re-cloning the tree and rebuilding twiddle tables (and the entry
+  // lock makes concurrent callers safe on the shared executor).
+  PlanCache::Entry entry = PlanCache::instance().get(tree);
+  const std::lock_guard<std::mutex> lock(*entry.guard);
+  entry.exec->forward(data);
 }
 
 }  // namespace ddl::fft

@@ -26,20 +26,14 @@ void Fft::forward_batch(std::span<cplx> data, index_t count, index_t dist) {
   DDL_REQUIRE(count >= 0 && dist >= size(), "batch distance must be >= transform size");
   DDL_REQUIRE(count == 0 || static_cast<index_t>(data.size()) >= (count - 1) * dist + size(),
               "batch does not fit in the provided span");
-  for (index_t b = 0; b < count; ++b) {
-    exec_.forward(data.subspan(static_cast<std::size_t>(b * dist),
-                               static_cast<std::size_t>(size())));
-  }
+  exec_.forward_batch(data.data(), count, dist);
 }
 
 void Fft::inverse_batch(std::span<cplx> data, index_t count, index_t dist) {
   DDL_REQUIRE(count >= 0 && dist >= size(), "batch distance must be >= transform size");
   DDL_REQUIRE(count == 0 || static_cast<index_t>(data.size()) >= (count - 1) * dist + size(),
               "batch does not fit in the provided span");
-  for (index_t b = 0; b < count; ++b) {
-    exec_.inverse(data.subspan(static_cast<std::size_t>(b * dist),
-                               static_cast<std::size_t>(size())));
-  }
+  exec_.inverse_batch(data.data(), count, dist);
 }
 
 }  // namespace ddl::fft

@@ -1,0 +1,91 @@
+#include "ddl/fft/plan_cache.hpp"
+
+#include "ddl/common/check.hpp"
+#include "ddl/plan/grammar.hpp"
+
+namespace ddl::fft {
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+PlanCache::Entry PlanCache::get(const plan::Node& tree) {
+  return get_keyed(plan::to_string(tree), &tree);
+}
+
+PlanCache::Entry PlanCache::get(const std::string& grammar) {
+  return get_keyed(grammar, nullptr);
+}
+
+PlanCache::Entry PlanCache::get_keyed(const std::string& key, const plan::Node* tree) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->second;
+  }
+  ++misses_;
+  // Build outside the lock: construction is O(n) and must not block
+  // concurrent lookups of other sizes. A racing builder of the same key is
+  // tolerated — last one in wins, both Entries stay valid.
+  lock.unlock();
+  Entry entry;
+  if (tree != nullptr) {
+    entry.exec = std::make_shared<FftExecutor>(*tree);
+  } else {
+    const plan::TreePtr parsed = plan::parse_tree(key);
+    entry.exec = std::make_shared<FftExecutor>(*parsed);
+  }
+  entry.guard = std::make_shared<std::mutex>();
+
+  lock.lock();
+  if (auto it = index_.find(key); it != index_.end()) return it->second->second;
+  lru_.emplace_front(key, entry);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return entry;
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t PlanCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void PlanCache::set_capacity(std::size_t cap) {
+  DDL_REQUIRE(cap >= 1, "cache capacity must be >= 1");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = cap;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ddl::fft

@@ -8,6 +8,7 @@
 #include "ddl/common/aligned.hpp"
 #include "ddl/common/check.hpp"
 #include "ddl/common/mathutil.hpp"
+#include "ddl/common/parallel.hpp"
 #include "ddl/common/timer.hpp"
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/twiddle.hpp"
@@ -156,8 +157,33 @@ double FftPlanner::reorg_cost(index_t n1, index_t n2, index_t stride) {
 }
 
 // ---------------------------------------------------------------------------
-// Dynamic programming over (size, stride, layout) — eq. (3).
+// Dynamic programming over (size, stride, layout) — eq. (3), extended with a
+// thread-count-aware term: the executor fans a node's independent column/row
+// sub-transform loops across the pool above parallel::kMinParallelNode, so
+// the DP divides that loop work by the effective worker count. This lets the
+// search prefer splits that expose parallelism (e.g. a wide n2 of
+// unit-stride columns after a DDL reorganization) once threads are
+// available. Primitive probe costs (twiddle/perm/reorg) are NOT discounted:
+// those routines parallelize internally, so the probes already time them as
+// executed. Costs are memoized per planner, so change the thread count
+// before planning, not between plans.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/// Effective workers for a loop of `items` independent sub-transforms at a
+/// node of `node_n` points: 1 below the executor's fan-out cutoff, else the
+/// usable lane count discounted for dispatch overhead and shared memory
+/// bandwidth (ideal scaling is never reached in practice).
+double fanout_workers(index_t node_n, index_t items) {
+  const int threads = parallel::max_threads();
+  if (threads <= 1 || node_n < parallel::kMinParallelNode) return 1.0;
+  const double lanes = std::min<double>(threads, static_cast<double>(items));
+  constexpr double kEfficiency = 0.85;
+  return 1.0 + kEfficiency * (lanes - 1.0);
+}
+
+}  // namespace
 
 const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_ddl) {
   const auto key = std::make_tuple(n, stride, allow_ddl);
@@ -179,11 +205,12 @@ const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_d
   // Option 2: split n = n1 * n2 (left x right), static or dynamic layout.
   for (const auto& [n1, n2] : candidate_splits(n)) {
     const Best& right = best(n2, stride, allow_ddl);
-    const double shared = static_cast<double>(n1) * right.cost + perm_cost(n, n2, stride);
+    const double shared = static_cast<double>(n1) * right.cost / fanout_workers(n, n1) +
+                          perm_cost(n, n2, stride);
 
     {
       const Best& left = best(n1, stride * n2, allow_ddl);
-      const double cost = static_cast<double>(n2) * left.cost +
+      const double cost = static_cast<double>(n2) * left.cost / fanout_workers(n, n2) +
                           twiddle_cost(n, n2, stride) + shared;
       if (cost < winner.cost) {
         winner.cost = cost;
@@ -194,7 +221,7 @@ const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_d
     if (allow_ddl && stride * n2 > 1) {
       const Best& left = best(n1, 1, allow_ddl);
       const double cost = reorg_cost(n1, n2, stride) +
-                          static_cast<double>(n2) * left.cost +
+                          static_cast<double>(n2) * left.cost / fanout_workers(n, n2) +
                           twiddle_cost(n, n2, 0) + shared;
       if (cost * (1.0 + opts_.ddl_margin) < winner.cost) {
         winner.cost = cost;
@@ -261,14 +288,18 @@ double FftPlanner::estimate_tree_seconds(const plan::Node& tree, index_t root_st
   const index_t n = tree.n;
   const index_t n1 = tree.left->n;
   const index_t n2 = tree.right->n;
-  const double right = static_cast<double>(n1) * estimate_tree_seconds(*tree.right, root_stride);
+  // Same thread-count-aware loop terms as the DP in best(): the two must
+  // agree or planned_cost and estimate_tree_seconds drift apart.
+  const double right = static_cast<double>(n1) * estimate_tree_seconds(*tree.right, root_stride) /
+                       fanout_workers(n, n1);
   const double perm = perm_cost(n, n2, root_stride);
   if (tree.ddl) {
     return reorg_cost(n1, n2, root_stride) +
-           static_cast<double>(n2) * estimate_tree_seconds(*tree.left, 1) +
+           static_cast<double>(n2) * estimate_tree_seconds(*tree.left, 1) / fanout_workers(n, n2) +
            twiddle_cost(n, n2, 0) + right + perm;
   }
-  return static_cast<double>(n2) * estimate_tree_seconds(*tree.left, root_stride * n2) +
+  return static_cast<double>(n2) * estimate_tree_seconds(*tree.left, root_stride * n2) /
+             fanout_workers(n, n2) +
          twiddle_cost(n, n2, root_stride) + right + perm;
 }
 

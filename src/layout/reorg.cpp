@@ -3,49 +3,72 @@
 #include <algorithm>
 
 #include "ddl/common/check.hpp"
+#include "ddl/common/parallel.hpp"
 
 namespace ddl::layout {
+
+namespace {
+
+/// Chunk grain for a loop of `iters` iterations each touching `per_iter`
+/// elements: at least kMinParallelReorg elements of work per chunk, so
+/// small reorganizations never pay dispatch overhead.
+index_t reorg_grain(index_t per_iter) {
+  return std::max<index_t>(1, parallel::kMinParallelReorg / std::max<index_t>(1, per_iter));
+}
+
+}  // namespace
 
 template <typename T>
 void transpose_gather(const T* x, index_t stride, index_t n1, index_t n2, T* y) {
   DDL_REQUIRE(stride >= 1 && n1 >= 1 && n2 >= 1, "bad transpose_gather geometry");
-  for (index_t jb = 0; jb < n2; jb += kTile) {
-    const index_t je = std::min(jb + kTile, n2);
-    for (index_t ib = 0; ib < n1; ib += kTile) {
-      const index_t ie = std::min(ib + kTile, n1);
-      for (index_t j = jb; j < je; ++j) {
-        T* dst = y + j * n1;
-        const T* src = x + j * stride;
-        for (index_t i = ib; i < ie; ++i) dst[i] = src[i * n2 * stride];
+  // Fan out over outer tile columns: each j owns the disjoint destination
+  // column y[j*n1 .. j*n1+n1), so chunks never write the same line twice.
+  parallel::parallel_for(0, n2, reorg_grain(n1), [&](index_t c0, index_t c1, int) {
+    for (index_t jb = c0; jb < c1; jb += kTile) {
+      const index_t je = std::min(jb + kTile, c1);
+      for (index_t ib = 0; ib < n1; ib += kTile) {
+        const index_t ie = std::min(ib + kTile, n1);
+        for (index_t j = jb; j < je; ++j) {
+          T* dst = y + j * n1;
+          const T* src = x + j * stride;
+          for (index_t i = ib; i < ie; ++i) dst[i] = src[i * n2 * stride];
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
 void transpose_scatter(T* x, index_t stride, index_t n1, index_t n2, const T* y) {
   DDL_REQUIRE(stride >= 1 && n1 >= 1 && n2 >= 1, "bad transpose_scatter geometry");
-  for (index_t jb = 0; jb < n2; jb += kTile) {
-    const index_t je = std::min(jb + kTile, n2);
-    for (index_t ib = 0; ib < n1; ib += kTile) {
-      const index_t ie = std::min(ib + kTile, n1);
-      for (index_t j = jb; j < je; ++j) {
-        const T* src = y + j * n1;
-        T* dst = x + j * stride;
-        for (index_t i = ib; i < ie; ++i) dst[i * n2 * stride] = src[i];
+  // Each j writes the disjoint strided comb x[(i*n2+j)*stride]: race-free.
+  parallel::parallel_for(0, n2, reorg_grain(n1), [&](index_t c0, index_t c1, int) {
+    for (index_t jb = c0; jb < c1; jb += kTile) {
+      const index_t je = std::min(jb + kTile, c1);
+      for (index_t ib = 0; ib < n1; ib += kTile) {
+        const index_t ie = std::min(ib + kTile, n1);
+        for (index_t j = jb; j < je; ++j) {
+          const T* src = y + j * n1;
+          T* dst = x + j * stride;
+          for (index_t i = ib; i < ie; ++i) dst[i * n2 * stride] = src[i];
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
 void pack(const T* x, index_t stride, index_t n, T* y) {
-  for (index_t i = 0; i < n; ++i) y[i] = x[i * stride];
+  parallel::parallel_for(0, n, parallel::kMinParallelReorg, [&](index_t i0, index_t i1, int) {
+    for (index_t i = i0; i < i1; ++i) y[i] = x[i * stride];
+  });
 }
 
 template <typename T>
 void unpack(T* x, index_t stride, index_t n, const T* y) {
-  for (index_t i = 0; i < n; ++i) x[i * stride] = y[i];
+  parallel::parallel_for(0, n, parallel::kMinParallelReorg, [&](index_t i0, index_t i1, int) {
+    for (index_t i = i0; i < i1; ++i) x[i * stride] = y[i];
+  });
 }
 
 template void transpose_gather<cplx>(const cplx*, index_t, index_t, index_t, cplx*);

@@ -4,6 +4,7 @@
 
 #include "ddl/common/check.hpp"
 #include "ddl/common/mathutil.hpp"
+#include "ddl/common/parallel.hpp"
 #include "ddl/layout/reorg.hpp"
 
 namespace ddl::layout {
@@ -12,16 +13,21 @@ template <typename T>
 void stride_permute(const T* in, T* out, index_t n, index_t m) {
   DDL_REQUIRE(m >= 1 && n >= 1 && n % m == 0, "stride_permute needs m | n");
   const index_t rows = n / m;  // in is rows x m row-major; out is m x rows
-  for (index_t rb = 0; rb < m; rb += kTile) {
-    const index_t re = std::min(rb + kTile, m);
-    for (index_t qb = 0; qb < rows; qb += kTile) {
-      const index_t qe = std::min(qb + kTile, rows);
-      for (index_t r = rb; r < re; ++r) {
-        T* dst = out + r * rows;
-        for (index_t q = qb; q < qe; ++q) dst[q] = in[q * m + r];
+  // Fan out over outer tile rows: each r owns the disjoint output row
+  // out[r*rows .. r*rows+rows).
+  const index_t grain = std::max<index_t>(1, parallel::kMinParallelReorg / rows);
+  parallel::parallel_for(0, m, grain, [&](index_t r0, index_t r1, int) {
+    for (index_t rb = r0; rb < r1; rb += kTile) {
+      const index_t re = std::min(rb + kTile, r1);
+      for (index_t qb = 0; qb < rows; qb += kTile) {
+        const index_t qe = std::min(qb + kTile, rows);
+        for (index_t r = rb; r < re; ++r) {
+          T* dst = out + r * rows;
+          for (index_t q = qb; q < qe; ++q) dst[q] = in[q * m + r];
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>

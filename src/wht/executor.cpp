@@ -32,10 +32,11 @@ WhtExecutor::WhtExecutor(const plan::Node& tree)
 
 void WhtExecutor::transform(std::span<real_t> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
-  run(*tree_, data.data(), 1, 0);
+  run(*tree_, data.data(), 1, arena_.data(), 0);
 }
 
-void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, index_t arena_off) {
+void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, real_t* arena,
+                      index_t arena_off) {
   if (node.is_leaf()) {
     if (const auto kernel = codelets::wht_kernel(node.n)) {
       kernel(data, stride);
@@ -48,26 +49,59 @@ void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, inde
   const index_t n = node.n;
   const index_t n1 = node.left->n;
   const index_t n2 = node.right->n;
+  // Same fan-out discipline as the FFT executor: the row/column transforms
+  // of a node are independent, so one level of them is dispatched across
+  // the pool, each lane recursing serially with its own arena.
+  const bool fan_out = n >= parallel::kMinParallelNode && parallel::max_threads() > 1 &&
+                       !parallel::in_parallel_region();
 
   // Right factor first: n1 row transforms of size n2 at stride s. (The two
   // tensor factors commute, so the order is a free choice; rows-first keeps
   // the unit-stride work up front.)
-  for (index_t i = 0; i < n1; ++i) {
-    run(*node.right, data + i * n2 * stride, stride, arena_off);
+  if (fan_out && n1 > 1) {
+    lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
+    parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
+      real_t* lane = lane_scratch_.slot(slot);
+      for (index_t i = i0; i < i1; ++i) {
+        run(*node.right, data + i * n2 * stride, stride, lane, 0);
+      }
+    });
+  } else {
+    for (index_t i = 0; i < n1; ++i) {
+      run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
+    }
   }
 
   if (node.ddl) {
     // Reorganize so the column transforms run at unit stride (Fig. 5).
-    real_t* scratch = arena_.data() + arena_off;
+    real_t* scratch = arena + arena_off;
     layout::transpose_gather(data, stride, n1, n2, scratch);
-    for (index_t j = 0; j < n2; ++j) {
-      run(*node.left, scratch + j * n1, 1, arena_off + n);
+    if (fan_out && n2 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+        real_t* lane = lane_scratch_.slot(slot);
+        for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
+      });
+    } else {
+      for (index_t j = 0; j < n2; ++j) {
+        run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+      }
     }
     layout::transpose_scatter(data, stride, n1, n2, scratch);
   } else {
     // Static layout: n2 column transforms of size n1 at stride s*n2.
-    for (index_t j = 0; j < n2; ++j) {
-      run(*node.left, data + j * stride, stride * n2, arena_off);
+    if (fan_out && n2 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+        real_t* lane = lane_scratch_.slot(slot);
+        for (index_t j = j0; j < j1; ++j) {
+          run(*node.left, data + j * stride, stride * n2, lane, 0);
+        }
+      });
+    } else {
+      for (index_t j = 0; j < n2; ++j) {
+        run(*node.left, data + j * stride, stride * n2, arena, arena_off);
+      }
     }
   }
   // No twiddles and no permutation: the Hadamard tensor identity is exact

@@ -1,0 +1,410 @@
+// Concurrency tests: the ddl::parallel layer itself, serial/parallel
+// bitwise equivalence of the FFT and WHT executors, the batched transform
+// API, strided execution, and the PlanCache. Registered under the ctest
+// label `concurrency` and run under the ThreadSanitizer preset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/parallel.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/fft.hpp"
+#include "ddl/fft/plan_cache.hpp"
+#include "ddl/fft/planner.hpp"
+#include "ddl/fft/reference.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/wht/wht.hpp"
+
+namespace ddl {
+namespace {
+
+/// Every test leaves the pool back at one thread so test order can't leak
+/// parallelism into suites that assume the serial default.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_threads(n); }
+  ~ThreadGuard() { parallel::set_threads(1); }
+};
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  AlignedBuffer<cplx> buf(n);
+  fill_random(buf.span(), seed);
+  return {buf.begin(), buf.end()};
+}
+
+/// Bitwise equality — the acceptance bar for thread-count invariance.
+void expect_bitwise_equal(std::span<const cplx> a, std::span<const cplx> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].real(), b[i].real()) << "at " << i;
+    EXPECT_EQ(a[i].imag(), b[i].imag()) << "at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for primitive
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const ThreadGuard guard(4);
+  const index_t n = 100000;
+  std::vector<std::atomic<int>> touched(static_cast<std::size_t>(n));
+  parallel::parallel_for(0, n, 64, [&](index_t i0, index_t i1, int slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, parallel::max_threads());
+    for (index_t i = i0; i < i1; ++i) touched[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(touched[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackIsOneChunkOnCaller) {
+  const ThreadGuard guard(1);
+  int calls = 0;
+  parallel::parallel_for(3, 50, 1, [&](index_t i0, index_t i1, int slot) {
+    ++calls;
+    EXPECT_EQ(i0, 3);
+    EXPECT_EQ(i1, 50);
+    EXPECT_EQ(slot, 0);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SmallRangeStaysSerialEvenWithThreads) {
+  const ThreadGuard guard(4);
+  int calls = 0;
+  parallel::parallel_for(0, 8, 8, [&](index_t, index_t, int) { ++calls; });
+  EXPECT_EQ(calls, 1);  // range <= grain: single chunk
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  const ThreadGuard guard(4);
+  std::atomic<int> inner_chunks{0};
+  std::atomic<bool> saw_region{false};
+  parallel::parallel_for(0, 4000, 1, [&](index_t i0, index_t i1, int) {
+    if (parallel::in_parallel_region()) saw_region = true;
+    // A nested parallel_for must degrade to one serial chunk on this lane.
+    int calls = 0;
+    parallel::parallel_for(i0, i1, 1, [&](index_t j0, index_t j1, int) {
+      ++calls;
+      EXPECT_EQ(j0, i0);
+      EXPECT_EQ(j1, i1);
+    });
+    EXPECT_EQ(calls, 1);
+    inner_chunks.fetch_add(calls);
+  });
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_GE(inner_chunks.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  const ThreadGuard guard(4);
+  EXPECT_THROW(parallel::parallel_for(0, 10000, 1,
+                                      [](index_t i0, index_t, int) {
+                                        if (i0 == 0) throw std::runtime_error("boom");
+                                      }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  const index_t n = 1 << 18;
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0.0);
+  auto run_sum = [&](int threads) {
+    const ThreadGuard guard(threads);
+    std::vector<double> partial(static_cast<std::size_t>(parallel::max_threads()), 0.0);
+    parallel::parallel_for(0, n, 1024, [&](index_t i0, index_t i1, int slot) {
+      double s = 0.0;
+      for (index_t i = i0; i < i1; ++i) s += v[static_cast<std::size_t>(i)];
+      partial[static_cast<std::size_t>(slot)] += s;
+    });
+    return std::accumulate(partial.begin(), partial.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run_sum(1), static_cast<double>(n) * (n - 1) / 2.0);
+  EXPECT_DOUBLE_EQ(run_sum(4), static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPool, SetThreadsRoundTrips) {
+  parallel::set_threads(3);
+  EXPECT_EQ(parallel::max_threads(), 3);
+  parallel::set_threads(1);
+  EXPECT_EQ(parallel::max_threads(), 1);
+  EXPECT_THROW(parallel::set_threads(0), std::invalid_argument);
+  EXPECT_GE(parallel::hardware_threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// FFT executor: serial/parallel bitwise equivalence
+// ---------------------------------------------------------------------------
+
+/// Forward-transform the same signal under every thread count; all results
+/// must be bitwise identical, and must match the serial legacy path.
+void expect_thread_count_invariant(const plan::Node& tree) {
+  const index_t n = tree.n;
+  const std::vector<cplx> input = random_signal(n, 0xfeedULL + static_cast<std::uint64_t>(n));
+  std::vector<std::vector<cplx>> results;
+  for (const int threads : {1, 2, 4}) {
+    const ThreadGuard guard(threads);
+    fft::FftExecutor exec(tree);
+    AlignedBuffer<cplx> x(n);
+    std::copy(input.begin(), input.end(), x.begin());
+    exec.forward(x.span());
+    results.emplace_back(x.begin(), x.end());
+  }
+  expect_bitwise_equal(results[0], results[1]);
+  expect_bitwise_equal(results[0], results[2]);
+}
+
+TEST(ParallelFft, DdlTreeBitwiseInvariantAcrossThreadCounts) {
+  // 2^16 with a root ddl split: reorganize + fan out unit-stride columns.
+  expect_thread_count_invariant(*fft::balanced_tree(1 << 16, 32, 1 << 14));
+}
+
+TEST(ParallelFft, StaticTreeBitwiseInvariantAcrossThreadCounts) {
+  expect_thread_count_invariant(*fft::balanced_tree(1 << 16, 32, 0));
+}
+
+TEST(ParallelFft, RightmostTreeBitwiseInvariantAcrossThreadCounts) {
+  expect_thread_count_invariant(*fft::rightmost_tree(1 << 15, 32));
+}
+
+TEST(ParallelFft, MixedRadixBitwiseInvariantAcrossThreadCounts) {
+  // Non-power-of-two: 3^4 * 5 * 7 * 16 = 45360 exercises uneven chunking.
+  expect_thread_count_invariant(*fft::balanced_tree(45360, 32, 1 << 14));
+}
+
+TEST(ParallelFft, ParallelForwardMatchesReference) {
+  const ThreadGuard guard(4);
+  // Just above the fan-out cutoff but still tractable for the O(n^2) oracle.
+  const index_t n = 1 << 13;
+  const auto tree = fft::balanced_tree(n, 32, n);  // ddl at the root
+  ASSERT_GE(n, parallel::kMinParallelNode);
+  const std::vector<cplx> input = random_signal(n, 77);
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  fft::dft_reference(std::span<const cplx>(input), std::span<cplx>(expect));
+  fft::FftExecutor exec(*tree);
+  AlignedBuffer<cplx> x(n);
+  std::copy(input.begin(), input.end(), x.begin());
+  exec.forward(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(expect)), 1e-9 * n);
+}
+
+TEST(ParallelFft, InverseRoundTripUnderThreads) {
+  const ThreadGuard guard(4);
+  const index_t n = 1 << 16;
+  const auto tree = fft::balanced_tree(n, 32, 1 << 14);
+  fft::FftExecutor exec(*tree);
+  const std::vector<cplx> input = random_signal(n, 123);
+  AlignedBuffer<cplx> x(n);
+  std::copy(input.begin(), input.end(), x.begin());
+  exec.forward(x.span());
+  exec.inverse(x.span());
+  EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(input)), 1e-9 * n);
+}
+
+// ---------------------------------------------------------------------------
+// forward_strided (previously untested for stride > 1)
+// ---------------------------------------------------------------------------
+
+class StridedExecution : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(StridedExecution, MatchesReferenceAndThreadInvariant) {
+  const index_t stride = GetParam();
+  const index_t n = 1024;
+  const auto tree = fft::balanced_tree(n, 32, n);
+  const std::vector<cplx> embedded = random_signal(n * stride, 7 + static_cast<std::uint64_t>(stride));
+
+  // Reference: DFT of the strided element set.
+  std::vector<cplx> gathered(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) gathered[static_cast<std::size_t>(i)] =
+      embedded[static_cast<std::size_t>(i * stride)];
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  fft::dft_reference(std::span<const cplx>(gathered), std::span<cplx>(expect));
+
+  std::vector<std::vector<cplx>> results;
+  for (const int threads : {1, 4}) {
+    const ThreadGuard guard(threads);
+    fft::FftExecutor exec(*tree);
+    std::vector<cplx> work = embedded;
+    exec.forward_strided(work.data(), stride);
+    // Untouched gaps must stay untouched.
+    for (index_t k = 0; k < n * stride; ++k) {
+      if (k % stride != 0) {
+        ASSERT_EQ(work[static_cast<std::size_t>(k)], embedded[static_cast<std::size_t>(k)]);
+      }
+    }
+    std::vector<cplx> out(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] =
+        work[static_cast<std::size_t>(i * stride)];
+    EXPECT_LT(fft::max_abs_diff(std::span<const cplx>(out), std::span<const cplx>(expect)),
+              1e-9 * n)
+        << "stride " << stride << ", threads " << threads;
+    results.push_back(std::move(out));
+  }
+  expect_bitwise_equal(results[0], results[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StridedExecution, ::testing::Values(1, 2, 5));
+
+// ---------------------------------------------------------------------------
+// Batched transforms
+// ---------------------------------------------------------------------------
+
+class BatchedExecution : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BatchedExecution, MatchesReferencePerElementAndThreadInvariant) {
+  const index_t count = GetParam();
+  const index_t n = 1024;
+  const index_t dist = n + 16;  // padded batch stride
+  const auto tree = fft::balanced_tree(n, 32, n);
+  const std::vector<cplx> input =
+      random_signal(count * dist, 1000 + static_cast<std::uint64_t>(count));
+
+  std::vector<std::vector<cplx>> results;
+  for (const int threads : {1, 4}) {
+    const ThreadGuard guard(threads);
+    fft::FftExecutor exec(*tree);
+    std::vector<cplx> work = input;
+    exec.forward_batch(work.data(), count, dist);
+    results.push_back(std::move(work));
+  }
+  expect_bitwise_equal(results[0], results[1]);
+
+  for (index_t b = 0; b < count; ++b) {
+    std::vector<cplx> in_b(input.begin() + b * dist, input.begin() + b * dist + n);
+    std::vector<cplx> expect(static_cast<std::size_t>(n));
+    fft::dft_reference(std::span<const cplx>(in_b), std::span<cplx>(expect));
+    const std::span<const cplx> got(results[0].data() + b * dist, static_cast<std::size_t>(n));
+    EXPECT_LT(fft::max_abs_diff(got, std::span<const cplx>(expect)), 1e-9 * n) << "batch " << b;
+    // Padding between signals must be untouched.
+    for (index_t k = b * dist + n; k < (b + 1) * dist && k < static_cast<index_t>(input.size());
+         ++k) {
+      EXPECT_EQ(results[0][static_cast<std::size_t>(k)], input[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BatchedExecution, ::testing::Values(1, 3, 8));
+
+TEST(BatchedExecution, InverseBatchRoundTrips) {
+  const ThreadGuard guard(4);
+  const index_t n = 512;
+  const index_t count = 6;
+  const index_t dist = n;
+  auto fft_plan = fft::Fft::from_tree(*fft::balanced_tree(n, 32, n));
+  const std::vector<cplx> input = random_signal(count * dist, 4242);
+  AlignedBuffer<cplx> work(count * dist);
+  std::copy(input.begin(), input.end(), work.begin());
+  fft_plan.forward_batch(work.span(), count, dist);
+  fft_plan.inverse_batch(work.span(), count, dist);
+  EXPECT_LT(fft::max_abs_diff(work.span(), std::span<const cplx>(input)), 1e-9 * n);
+}
+
+TEST(BatchedExecution, ExecutorValidatesArguments) {
+  const auto tree = fft::balanced_tree(64, 32, 0);
+  fft::FftExecutor exec(*tree);
+  std::vector<cplx> buf(256);
+  EXPECT_THROW(exec.forward_batch(buf.data(), 2, 32), std::invalid_argument);  // stride < n
+  EXPECT_THROW(exec.forward_batch(buf.data(), -1, 64), std::invalid_argument);
+  EXPECT_NO_THROW(exec.forward_batch(buf.data(), 0, 64));  // empty batch is a no-op
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, ExecuteTreeReusesCachedExecutor) {
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  const auto tree = plan::parse_tree("ctddl(ct(16,16),16)");
+  AlignedBuffer<cplx> x(tree->n);
+  fill_random(x.span(), 9);
+
+  fft::execute_tree(*tree, x.span());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Regression: the second call must reuse the cached executor (twiddles and
+  // tree clone built once), not construct a fresh one.
+  fft::execute_tree(*tree, x.span());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same shape through the grammar entry point hits the same executor.
+  const auto entry_a = cache.get(*tree);
+  const auto entry_b = cache.get("ctddl(ct(16,16),16)");
+  EXPECT_EQ(entry_a.exec.get(), entry_b.exec.get());
+}
+
+TEST(PlanCache, ExecuteTreeStillCorrectThroughCache) {
+  fft::PlanCache::instance().clear();
+  const auto tree = plan::parse_tree("ct(ct(16,16),16)");
+  const index_t n = tree->n;
+  const std::vector<cplx> input = random_signal(n, 31);
+  std::vector<cplx> expect(static_cast<std::size_t>(n));
+  fft::dft_reference(std::span<const cplx>(input), std::span<cplx>(expect));
+  for (int round = 0; round < 2; ++round) {
+    AlignedBuffer<cplx> x(n);
+    std::copy(input.begin(), input.end(), x.begin());
+    fft::execute_tree(*tree, x.span());
+    EXPECT_LT(fft::max_abs_diff(x.span(), std::span<const cplx>(expect)), 1e-9 * n);
+  }
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  cache.set_capacity(2);
+  (void)cache.get("ct(4,4)");
+  (void)cache.get("ct(8,8)");
+  (void)cache.get("ct(16,16)");  // evicts ct(4,4)
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get("ct(4,4)");  // miss again
+  EXPECT_EQ(cache.misses(), 4u);
+  cache.set_capacity(32);
+  cache.clear();
+}
+
+// ---------------------------------------------------------------------------
+// WHT executor under threads
+// ---------------------------------------------------------------------------
+
+TEST(ParallelWht, BitwiseInvariantAcrossThreadCounts) {
+  const index_t n = 1 << 16;
+  const auto tree = plan::parse_tree("ctddl(ctddl(256,16),16)");
+  AlignedBuffer<real_t> seed_buf(n);
+  fill_random(seed_buf.span(), 55);
+  const std::vector<real_t> input(seed_buf.begin(), seed_buf.end());
+
+  std::vector<std::vector<real_t>> results;
+  for (const int threads : {1, 2, 4}) {
+    const ThreadGuard guard(threads);
+    wht::WhtExecutor exec(*tree);
+    AlignedBuffer<real_t> x(n);
+    std::copy(input.begin(), input.end(), x.begin());
+    exec.transform(x.span());
+    results.emplace_back(x.begin(), x.end());
+  }
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(results[0][static_cast<std::size_t>(i)], results[1][static_cast<std::size_t>(i)]);
+    ASSERT_EQ(results[0][static_cast<std::size_t>(i)], results[2][static_cast<std::size_t>(i)]);
+  }
+
+  // Against the butterfly oracle.
+  AlignedBuffer<real_t> ref(n);
+  std::copy(input.begin(), input.end(), ref.begin());
+  wht::wht_reference(ref.span());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(results[0][static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)],
+                1e-9 * n);
+  }
+}
+
+}  // namespace
+}  // namespace ddl
