@@ -1,16 +1,20 @@
 // ddlfft — command-line driver for the library.
 //
 // Subcommands:
-//   plan      search for a factorization tree and print it
-//   run       execute a tree (or a freshly planned one) and report timing
-//   simulate  replay a tree's address trace through the cache model
-//   compare   plan + time every strategy side by side
+//   plan         search for a factorization tree and print it
+//   run          execute a tree (or a freshly planned one) and report timing
+//   simulate     replay a tree's address trace through the cache model
+//   compare      plan + time every strategy side by side
+//   verify       statically verify a tree (ddl::verify rule catalogue)
+//   explain-plan per-node strides, scratch, codelets, and parallel stages
 //
 // Examples:
 //   ddlfft plan --transform fft --n 2^20 --strategy ddl_dp
 //   ddlfft run --tree "ctddl(ct(32,32),ct(32,32))" --reps 3
 //   ddlfft simulate --n 2^18 --cache 512K --line 64 --assoc 1
 //   ddlfft compare --transform wht --n 2^22
+//   ddlfft verify --tree "ctddl(ct(32,32),1024)" --strict
+//   ddlfft explain-plan --tree "ctddl(1024,ctddl(32,32))"
 //
 // Shared flags: --wisdom FILE / --costdb FILE persist planning artifacts.
 
@@ -20,9 +24,11 @@
 #include "ddl/cachesim/cache.hpp"
 #include "ddl/common/cli.hpp"
 #include "ddl/common/table.hpp"
+#include "ddl/codelets/codelets.hpp"
 #include "ddl/fft/fft.hpp"
 #include "ddl/plan/grammar.hpp"
 #include "ddl/sim/trace.hpp"
+#include "ddl/verify/plan_verify.hpp"
 #include "ddl/wht/planner.hpp"
 #include "ddl/wht/wht_api.hpp"
 
@@ -43,6 +49,10 @@ int usage() {
       "  simulate  (--tree GRAMMAR | --n SIZE) [--cache 512K] [--line 64]\n"
       "            [--assoc 1] [--prefetch none|next|stream] [--wht]\n"
       "  compare   --transform fft|wht --n SIZE\n"
+      "  verify    (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
+      "            [--wht] [--strict] [--stride S] [--scratch N]\n"
+      "  explain-plan  (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
+      "            [--wht] [--dot]\n"
       "\n"
       "shared:    --wisdom FILE --costdb FILE  (persist planning artifacts)\n"
       "sizes accept 1048576, 2^20, 512K, 64M notation.\n";
@@ -205,6 +215,89 @@ int cmd_simulate(const cli::Args& args) {
   return 0;
 }
 
+/// Tree from --tree GRAMMAR, or planned from --transform/--n/--strategy.
+plan::TreePtr resolve_tree(const cli::Args& args, Stores& stores, bool is_wht) {
+  if (const auto grammar = args.get("tree")) return plan::parse_tree(*grammar);
+  const index_t n = args.size_or("n", 0);
+  if (n < 2) throw std::invalid_argument("need --tree GRAMMAR or --n SIZE");
+  return plan_tree(args, stores, is_wht ? "wht" : "fft", n,
+                   parse_strategy(args.get_or("strategy", "ddl_dp")));
+}
+
+int cmd_verify(const cli::Args& args) {
+  Stores stores(args);
+  const bool is_wht = args.has("wht") || args.get_or("transform", "fft") == "wht";
+  const auto tree = resolve_tree(args, stores, is_wht);
+
+  verify::VerifyOptions opts;
+  opts.transform = is_wht ? verify::Transform::wht : verify::Transform::fft;
+  opts.root_stride = args.size_or("stride", 1);
+  opts.scratch_capacity = args.size_or("scratch", -1);
+  opts.require_codelets = args.has("strict");
+
+  const auto report = verify::verify_plan(*tree, opts);
+  std::cout << "tree: " << plan::to_string(*tree) << "  (n = " << tree->n << ", "
+            << (is_wht ? "wht" : "fft") << ")\n"
+            << "scratch demand: " << verify::scratch_requirement(*tree, opts.transform)
+            << " of " << (opts.scratch_capacity >= 0 ? opts.scratch_capacity : 2 * tree->n)
+            << " elements\n"
+            << report.to_string() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_explain(const cli::Args& args) {
+  Stores stores(args);
+  const bool is_wht = args.has("wht") || args.get_or("transform", "fft") == "wht";
+  const auto tree = resolve_tree(args, stores, is_wht);
+  const auto kind = is_wht ? verify::Transform::wht : verify::Transform::fft;
+
+  std::cout << "tree: " << plan::to_string(*tree) << "  (n = " << tree->n << ", "
+            << (is_wht ? "wht" : "fft") << ")\n"
+            << "leaves " << plan::leaf_count(*tree) << ", height " << plan::height(*tree)
+            << ", ddl nodes " << plan::ddl_node_count(*tree) << ", scratch demand "
+            << verify::scratch_requirement(*tree, kind) << " elements\n\n";
+
+  // Per-node view: implied Property-1 strides, layout, and leaf codelets.
+  TableWriter nodes({"node", "size", "stride", "layout", "kernel"});
+  struct Walk {
+    bool wht;
+    TableWriter& table;
+    void visit(const plan::Node& node, index_t stride, const std::string& path) {
+      std::string layout = node.is_leaf() ? "-" : (node.ddl ? "ddl" : "static");
+      std::string kernel = "-";
+      if (node.is_leaf()) {
+        const bool has = wht ? codelets::has_wht_codelet(node.n)
+                             : codelets::has_dft_codelet(node.n);
+        kernel = has ? "codelet" : "fallback";
+      }
+      table.add_row({path, std::to_string(node.n), std::to_string(stride), layout, kernel});
+      if (node.is_leaf()) return;
+      const index_t n2 = node.right->n;
+      visit(*node.left, node.ddl ? 1 : stride * n2, path + ".L");
+      visit(*node.right, stride, path + ".R");
+    }
+  } walk{is_wht, nodes};
+  walk.visit(*tree, args.size_or("stride", 1), "root");
+  nodes.print(std::cout, "nodes (strides per Property 1)");
+
+  // Parallel stages and their write footprints (the race-analysis model).
+  TableWriter stages({"node", "stage", "space", "chunks", "jump", "count", "step"});
+  for (const auto& stage : verify::enumerate_stages(*tree, kind)) {
+    const auto& f = stage.writes;
+    stages.add_row({stage.node_path, stage.op,
+                    f.space == verify::Space::scratch ? "scratch" : "data",
+                    std::to_string(f.chunks), std::to_string(f.jump),
+                    std::to_string(f.count), std::to_string(f.stride)});
+  }
+  std::cout << "\n";
+  stages.print(std::cout, "parallel stages (per-chunk write sets, node-stride units)");
+
+  const auto report = verify::verify_plan(*tree, {kind});
+  std::cout << "\n" << report.to_string() << "\n";
+  if (args.has("dot")) std::cout << "\n" << plan::to_dot(*tree);
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_compare(const cli::Args& args) {
   Stores stores(args);
   const std::string transform = args.get_or("transform", "fft");
@@ -245,6 +338,10 @@ int main(int argc, char** argv) {
       rc = cmd_simulate(args);
     } else if (args.command() == "compare") {
       rc = cmd_compare(args);
+    } else if (args.command() == "verify" || args.has("verify")) {
+      rc = cmd_verify(args);
+    } else if (args.command() == "explain-plan" || args.has("explain-plan")) {
+      rc = cmd_explain(args);
     } else {
       return usage();
     }

@@ -32,6 +32,8 @@ class AlignedBuffer {
     void* p = std::aligned_alloc(kAlignment, round_up(static_cast<std::size_t>(n) * sizeof(T)));
     if (p == nullptr) throw std::bad_alloc{};
     data_ = static_cast<T*>(p);
+    // Placement-new into the aligned_alloc block: this class IS the RAII
+    // owner every other site is required to use.  // ddl-lint: allow(naked-new)
     for (size_pt i = 0; i < n; ++i) new (data_ + i) T{};
   }
 

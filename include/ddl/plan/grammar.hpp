@@ -24,10 +24,15 @@
 namespace ddl::plan {
 
 /// Parse a tree from its textual form. Throws std::invalid_argument with a
-/// position-annotated message on malformed input.
+/// position-annotated message on malformed input, including degenerate
+/// splits the executors refuse to run (a `ddl` flag on a size-1 factor, or
+/// a split of two size-1 children).
 TreePtr parse_tree(std::string_view text);
 
-/// Round-trip check helper: parse_tree(to_string(t)) is structurally equal
-/// to t for every valid tree.
+/// Round-trip check helper: true iff parse_tree(to_string(tree)) is
+/// structurally equal to `tree`. Holds for every tree the library
+/// constructs; returns false (never throws) for corrupted trees whose
+/// rendering no longer re-parses. Used by ddl::verify as a rule.
+bool round_trips(const Node& tree);
 
 }  // namespace ddl::plan

@@ -40,7 +40,9 @@ struct Node {
 /// Make a leaf of size n (n >= 1).
 TreePtr make_leaf(index_t n);
 
-/// Make a split node; requires both children non-null.
+/// Make a split node; requires both children non-null. Degenerate splits
+/// are rejected (std::invalid_argument): a ddl flag on a size-1 left or
+/// right factor, and splits of two size-1 children.
 TreePtr make_split(TreePtr left, TreePtr right, bool ddl = false);
 
 /// Deep copy.

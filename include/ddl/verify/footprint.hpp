@@ -1,0 +1,106 @@
+#pragma once
+/// \file footprint.hpp
+/// \brief Symbolic footprint and race analysis of factorization-tree plans.
+///
+/// The executors fan the independent sub-transform loops of a node across
+/// the thread pool (see docs/PARALLELISM.md). Every such loop writes a
+/// *uniform chunk family*: iteration j writes the arithmetic progression
+///
+///     { base0 + j*jump + k*stride : 0 <= k < count },   0 <= j < chunks.
+///
+/// Because a plan's (size, stride) structure is fully known before execution
+/// (eq. 3 / Property 1 of the paper), disjointness of these sets — i.e.
+/// race-freedom of the fan-out — is decidable from the tree alone. For a
+/// uniform family it is decidable in O(1): chunks j1 < j2 share an element
+/// iff stride divides (j2-j1)*jump with quotient at most count-1, and the
+/// smallest such j2-j1 is stride/gcd(stride, jump). This module enumerates
+/// one family per parallel stage per node, mirroring the loops of
+/// fft/executor.cpp, wht/executor.cpp and layout/reorg.cpp, and proves each
+/// family self-disjoint (or reports a concrete conflicting pair).
+///
+/// parallel_for partitions [0, chunks) into contiguous index ranges, so
+/// per-iteration disjointness implies disjointness for every grain and
+/// thread count — the proof is partitioning-independent, which is also why
+/// executor results are bitwise identical across thread counts.
+///
+/// Offsets are expressed in units of the owning node's base stride (element
+/// strides scale every term linearly, so disjointness is invariant under
+/// the node's physical stride; scratch-space stages are physically
+/// unit-stride already).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddl/common/types.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/verify/diagnostics.hpp"
+
+namespace ddl::verify {
+
+/// Which executor's stage structure to model.
+enum class Transform { fft, wht };
+
+/// Address space a stage writes: the caller's strided data region, or the
+/// node's contiguous scratch region (ddl reorganization buffer).
+enum class Space { data, scratch };
+
+/// A uniform family of per-iteration write sets (see file comment).
+struct ChunkFamily {
+  Space space = Space::data;
+  index_t base0 = 0;   ///< base of chunk 0
+  index_t jump = 0;    ///< base distance between consecutive chunks
+  index_t chunks = 0;  ///< number of independent iterations (fan-out width)
+  index_t stride = 0;  ///< element step inside one chunk
+  index_t count = 0;   ///< elements written per chunk
+
+  /// Base index of chunk j.
+  [[nodiscard]] index_t chunk_base(index_t j) const noexcept { return base0 + j * jump; }
+
+  /// Elements spanned by one chunk: (count-1)*stride + 1 (0 when empty).
+  [[nodiscard]] index_t extent() const noexcept {
+    return count <= 0 ? 0 : (count - 1) * stride + 1;
+  }
+};
+
+/// One potentially-parallel execution stage of one node.
+struct Stage {
+  std::string node_path;  ///< "root.L.R"-style location of the owning node
+  std::string op;         ///< loop name, e.g. "left columns", "reorg gather"
+  ChunkFamily writes;     ///< the concurrently-written access family
+};
+
+/// A disproof of disjointness: two chunk indices and one element index
+/// written by both.
+struct Overlap {
+  index_t j1 = 0;
+  index_t j2 = 0;
+  index_t index = 0;
+};
+
+/// Exact O(1) self-overlap test for a uniform chunk family. Returns the
+/// lowest-index conflicting pair, or nullopt when all chunks are pairwise
+/// disjoint.
+std::optional<Overlap> family_overlap(const ChunkFamily& family);
+
+/// Effective extent of the subtree's access set, in units of its base
+/// stride: 1 + the largest offset any stage of `node` touches. Equals
+/// node.n for every structurally consistent tree; exceeds it exactly when
+/// a corrupted subtree would escape the index range its parent hands it.
+index_t effective_extent(const plan::Node& node, Transform kind);
+
+/// Enumerate every potentially-parallel stage of the plan, in execution
+/// order, mirroring the executor's loop structure (assuming maximal
+/// fan-out: any loop with more than one iteration is treated as
+/// concurrent, which over-approximates the runtime kMinParallelNode gate).
+std::vector<Stage> enumerate_stages(const plan::Node& tree, Transform kind);
+
+/// The batch-dispatch stage of forward_batch/inverse_batch: `count`
+/// transforms of size n, `batch_stride` elements apart, run concurrently.
+Stage batch_stage(index_t n, index_t count, index_t batch_stride);
+
+/// Run family_overlap over every stage of the plan; one chunk_overlap
+/// diagnostic per racy stage, naming the conflicting chunk pair and index.
+Report analyze_footprint(const plan::Node& tree, Transform kind);
+
+}  // namespace ddl::verify

@@ -1,0 +1,87 @@
+#pragma once
+/// \file plan_verify.hpp
+/// \brief Static whole-plan verification: prove a factorization tree safe
+///        to execute before running a single butterfly.
+///
+/// PR 1 parallelized the executors; this pass makes their safety story
+/// static. Given any plan::Node tree (including one corrupted after
+/// construction — Node fields are plain data), verify_plan() checks the
+/// full rule catalogue of diagnostics.hpp without executing the plan:
+///
+///   * sizes:   every split's size is the product of its children's
+///   * strides: the implied Property-1 access set of every subtree stays
+///              inside the index range its parent hands it
+///   * layout:  no ddl flag on degenerate splits
+///   * leaves:  every leaf is executable (codelet, or a fallback that
+///              accepts the size; strict mode requires a generated codelet)
+///   * twiddle: the incremental mod-n index walk of the twiddle passes
+///              provably stays inside the length-n table
+///   * scratch: the symbolic serial-arena demand fits the 2n the executor
+///              provisions (and every subtree fits the 2*n_sub lane arena)
+///   * races:   every parallel stage's chunk family is pairwise disjoint
+///              (footprint.hpp)
+///   * grammar: the tree round-trips through its textual form
+///
+/// Violations are collected into a Report, never thrown one-by-one.
+///
+/// ## Admission gate
+///
+/// FftExecutor/WhtExecutor (and therefore every plan admitted to the
+/// PlanCache, which builds executors) verify plans at construction when
+/// enforcement is enabled: always in debug builds (!NDEBUG), opt-in via the
+/// DDL_VERIFY_PLANS environment variable in release builds, overridable
+/// programmatically with set_enforcement() for tests.
+
+#include "ddl/plan/tree.hpp"
+#include "ddl/verify/diagnostics.hpp"
+#include "ddl/verify/footprint.hpp"
+
+namespace ddl::verify {
+
+/// Knobs for verify_plan.
+struct VerifyOptions {
+  Transform transform = Transform::fft;
+
+  /// Physical stride of the root node (forward_strided contexts). Rules are
+  /// stride-scale-invariant, so this only scales reported extents.
+  index_t root_stride = 1;
+
+  /// Scratch elements available to the serial executor; negative means
+  /// "what the executor provisions", i.e. 2 * tree.n.
+  index_t scratch_capacity = -1;
+
+  /// Strict leaf coverage: require a generated codelet for every leaf
+  /// (default accepts the direct O(n^2) / iterative fallbacks).
+  bool require_codelets = false;
+
+  bool check_footprint = true;
+  bool check_round_trip = true;
+};
+
+/// Verify `tree` against the full rule catalogue; never throws on rule
+/// violations (only on contract misuse, e.g. a null tree).
+Report verify_plan(const plan::Node& tree, const VerifyOptions& opts = {});
+
+/// Symbolic serial-arena demand of the tree in elements: the maximum, over
+/// all root-to-leaf execution paths, of parked ddl regions plus the
+/// permutation scratch. The executors provision 2 * tree.n, which this
+/// never exceeds for a structurally consistent tree.
+index_t scratch_requirement(const plan::Node& tree, Transform kind);
+
+/// True when executors must verify plans at construction: the
+/// set_enforcement() override if set, else the DDL_VERIFY_PLANS environment
+/// variable (any value except "0"), else on in debug builds (!NDEBUG) and
+/// off in release builds.
+bool enforcement_enabled();
+
+/// Programmatic override of the admission gate: 1 = always verify,
+/// 0 = never, -1 = restore the environment/build-type default.
+void set_enforcement(int mode);
+
+/// Admission gate body: verify `tree` with default options for `kind` and
+/// throw std::invalid_argument carrying the rendered report (prefixed with
+/// `context`) if it does not verify clean. Callers check
+/// enforcement_enabled() first.
+void require_verified(const plan::Node& tree, Transform kind, const char* context);
+
+}  // namespace ddl::verify

@@ -8,11 +8,29 @@
 #include "ddl/fft/plan_cache.hpp"
 #include "ddl/layout/reorg.hpp"
 #include "ddl/layout/stride_perm.hpp"
+#include "ddl/verify/plan_verify.hpp"
 
 namespace ddl::fft {
 
+namespace {
+
+// Admission gate: in debug builds (or with DDL_VERIFY_PLANS set) only
+// statically verified plans are executable. This also covers every plan the
+// PlanCache admits, since entries are built through this constructor. The
+// gate runs on the *caller's* tree, before clone(): clone rebuilds splits
+// through make_split, which recomputes sizes from the children and would
+// silently renormalize exactly the corruption the verifier exists to catch.
+const plan::Node& admitted(const plan::Node& tree) {
+  if (verify::enforcement_enabled()) {
+    verify::require_verified(tree, verify::Transform::fft, "FftExecutor");
+  }
+  return tree;
+}
+
+}  // namespace
+
 FftExecutor::FftExecutor(const plan::Node& tree)
-    : tree_(plan::clone(tree)), arena_(2 * tree.n) {
+    : tree_(plan::clone(admitted(tree))), arena_(2 * tree.n) {
   twiddles_.build_for(*tree_);
 }
 

@@ -41,6 +41,8 @@ class Parser {
   }
 
   TreePtr parse_split() {
+    skip_ws();
+    const std::size_t at = pos_;  // position of the split keyword for diagnostics
     bool ddl = false;
     if (consume("ctddl")) {
       ddl = true;
@@ -54,6 +56,11 @@ class Parser {
     expect(',');
     TreePtr right = parse_tree();
     expect(')');
+    // Reject degenerate splits here (rather than letting make_split throw)
+    // so the error message carries the position of the offending split.
+    if (ddl && left->n == 1) fail_at(at, "ddl flag on a size-1 left factor");
+    if (ddl && right->n == 1) fail_at(at, "ddl flag on a size-1 right factor");
+    if (left->n == 1 && right->n == 1) fail_at(at, "split of two size-1 factors");
     return make_split(std::move(left), std::move(right), ddl);
   }
 
@@ -78,8 +85,10 @@ class Parser {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
   }
 
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("tree grammar error at offset " + std::to_string(pos_) + ": " +
+  [[noreturn]] void fail(const std::string& what) const { fail_at(pos_, what); }
+
+  [[noreturn]] void fail_at(std::size_t at, const std::string& what) const {
+    throw std::invalid_argument("tree grammar error at offset " + std::to_string(at) + ": " +
                                 what + " in \"" + std::string(text_) + "\"");
   }
 
@@ -90,5 +99,13 @@ class Parser {
 }  // namespace
 
 TreePtr parse_tree(std::string_view text) { return Parser(text).parse(); }
+
+bool round_trips(const Node& tree) {
+  try {
+    return equal(*parse_tree(to_string(tree)), tree);
+  } catch (const std::invalid_argument&) {
+    return false;  // rendering of a corrupted tree no longer re-parses
+  }
+}
 
 }  // namespace ddl::plan

@@ -15,6 +15,13 @@ TreePtr make_leaf(index_t n) {
 
 TreePtr make_split(TreePtr left, TreePtr right, bool ddl) {
   DDL_REQUIRE(left != nullptr && right != nullptr, "split needs two children");
+  // Degenerate splits are rejected at construction: reorganizing a matrix
+  // with a size-1 dimension is a pure pack/unpack (the "dynamic layout" can
+  // not change any stride), and a 1x1 split adds tree depth for a size-1
+  // transform. The planners never produce these; hand-built trees must not.
+  DDL_REQUIRE(!(ddl && left->n == 1), "ddl flag on a size-1 left factor");
+  DDL_REQUIRE(!(ddl && right->n == 1), "ddl flag on a size-1 right factor");
+  DDL_REQUIRE(left->n > 1 || right->n > 1, "split of two size-1 factors");
   auto node = std::make_unique<Node>();
   node->n = left->n * right->n;
   node->ddl = ddl;

@@ -1,0 +1,130 @@
+#include "ddl/verify/footprint.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::verify {
+
+std::optional<Overlap> family_overlap(const ChunkFamily& family) {
+  const index_t m = family.chunks;
+  if (m <= 1 || family.count <= 0) return std::nullopt;  // at most one non-empty chunk
+  if (family.jump == 0) {
+    // Every chunk starts at the same base: any two iterations collide.
+    return Overlap{0, 1, family.base0};
+  }
+  if (family.stride <= 0 || family.count == 1) {
+    // Single-point chunks {base0 + j*jump}: distinct bases, disjoint.
+    return std::nullopt;
+  }
+  // Chunks j1 < j2 share an element iff (j2-j1)*jump is a multiple of
+  // stride with quotient t <= count-1 (then base + t*stride lies in chunk
+  // j1 and is chunk j2's base). The smallest qualifying distance is
+  // delta0 = stride/gcd and its quotient jump/gcd is the smallest quotient,
+  // so checking (delta0, t0) alone is exact.
+  const index_t g = std::gcd(family.stride, family.jump);
+  const index_t delta0 = family.stride / g;
+  const index_t t0 = family.jump / g;
+  if (delta0 <= m - 1 && t0 <= family.count - 1) {
+    return Overlap{0, delta0, family.base0 + delta0 * family.jump};
+  }
+  return std::nullopt;
+}
+
+index_t effective_extent(const plan::Node& node, Transform kind) {
+  if (node.is_leaf()) return node.n;
+  const index_t n1 = node.left->n;
+  const index_t n2 = node.right->n;
+  const index_t left_ext = effective_extent(*node.left, kind);
+  const index_t right_ext = effective_extent(*node.right, kind);
+  // Left stage: ddl reorganization touches the full n1 x n2 comb; the
+  // static layout walks column j's elements j + k*n2 up to k < E(left).
+  const index_t left_stage = node.ddl ? n1 * n2 : n2 * left_ext;
+  // Right stage: row i covers i*n2 + [0, E(right)).
+  const index_t right_stage = (n1 - 1) * n2 + right_ext;
+  index_t ext = std::max(left_stage, right_stage);
+  // The FFT's closing stride permutation touches all node.n elements.
+  if (kind == Transform::fft) ext = std::max(ext, node.n);
+  return ext;
+}
+
+namespace {
+
+void node_stages(const plan::Node& node, Transform kind, const std::string& path,
+                 std::vector<Stage>& out) {
+  if (node.is_leaf()) return;
+  const index_t n1 = node.left->n;
+  const index_t n2 = node.right->n;
+  const index_t n = node.n;
+  const index_t left_ext = effective_extent(*node.left, kind);
+  const index_t right_ext = effective_extent(*node.right, kind);
+
+  const auto stage = [&](const char* op, ChunkFamily f) {
+    out.push_back(Stage{path, op, f});
+  };
+
+  // Mirrors the loop structure of fft/executor.cpp, wht/executor.cpp and
+  // layout/reorg.cpp; offsets in units of the node's base stride. The WHT
+  // executor runs its right rows first, but stage *order* is irrelevant to
+  // the race check (parallel_for joins between stages), so both transforms
+  // emit the same sequence.
+  if (node.ddl) {
+    stage("reorg gather",
+          {Space::scratch, 0, n1, n2, 1, n1});  // column j -> scratch[j*n1 ..)
+    stage("left columns (scratch)", {Space::scratch, 0, n1, n2, 1, left_ext});
+    if (kind == Transform::fft) {
+      stage("twiddle columns (scratch)", {Space::scratch, n1, n1, n2 - 1, 1, n1});
+    }
+    stage("reorg scatter", {Space::data, 0, 1, n2, n2, n1});  // comb j + i*n2
+  } else {
+    stage("left columns", {Space::data, 0, 1, n2, n2, left_ext});
+    if (kind == Transform::fft) {
+      stage("twiddle rows", {Space::data, n2, n2, n1 - 1, 1, n2});
+    }
+  }
+  stage("right rows", {Space::data, 0, n2, n1, 1, right_ext});
+  if (kind == Transform::fft && n2 > 0 && n % n2 == 0) {
+    // stride_permute_inplace = transpose_gather into scratch + linear unpack.
+    stage("permute gather (scratch)", {Space::scratch, 0, n / n2, n2, 1, n / n2});
+    stage("permute unpack", {Space::data, 0, 1, n, 1, 1});
+  }
+
+  node_stages(*node.left, kind, path + ".L", out);
+  node_stages(*node.right, kind, path + ".R", out);
+}
+
+}  // namespace
+
+std::vector<Stage> enumerate_stages(const plan::Node& tree, Transform kind) {
+  std::vector<Stage> out;
+  node_stages(tree, kind, "root", out);
+  return out;
+}
+
+Stage batch_stage(index_t n, index_t count, index_t batch_stride) {
+  DDL_REQUIRE(n >= 1 && count >= 0, "bad batch stage geometry");
+  return Stage{"root", "batch dispatch", {Space::data, 0, batch_stride, count, 1, n}};
+}
+
+Report analyze_footprint(const plan::Node& tree, Transform kind) {
+  Report report;
+  for (const Stage& stage : enumerate_stages(tree, kind)) {
+    const auto overlap = family_overlap(stage.writes);
+    if (!overlap) continue;
+    const ChunkFamily& f = stage.writes;
+    std::ostringstream os;
+    os << stage.op << ": chunks " << overlap->j1 << " and " << overlap->j2
+       << " both write index " << overlap->index << " (ranges [" << f.chunk_base(overlap->j1)
+       << ", " << f.chunk_base(overlap->j1) + f.extent() - 1 << "] and ["
+       << f.chunk_base(overlap->j2) << ", " << f.chunk_base(overlap->j2) + f.extent() - 1
+       << "] step " << f.stride << ", "
+       << (f.space == Space::scratch ? "scratch" : "data") << " space)";
+    report.diagnostics.push_back(
+        Diagnostic{Rule::chunk_overlap, stage.node_path, os.str(), 0, overlap->index});
+  }
+  return report;
+}
+
+}  // namespace ddl::verify

@@ -1,0 +1,175 @@
+#include "ddl/verify/plan_verify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
+#include "ddl/plan/grammar.hpp"
+
+namespace ddl::verify {
+
+index_t scratch_requirement(const plan::Node& tree, Transform kind) {
+  if (tree.is_leaf()) return 0;
+  const index_t left = scratch_requirement(*tree.left, kind);
+  const index_t right = scratch_requirement(*tree.right, kind);
+  // A ddl node parks its n-element reorganization region while the left
+  // subtree executes (executor.cpp hands children arena_off + n); the right
+  // subtree runs after the region is released. The FFT additionally needs n
+  // elements for the closing stride permutation of every split.
+  index_t need = std::max(tree.ddl ? tree.n + left : left, right);
+  if (kind == Transform::fft) need = std::max(need, tree.n);
+  return need;
+}
+
+namespace {
+
+void diag(Report& report, Rule rule, const std::string& path, std::string message,
+          index_t expected = 0, index_t actual = 0) {
+  report.diagnostics.push_back(Diagnostic{rule, path, std::move(message), expected, actual});
+}
+
+void check_leaf(const plan::Node& node, const std::string& path, const VerifyOptions& opts,
+                Report& report) {
+  if (node.n < 1) {
+    diag(report, Rule::size_product, path, "leaf size must be >= 1", 1, node.n);
+    return;
+  }
+  if (opts.transform == Transform::wht) {
+    if (!is_pow2(node.n)) {
+      diag(report, Rule::codelet_coverage, path,
+           "WHT leaf size is not a power of two (no kernel accepts it)", 0, node.n);
+    } else if (opts.require_codelets && !codelets::has_wht_codelet(node.n)) {
+      diag(report, Rule::codelet_coverage, path, "no generated WHT codelet for this leaf size",
+           0, node.n);
+    }
+  } else if (opts.require_codelets && !codelets::has_dft_codelet(node.n)) {
+    diag(report, Rule::codelet_coverage, path, "no generated DFT codelet for this leaf size", 0,
+         node.n);
+  }
+}
+
+void check_node(const plan::Node& node, const std::string& path, const VerifyOptions& opts,
+                Report& report) {
+  // Property-1 containment: the subtree's access set (in units of its base
+  // stride) must stay inside the [0, n) index range its context hands it.
+  // Reported at the deepest node whose footprint escapes its own size.
+  const index_t extent = effective_extent(node, opts.transform);
+  if (node.n >= 1 && extent > node.n) {
+    std::ostringstream os;
+    os << "access set extends to index " << (extent - 1) * opts.root_stride
+       << ", beyond the node's " << node.n << "-element range";
+    diag(report, Rule::stride_bounds, path, os.str(), node.n, extent);
+  }
+
+  if (node.is_leaf()) {
+    check_leaf(node, path, opts, report);
+    return;
+  }
+
+  const index_t n1 = node.left->n;
+  const index_t n2 = node.right->n;
+  if (n1 < 1 || n2 < 1 || node.n != n1 * n2) {
+    diag(report, Rule::size_product, path, "child sizes do not multiply to the node size",
+         n1 * n2, node.n);
+  }
+  if (node.ddl && (n1 == 1 || n2 == 1)) {
+    diag(report, Rule::ddl_legality, path,
+         "ddl flag on a degenerate split (size-1 factor): reorganization cannot change any "
+         "stride here",
+         2, n1 == 1 ? n1 : n2);
+  }
+  if (opts.transform == Transform::fft) {
+    // The incremental twiddle index walk (idx += i; if (idx >= n) idx -= n)
+    // of detail::twiddle_pass_rows/_cols stays inside the length-n table
+    // only when every step is < n, i.e. both factors fit in the table.
+    if (n1 > node.n || n2 > node.n) {
+      diag(report, Rule::twiddle_bounds, path,
+           "factor exceeds the twiddle table length; the mod-n index walk would escape the "
+           "table",
+           node.n, std::max(n1, n2));
+    }
+  }
+
+  // Lane arenas: a fan-out hands each child a fresh 2*child.n-element
+  // ScratchPool arena; the child's symbolic demand must fit it.
+  const index_t need = scratch_requirement(node, opts.transform);
+  if (node.n >= 1 && need > 2 * node.n) {
+    diag(report, Rule::scratch_sizing, path,
+         "subtree scratch demand exceeds the 2n arena its executor lane provisions",
+         2 * node.n, need);
+  }
+
+  check_node(*node.left, path + ".L", opts, report);
+  check_node(*node.right, path + ".R", opts, report);
+}
+
+}  // namespace
+
+Report verify_plan(const plan::Node& tree, const VerifyOptions& opts) {
+  Report report;
+  check_node(tree, "root", opts, report);
+
+  // Root arena: what the executor actually provisions (2n) unless the
+  // caller supplies its own budget.
+  const index_t capacity = opts.scratch_capacity >= 0 ? opts.scratch_capacity : 2 * tree.n;
+  const index_t need = scratch_requirement(tree, opts.transform);
+  if (need > capacity) {
+    diag(report, Rule::scratch_sizing, "root",
+         "plan scratch demand exceeds the provisioned arena", capacity, need);
+  }
+
+  if (opts.check_footprint) {
+    Report races = analyze_footprint(tree, opts.transform);
+    for (auto& d : races.diagnostics) report.diagnostics.push_back(std::move(d));
+  }
+  if (opts.check_round_trip && !plan::round_trips(tree)) {
+    diag(report, Rule::grammar_round_trip, "root",
+         "textual form does not parse back to an equal tree");
+  }
+  return report;
+}
+
+namespace {
+
+std::atomic<int> g_enforce{-1};
+
+bool default_enforcement() {
+  if (const char* env = std::getenv("DDL_VERIFY_PLANS")) {
+    return std::string_view(env) != "0";
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool enforcement_enabled() {
+  const int mode = g_enforce.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  static const bool from_environment = default_enforcement();
+  return from_environment;
+}
+
+void set_enforcement(int mode) {
+  DDL_REQUIRE(mode >= -1 && mode <= 1, "enforcement mode is -1, 0, or 1");
+  g_enforce.store(mode, std::memory_order_relaxed);
+}
+
+void require_verified(const plan::Node& tree, Transform kind, const char* context) {
+  VerifyOptions opts;
+  opts.transform = kind;
+  const Report report = verify_plan(tree, opts);
+  if (report.ok()) return;
+  throw std::invalid_argument(std::string(context) +
+                              ": plan rejected by ddl::verify — " + report.to_string());
+}
+
+}  // namespace ddl::verify

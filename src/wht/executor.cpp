@@ -4,6 +4,7 @@
 #include "ddl/common/check.hpp"
 #include "ddl/common/mathutil.hpp"
 #include "ddl/layout/reorg.hpp"
+#include "ddl/verify/plan_verify.hpp"
 
 namespace ddl::wht {
 
@@ -23,10 +24,20 @@ void check_tree_sizes(const plan::Node& node) {
   }
 }
 
+// Admission gate, mirroring FftExecutor: runs on the caller's tree before
+// clone() so make_split cannot renormalize corrupted sizes (see
+// fft/executor.cpp and ddl/verify/plan_verify.hpp).
+const plan::Node& admitted(const plan::Node& tree) {
+  if (verify::enforcement_enabled()) {
+    verify::require_verified(tree, verify::Transform::wht, "WhtExecutor");
+  }
+  return tree;
+}
+
 }  // namespace
 
 WhtExecutor::WhtExecutor(const plan::Node& tree)
-    : tree_(plan::clone(tree)), arena_(2 * tree.n) {
+    : tree_(plan::clone(admitted(tree))), arena_(2 * tree.n) {
   check_tree_sizes(*tree_);
 }
 

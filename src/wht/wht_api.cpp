@@ -1,10 +1,13 @@
 #include "ddl/wht/wht_api.hpp"
 
+#include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
 #include "ddl/plan/grammar.hpp"
 
 namespace ddl::wht {
 
 Wht Wht::plan(index_t n, Strategy strategy) {
+  DDL_REQUIRE(n >= 1 && is_pow2(n), "WHT size must be a power of two");
   WhtPlanner planner;
   return plan_with(planner, n, strategy);
 }

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""ddl_lint — project-specific static lint for the ddl codebase.
+
+Rules (each can be waived per line with `// ddl-lint: allow(<rule>)` on the
+flagged line or the line above; waivers should be rare and justified):
+
+  stride-arith      Pointer-offset stride arithmetic (`p + i * stride`-style
+                    expressions) is only allowed inside the layers that own
+                    data movement: src/{layout,fft,wht,codelets,sim} and their
+                    include/ counterparts. Everywhere else (plan, verify,
+                    common, cachesim, bench_util, apps, tools) must treat
+                    strides as opaque metadata; address math outside the
+                    transform layers is how layout bugs historically escape
+                    the ddl::verify footprint model.
+
+  reinterpret-cast  No reinterpret_cast anywhere in src/ or include/. The
+                    library works on real_t/cplx arrays end to end; type
+                    punning would invalidate both the sanitizer story and the
+                    footprint analyzer's element-granularity model.
+
+  naked-new         No naked `new` / `delete` in src/ or include/. All
+                    ownership goes through std::unique_ptr /
+                    std::make_unique / containers.
+
+  require-entry     Public entry-point translation units (src/**/*_api.cpp,
+                    src/fft/fft.cpp) must contain at least one DDL_REQUIRE:
+                    every public surface validates its contract before
+                    touching data.
+
+Exit status: 0 when clean, 1 when any finding remains, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories whose code is allowed to do raw stride address arithmetic.
+STRIDE_ALLOWED = (
+    "src/layout/",
+    "src/fft/",
+    "src/wht/",
+    "src/codelets/",
+    "src/sim/",
+    "include/ddl/layout/",
+    "include/ddl/fft/",
+    "include/ddl/wht/",
+    "include/ddl/codelets/",
+    "include/ddl/sim/",
+)
+
+# `+ <product involving a stride identifier>` — pointer-offset shape. Pure
+# metadata computation (`left_stride = stride * n2`) has no `+` and is fine.
+STRIDE_ARITH = re.compile(
+    r"[+]\s*[\w().\s]*\*\s*\w*stride\b|[+]\s*\w*stride\b\s*\*"
+)
+
+REINTERPRET = re.compile(r"\breinterpret_cast\b")
+# `new T` / `delete p` expressions; `= delete;` declarations are not matched.
+NAKED_NEW = re.compile(
+    r"(^|[^\w.])new\s+[\w:<(]|(^|[^\w.])delete\s*(\[\s*\])?\s*[\w(*]"
+)
+
+ENTRY_POINT = re.compile(r"(^|/)(\w+_api\.cpp|fft/fft\.cpp)$")
+
+WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+
+
+def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blank out string/char literals, // and /* */ comment content."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append(" ")
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def waived(rule: str, lines: list[str], idx: int) -> bool:
+    for j in (idx, idx - 1):
+        if j >= 0:
+            m = WAIVER.search(lines[j])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def lint_file(path: Path, rel: str, findings: list[str]) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+
+    # Tests and benches drive the strided primitives directly and construct
+    # address patterns on purpose; the stride rule polices library and app
+    # code only.
+    check_stride = rel.startswith(("src/", "include/", "apps/")) and not rel.startswith(
+        STRIDE_ALLOWED
+    )
+    check_mem = rel.startswith(("src/", "include/"))
+
+    in_block = False
+    for idx, raw in enumerate(lines):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        if not code.strip():
+            continue
+        if check_stride and STRIDE_ARITH.search(code) and not waived(
+            "stride-arith", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: stride-arith: raw stride address arithmetic"
+                f" outside the layout/transform layers: {raw.strip()}"
+            )
+        if check_mem and REINTERPRET.search(code) and not waived(
+            "reinterpret-cast", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: reinterpret-cast: type punning is banned:"
+                f" {raw.strip()}"
+            )
+        if check_mem and NAKED_NEW.search(code) and not waived(
+            "naked-new", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: naked-new: use std::make_unique/containers:"
+                f" {raw.strip()}"
+            )
+
+    if ENTRY_POINT.search(rel) and "DDL_REQUIRE" not in text:
+        findings.append(
+            f"{rel}:1: require-entry: public entry-point file has no"
+            f" DDL_REQUIRE contract check"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None, help="repository root (default: tool's parent)"
+    )
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"ddl_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    count = 0
+    for sub in ("src", "include", "apps", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            count += 1
+            lint_file(path, path.relative_to(root).as_posix(), findings)
+
+    for finding in findings:
+        print(finding)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"ddl_lint: {count} files checked, {status}", file=sys.stderr)
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# run_analysis.sh — the full static/dynamic analysis gate, as run in CI.
+#
+#   1. tools/ddl_lint.py           project-specific lint (stride-arith,
+#                                  reinterpret-cast, naked-new, require-entry)
+#   2. clang-tidy                  .clang-tidy profile over src/ and apps/
+#                                  (skipped with a note if not installed)
+#   3. default preset              warning-free -Werror build + full ctest
+#   4. asan preset (Debug)         full suite under AddressSanitizer with the
+#                                  ddl::verify admission gate live
+#   5. ubsan preset (Debug)        full suite under UBSanitizer, gate live
+#
+# Any finding or failure exits non-zero. Usage: tools/run_analysis.sh [--fast]
+# (--fast skips the sanitizer suites; lint + tidy + default build/test only).
+
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=()
+
+note()  { printf '\n== %s ==\n' "$*"; }
+check() { # check <name> <cmd...>
+  local name="$1"; shift
+  note "$name"
+  if "$@"; then
+    printf -- '-- %s: OK\n' "$name"
+  else
+    printf -- '-- %s: FAILED\n' "$name"
+    FAILURES+=("$name")
+  fi
+}
+
+# 1. project lint -------------------------------------------------------------
+check "ddl_lint" python3 tools/ddl_lint.py
+
+# 2. clang-tidy ---------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_tidy() {
+    cmake --preset default >/dev/null &&
+      cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+      git ls-files 'src/**/*.cpp' 'apps/*.cpp' |
+        xargs -r clang-tidy -p build --quiet
+  }
+  check "clang-tidy" run_tidy
+else
+  note "clang-tidy"
+  echo "-- clang-tidy: not installed, skipped (lint coverage via ddl_lint only)"
+fi
+
+# 3. default build + full test suite -----------------------------------------
+run_preset() { # run_preset <name> [ctest extra args...]
+  local preset="$1"; shift
+  cmake --preset "$preset" &&
+    cmake --build --preset "$preset" -j "$JOBS" &&
+    ctest --preset "$preset" -j "$JOBS" "$@"
+}
+check "default (-Werror) build+test" run_preset default
+
+# 4/5. sanitizer suites -------------------------------------------------------
+if [[ "$FAST" == "0" ]]; then
+  check "asan build+test" run_preset asan
+  check "ubsan build+test" run_preset ubsan
+else
+  note "sanitizers"
+  echo "-- asan/ubsan: skipped (--fast)"
+fi
+
+# ----------------------------------------------------------------------------
+note "summary"
+if ((${#FAILURES[@]})); then
+  printf 'analysis FAILED: %s\n' "${FAILURES[*]}"
+  exit 1
+fi
+echo "analysis clean"
