@@ -3,6 +3,7 @@
 // Subcommands:
 //   plan         search for a factorization tree and print it
 //   run          execute a tree (or a freshly planned one) and report timing
+//   profile      traced execution: per-stage breakdown + chrome-trace JSON
 //   simulate     replay a tree's address trace through the cache model
 //   compare      plan + time every strategy side by side
 //   verify       statically verify a tree (ddl::verify rule catalogue)
@@ -11,6 +12,7 @@
 // Examples:
 //   ddlfft plan --transform fft --n 2^20 --strategy ddl_dp
 //   ddlfft run --tree "ctddl(ct(32,32),ct(32,32))" --reps 3
+//   ddlfft profile 2^20 --reps 5 --trace ddlfft_trace.json
 //   ddlfft simulate --n 2^18 --cache 512K --line 64 --assoc 1
 //   ddlfft compare --transform wht --n 2^22
 //   ddlfft verify --tree "ctddl(ct(32,32),1024)" --strict
@@ -18,15 +20,21 @@
 //
 // Shared flags: --wisdom FILE / --costdb FILE persist planning artifacts.
 
+#include <fstream>
 #include <iostream>
 
 #include "ddl/bench_util/bench_util.hpp"
 #include "ddl/cachesim/cache.hpp"
 #include "ddl/common/cli.hpp"
+#include "ddl/common/parallel.hpp"
 #include "ddl/common/table.hpp"
 #include "ddl/codelets/codelets.hpp"
+#include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
+#include "ddl/obs/export.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
+#include "ddl/plan/obs_ingest.hpp"
 #include "ddl/sim/trace.hpp"
 #include "ddl/verify/plan_verify.hpp"
 #include "ddl/wht/planner.hpp"
@@ -46,6 +54,11 @@ int usage() {
       "            [--dot]     print the tree as a Graphviz digraph\n"
       "  run       (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--reps 3] [--wht]\n"
+      "  profile   (SIZE | --n SIZE | --tree GRAMMAR) [--transform fft|wht]\n"
+      "            [--strategy ddl_dp] [--reps 5] [--threads N]\n"
+      "            [--trace ddlfft_trace.json] [--bench-json FILE] [--calibrate]\n"
+      "            traced run: per-stage summary + chrome://tracing JSON;\n"
+      "            --calibrate feeds stage timings into --costdb\n"
       "  simulate  (--tree GRAMMAR | --n SIZE) [--cache 512K] [--line 64]\n"
       "            [--assoc 1] [--prefetch none|next|stream] [--wht]\n"
       "  compare   --transform fft|wht --n SIZE\n"
@@ -168,6 +181,122 @@ int cmd_run(const cli::Args& args) {
     std::cout << "best: " << fmt_double(best * 1e3, 3) << " ms  ("
               << fmt_double(benchutil::fft_mflops(tree->n, best), 0)
               << " normalized MFLOPS)\n";
+  }
+  return 0;
+}
+
+// Traced execution: plan (or parse) a tree, run it `reps` times with
+// tracing enabled, and report where the time went — per-stage summary to
+// stdout, chrome://tracing JSON to --trace, optionally a BENCH-schema JSON
+// row (--bench-json) and a cost-database calibration pass (--calibrate).
+int cmd_profile(const cli::Args& args) {
+  Stores stores(args);
+  const bool is_wht = args.has("wht") || args.get_or("transform", "fft") == "wht";
+  plan::TreePtr tree;
+  std::string strategy_name = "explicit-tree";
+  if (const auto grammar = args.get("tree")) {
+    tree = plan::parse_tree(*grammar);
+  } else {
+    index_t n = 0;
+    if (const auto pos = args.positional(0)) {
+      n = cli::parse_size(*pos);
+    } else {
+      n = args.size_or("n", 0);
+    }
+    if (n < 2) {
+      std::cerr << "profile: need a SIZE operand, --n SIZE, or --tree GRAMMAR\n";
+      return 2;
+    }
+    const auto strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
+    strategy_name = fft::strategy_name(strategy);
+    tree = plan_tree(args, stores, is_wht ? "wht" : "fft", n, strategy);
+  }
+  if (args.has("threads")) {
+    parallel::set_threads(static_cast<int>(args.int_or("threads", 1)));
+  }
+
+  const auto reps = static_cast<int>(args.int_or("reps", 5));
+  const index_t n = tree->n;
+  std::cout << "tree: " << plan::to_string(*tree) << "  (n = " << n << ", "
+            << (is_wht ? "wht" : "fft") << ", threads = " << parallel::max_threads()
+            << ")\n\n";
+
+  // Two warmups: one untraced (pool spin-up, twiddle tables, page faults),
+  // one traced (registers every participating thread's event ring), then
+  // reset and trace exactly the steady-state reps.
+  double wall = 0.0;
+  if (is_wht) {
+    wht::WhtExecutor exec(*tree);
+    AlignedBuffer<real_t> buf(n);
+    for (index_t i = 0; i < n; ++i) buf.data()[i] = static_cast<real_t>(i % 7) - 3.0;
+    exec.transform(buf.span());
+    obs::enable(true);
+    exec.transform(buf.span());
+    obs::reset();
+    const std::uint64_t t0 = obs::now_ns();
+    for (int r = 0; r < reps; ++r) exec.transform(buf.span());
+    wall = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    obs::enable(false);
+  } else {
+    fft::FftExecutor exec(*tree);
+    AlignedBuffer<cplx> buf(n);
+    for (index_t i = 0; i < n; ++i) {
+      buf.data()[i] = cplx(static_cast<double>(i % 5) - 2.0, static_cast<double>(i % 3) - 1.0);
+    }
+    exec.forward(buf.span());
+    obs::enable(true);
+    exec.forward(buf.span());
+    obs::reset();
+    const std::uint64_t t0 = obs::now_ns();
+    for (int r = 0; r < reps; ++r) exec.forward(buf.span());
+    wall = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    obs::enable(false);
+  }
+
+  const obs::Snapshot snap = obs::snapshot();
+  obs::write_summary(std::cout, snap);
+  const double per_rep = wall / std::max(1, reps);
+  std::cout << "\nwall: " << fmt_double(wall * 1e3, 3) << " ms over " << reps << " reps ("
+            << fmt_double(per_rep * 1e3, 3) << " ms/rep";
+  if (!is_wht) {
+    std::cout << ", " << fmt_double(benchutil::fft_mflops(n, per_rep), 0)
+              << " normalized MFLOPS";
+  }
+  std::cout << ")\n";
+
+  const std::string trace_file = args.get_or("trace", "ddlfft_trace.json");
+  if (std::ofstream os(trace_file); os) {
+    obs::write_chrome_trace(os, snap);
+    std::cout << "trace: " << trace_file << "  (load in chrome://tracing or ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "profile: cannot write trace file '" << trace_file << "'\n";
+  }
+
+  if (const auto bench_file = args.get("bench-json")) {
+    benchutil::BenchJsonWriter writer("ddlfft_profile");
+    benchutil::BenchRecord rec;
+    rec.n = n;
+    rec.strategy = strategy_name;
+    rec.tree = plan::to_string(*tree);
+    rec.threads = parallel::max_threads();
+    rec.seconds = per_rep;
+    rec.mflops = is_wht ? 0.0 : benchutil::fft_mflops(n, per_rep);
+    for (const obs::StageStats& s : obs::summarize(snap)) {
+      rec.stage_share.emplace_back(obs::stage_name(s.stage), s.self_seconds / wall);
+    }
+    writer.add(rec);
+    if (!writer.write(*bench_file)) {
+      std::cerr << "profile: cannot write bench JSON '" << *bench_file << "'\n";
+    } else {
+      std::cout << "bench json: " << *bench_file << "\n";
+    }
+  }
+
+  if (args.has("calibrate")) {
+    const std::size_t keys = plan::ingest_stage_costs(stores.cost_db, snap);
+    std::cout << "calibrated " << keys << " cost keys from stage timings"
+              << (stores.cost_file.empty() ? " (pass --costdb FILE to persist them)" : "")
+              << "\n";
   }
   return 0;
 }
@@ -334,6 +463,8 @@ int main(int argc, char** argv) {
       rc = cmd_plan(args);
     } else if (args.command() == "run") {
       rc = cmd_run(args);
+    } else if (args.command() == "profile") {
+      rc = cmd_profile(args);
     } else if (args.command() == "simulate") {
       rc = cmd_simulate(args);
     } else if (args.command() == "compare") {

@@ -27,6 +27,8 @@
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
 #include "ddl/fft/stockham.hpp"
+#include "ddl/obs/export.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/sim/trace.hpp"
 
 namespace {
@@ -40,8 +42,36 @@ double measure_seconds(const plan::Node& tree) {
                   fft::FftPlanner::measure_tree_seconds(tree, 0.05));
 }
 
-double measure_mflops(const plan::Node& tree) {
-  return benchutil::fft_mflops(tree.n, measure_seconds(tree));
+/// One BENCH_fft.json row: the measurement plus, for the n that were
+/// traced, per-stage self-time shares from a single instrumented run.
+benchutil::BenchRecord make_record(const plan::Node& tree, const char* strategy,
+                                   double seconds, bool traced) {
+  benchutil::BenchRecord rec;
+  rec.n = tree.n;
+  rec.strategy = strategy;
+  rec.tree = plan::to_string(tree);
+  rec.threads = benchcommon::threads_used();
+  rec.seconds = seconds;
+  rec.mflops = benchutil::fft_mflops(tree.n, seconds);
+  if (traced) {
+    fft::FftExecutor exec(tree);
+    AlignedBuffer<cplx> buf(tree.n);
+    exec.forward(buf.span());  // warm untraced
+    obs::enable(true);
+    exec.forward(buf.span());  // traced warmup registers the event rings
+    obs::reset();
+    const std::uint64_t t0 = obs::now_ns();
+    exec.forward(buf.span());
+    const double wall = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    obs::enable(false);
+    const obs::Snapshot snap = obs::snapshot();
+    if (wall > 0) {
+      for (const obs::StageStats& s : obs::summarize(snap)) {
+        rec.stage_share.emplace_back(obs::stage_name(s.stage), s.self_seconds / wall);
+      }
+    }
+  }
+  return rec;
 }
 
 /// Synthetic stand-ins for the paper's four platforms (L2 geometry).
@@ -70,6 +100,7 @@ int main() {
 
   std::cout << "view 1: searched plans on the host CPU (plus fixed baselines), "
             << benchcommon::threads_note() << "\n\n";
+  benchutil::BenchJsonWriter bench_json("fig11_14_fft_perf");
   TableWriter table(
       {"n", "thr", "stockham", "fftw_like", "fft_sdl", "fft_ddl", "ddl/fftw", "ddl_nodes"});
   for (int k = 8; k <= 22; k += 2) {
@@ -86,15 +117,30 @@ int main() {
         time_adaptive([&] { stockham_fft.forward(buf.span()); }, {.min_total_seconds = 0.05}));
     const double st = benchutil::fft_mflops(n, t_st);
 
-    const double fftw = measure_mflops(*fftw_tree);
-    const double sdl = measure_mflops(*sdl_tree);
-    const double ddl = measure_mflops(*ddl_tree);
+    const double t_fftw = measure_seconds(*fftw_tree);
+    const double t_sdl = measure_seconds(*sdl_tree);
+    const double t_ddl = measure_seconds(*ddl_tree);
+    const double fftw = benchutil::fft_mflops(n, t_fftw);
+    const double sdl = benchutil::fft_mflops(n, t_sdl);
+    const double ddl = benchutil::fft_mflops(n, t_ddl);
+
+    // Stage shares only for the largest sizes: one traced run each is
+    // cheap there and that's where the layout stages matter.
+    const bool traced = k >= 18;
+    bench_json.add(make_record(*fftw_tree, "rightmost", t_fftw, false));
+    bench_json.add(make_record(*sdl_tree, "sdl_dp", t_sdl, false));
+    bench_json.add(make_record(*ddl_tree, "ddl_dp", t_ddl, traced));
 
     table.add_row({fmt_pow2(n), std::to_string(benchcommon::threads_used()), fmt_double(st, 0),
                    fmt_double(fftw, 0), fmt_double(sdl, 0), fmt_double(ddl, 0),
                    fmt_double(ddl / fftw, 2), std::to_string(plan::ddl_node_count(*ddl_tree))});
   }
   table.print(std::cout, "searched plans (normalized MFLOPS; higher is better)");
+
+  const auto bench_path = benchutil::BenchJsonWriter::resolve_path("BENCH_fft.json");
+  if (bench_json.write(bench_path)) {
+    std::cout << "\nmachine-readable results: " << bench_path.string() << "\n";
+  }
 
   std::cout << "\nview 2: fixed balanced shape — the reorganization mechanism itself, "
             << benchcommon::threads_note() << "\n\n";

@@ -2,7 +2,10 @@
 /// \file bench_util.hpp
 /// \brief Shared helpers for the table/figure benchmark harnesses.
 
+#include <filesystem>
 #include <iosfwd>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ddl/common/types.hpp"
@@ -36,5 +39,42 @@ HostInfo host_info();
 /// One-line banner with the host cache geometry, printed by every bench so
 /// results are interpretable (the analogue of the paper's Table III).
 void print_host_banner(std::ostream& os);
+
+/// One measurement row for machine-readable benchmark export.
+struct BenchRecord {
+  index_t n = 0;
+  std::string strategy;  ///< strategy or variant name, e.g. "ddl_dp"
+  std::string tree;      ///< plan grammar string (may be empty)
+  int threads = 1;
+  double seconds = 0.0;
+  double mflops = 0.0;  ///< 0 when the metric does not apply (e.g. WHT)
+  /// Per-stage share of total time in [0, 1], from a ddl::obs summary
+  /// (empty when the run was not traced).
+  std::vector<std::pair<std::string, double>> stage_share;
+};
+
+/// Collects BenchRecords and writes them as one JSON document:
+/// `{"bench": NAME, "host": {...}, "rows": [...]}`. Every bench that emits
+/// BENCH_*.json goes through this, so downstream tooling parses one schema
+/// (documented in docs/OBSERVABILITY.md).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  void add(BenchRecord rec);
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Write the document; returns false on I/O failure (export is
+  /// best-effort — a read-only working directory must not fail a bench).
+  bool write(const std::filesystem::path& file) const;
+
+  /// Output path: the DDL_BENCH_JSON environment variable when set and
+  /// non-empty, else `fallback`.
+  static std::filesystem::path resolve_path(const std::string& fallback);
+
+ private:
+  std::string bench_;
+  std::vector<BenchRecord> rows_;
+};
 
 }  // namespace ddl::benchutil

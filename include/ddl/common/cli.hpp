@@ -22,14 +22,26 @@ index_t parse_size(const std::string& text);
 
 /// Parsed command line: a positional command plus --key value pairs.
 ///
-/// Grammar: argv = [command] (--key value | --key)*. A flag followed by
-/// another flag (or end of input) is a boolean switch.
+/// Grammar: argv = [command] (positional | --key value | --key)*. A flag
+/// followed by another flag (or end of input) is a boolean switch; any
+/// other bare token is a positional argument (e.g. `ddlfft profile 2^20`).
 class Args {
  public:
   /// Parse from main()'s argv (argv[0] is skipped).
   static Args parse(int argc, const char* const* argv);
 
   [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  /// Bare (non-flag) tokens after the command, in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// i-th positional argument, or nullopt when fewer were given.
+  [[nodiscard]] std::optional<std::string> positional(std::size_t i) const {
+    if (i >= positionals_.size()) return std::nullopt;
+    return positionals_[i];
+  }
 
   [[nodiscard]] bool has(const std::string& key) const;
 
@@ -53,6 +65,7 @@ class Args {
 
  private:
   std::string command_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> values_;  ///< empty string = bare switch
   mutable std::map<std::string, bool> used_;
 };

@@ -57,14 +57,27 @@ inline constexpr index_t kMinParallelNode = index_t{1} << 13;
 /// permutations) fan out their outer tile loops.
 inline constexpr index_t kMinParallelReorg = index_t{1} << 14;
 
+/// Upper clamp on the pool width, applied identically to `DDL_NUM_THREADS`
+/// and `set_threads()`. Far above any real core count; bounds worker-vector
+/// growth against misconfiguration (e.g. a corrupted environment).
+inline constexpr int kMaxThreads = 1024;
+
+/// Parse a DDL_NUM_THREADS-style value: a positive decimal integer with
+/// optional surrounding whitespace, clamped to [1, kMaxThreads]. Returns 0
+/// for malformed input (empty, non-numeric, trailing garbage such as
+/// "8abc", or values < 1), which callers treat as "unset". Exposed for
+/// tests; env_threads() routes through it.
+int parse_env_threads(const char* text) noexcept;
+
 /// Number of threads the pool will use (>= 1): the `set_threads` override
 /// if set, else `DDL_NUM_THREADS`, else the hardware concurrency. Reading
 /// this does not start the pool.
 int max_threads();
 
-/// Override the thread count (n >= 1). Takes effect on the next
-/// parallel_for; existing workers are kept, missing ones are spawned
-/// lazily. Intended for tests and benches that sweep thread counts.
+/// Override the thread count (n >= 1; clamped to kMaxThreads, the same cap
+/// DDL_NUM_THREADS gets). Takes effect on the next parallel_for; existing
+/// workers are kept, missing ones are spawned lazily. Intended for tests
+/// and benches that sweep thread counts.
 void set_threads(int n);
 
 /// Hardware concurrency as the pool sees it (>= 1).

@@ -46,8 +46,12 @@ class PlanCache {
   [[nodiscard]] std::size_t size() const;
 
   /// Lifetime lookup counters (for tests and cache-efficacy diagnostics).
+  /// All three also feed the ddl::obs plan_cache_* counters, so cache
+  /// thrash shows up in traces; without the eviction count, thrash at
+  /// small capacity looks identical to cold misses.
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
 
   /// Max entries kept; least-recently-used beyond that are evicted.
   [[nodiscard]] std::size_t capacity() const;
@@ -60,6 +64,7 @@ class PlanCache {
   PlanCache() = default;
 
   Entry get_keyed(const std::string& key, const plan::Node* tree);
+  void evict_over_capacity();
 
   mutable std::mutex mutex_;
   std::list<std::pair<std::string, Entry>> lru_;  // front = most recent
@@ -67,6 +72,7 @@ class PlanCache {
   std::size_t capacity_ = 32;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace ddl::fft

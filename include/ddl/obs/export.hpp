@@ -1,0 +1,54 @@
+#pragma once
+/// \file export.hpp
+/// \brief Exporters for ddl::obs snapshots: chrome://tracing JSON, a
+///        per-stage summary table, and stage-coverage accounting.
+///
+/// The trace format is the Chrome Trace Event JSON array-of-"X"-events
+/// form, loadable in chrome://tracing and https://ui.perfetto.dev — see
+/// docs/OBSERVABILITY.md for a walkthrough. Timestamps are exported in
+/// microseconds relative to the earliest event in the snapshot.
+///
+/// Summary semantics: events on one thread are properly nested (they come
+/// from scoped timers), so the summarizer rebuilds the nesting with a
+/// stack and reports, per stage, both **total** (inclusive) and **self**
+/// (exclusive of nested stages) time. Coverage — "do the recorded stages
+/// explain the wall time?" — is the fraction of the root `transform`
+/// event covered by its direct children on the same thread.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ddl/obs/obs.hpp"
+
+namespace ddl::obs {
+
+/// Aggregated timings for one stage across the snapshot.
+struct StageStats {
+  Stage stage = Stage::transform;
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;  ///< inclusive
+  double self_seconds = 0.0;   ///< exclusive of nested stages
+};
+
+/// Per-stage totals over the whole snapshot, descending by self time.
+/// Stages with no events are omitted.
+std::vector<StageStats> summarize(const Snapshot& snap);
+
+/// Fraction of the longest `transform` event's duration covered by its
+/// direct child stages on the same thread; 0 when there is no transform
+/// event. A healthy profile sits within 10% of 1.0 (asserted in tests).
+double stage_coverage(const Snapshot& snap);
+
+/// Write the snapshot as Chrome Trace Event JSON ("X" duration events,
+/// one track per thread, payload args attached).
+void write_chrome_trace(std::ostream& os, const Snapshot& snap);
+
+/// Human-readable report: the summarize() table, coverage, and every
+/// non-zero counter.
+void write_summary(std::ostream& os, const Snapshot& snap);
+
+/// Minimal JSON string escaping (used by the exporters and bench JSON).
+std::string json_escape(const std::string& text);
+
+}  // namespace ddl::obs

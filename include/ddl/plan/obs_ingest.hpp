@@ -1,0 +1,42 @@
+#pragma once
+/// \file obs_ingest.hpp
+/// \brief Calibrate the planner's cost database from observed stage timings.
+///
+/// The measured-DP planner seeds its base costs with offline probes
+/// (Sec. IV-B). Those probes run each primitive in a tight loop on idle
+/// buffers — a best case the real executor does not always see. This ingest
+/// closes the loop: it aggregates the stage events a traced run recorded
+/// (ddl::obs) into the same CostKey space the planner probes, so subsequent
+/// planning uses costs measured *in situ*, cache pressure and all.
+///
+/// Mapping (matching src/fft/planner.cpp's probe keys):
+///   leaf_cols(a=n1, b=n2)      -> {"dft_leaf", n1, 1, 0}, seconds / n2
+///   twiddle_cols(a=n, b=n2)    -> {"tw_cols",  n,  n2, 0}
+///   twiddle_rows(a=n, b=n2)    -> {"tw_rows",  n,  n2, 1}
+///   stride_perm(a=n, b=n2)     -> {"perm",     n,  n2, 1}
+///   reorg_gather + reorg_scatter(a=n1, b=n2)
+///                              -> {"reorg",    n1, n2, 1} (pair summed)
+///
+/// Strided variants (b != 1 for dft_leaf, c != 1 for the rest) are left to
+/// the planner's own probes: the executor's DDL path runs these stages at
+/// unit stride, which is exactly the layout the paper's dynamic
+/// reorganization buys.
+
+#include <cstddef>
+
+#include "ddl/plan/costdb.hpp"
+
+namespace ddl::obs {
+struct Snapshot;
+}
+
+namespace ddl::plan {
+
+/// Fold the stage events of `snap` into `db` (put(), overwriting existing
+/// entries: in-situ timings supersede synthetic probes). Each key's cost is
+/// the mean over all matching events — for dft_leaf, the mean per leaf
+/// *call* (events cover b calls each). Returns the number of distinct keys
+/// written. Events from stages with no cost-key mapping are ignored.
+std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap);
+
+}  // namespace ddl::plan

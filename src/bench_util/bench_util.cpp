@@ -3,9 +3,14 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <ostream>
+#include <utility>
 
 #include "ddl/common/check.hpp"
+#include "ddl/obs/export.hpp"
 
 namespace ddl::benchutil {
 
@@ -55,6 +60,46 @@ void print_host_banner(std::ostream& os) {
      << " L2=" << info.l2_bytes / 1024 << "KB"
      << " L3=" << info.l3_bytes / 1024 << "KB"
      << " line=" << info.line_bytes << "B\n";
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+void BenchJsonWriter::add(BenchRecord rec) { rows_.push_back(std::move(rec)); }
+
+bool BenchJsonWriter::write(const std::filesystem::path& file) const {
+  std::ofstream os(file);
+  if (!os) return false;
+  const HostInfo host = host_info();
+  os << std::setprecision(12);
+  os << "{\"bench\": \"" << obs::json_escape(bench_) << "\",\n"
+     << " \"host\": {\"l1d_bytes\": " << host.l1d_bytes << ", \"l2_bytes\": " << host.l2_bytes
+     << ", \"l3_bytes\": " << host.l3_bytes << ", \"line_bytes\": " << host.line_bytes
+     << "},\n \"rows\": [";
+  bool first = true;
+  for (const BenchRecord& r : rows_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"n\": " << r.n << ", \"strategy\": \"" << obs::json_escape(r.strategy)
+       << "\", \"tree\": \"" << obs::json_escape(r.tree) << "\", \"threads\": " << r.threads
+       << ", \"seconds\": " << r.seconds << ", \"mflops\": " << r.mflops
+       << ", \"stage_share\": {";
+    bool first_stage = true;
+    for (const auto& [stage, share] : r.stage_share) {
+      if (!first_stage) os << ", ";
+      first_stage = false;
+      os << "\"" << obs::json_escape(stage) << "\": " << share;
+    }
+    os << "}}";
+  }
+  os << "\n ]}\n";
+  return static_cast<bool>(os);
+}
+
+std::filesystem::path BenchJsonWriter::resolve_path(const std::string& fallback) {
+  if (const char* env = std::getenv("DDL_BENCH_JSON"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return fallback;
 }
 
 }  // namespace ddl::benchutil

@@ -51,8 +51,15 @@ Args Args::parse(int argc, const char* const* argv) {
   }
   while (i < argc) {
     std::string token = argv[i];
-    DDL_REQUIRE(token.size() > 2 && token[0] == '-' && token[1] == '-',
-                "expected --flag, got '" + token + "'");
+    if (token.size() < 2 || token[0] != '-' || token[1] != '-') {
+      // Bare token in flag position: a positional argument (subcommands
+      // like `profile 2^20` take the operand directly).
+      DDL_REQUIRE(token[0] != '-', "expected --flag, got '" + token + "'");
+      args.positionals_.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    DDL_REQUIRE(token.size() > 2, "expected --flag, got '" + token + "'");
     const std::string key = token.substr(2);
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       args.values_[key] = argv[i + 1];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "ddl/common/check.hpp"
+#include "ddl/obs/obs.hpp"
 
 namespace ddl::parallel {
 
@@ -19,14 +21,7 @@ namespace {
 /// non-reentrancy rule.
 thread_local bool t_in_region = false;
 
-int env_threads() {
-  const char* s = std::getenv("DDL_NUM_THREADS");
-  if (s == nullptr || *s == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || v < 1) return 0;  // malformed or non-positive: ignore
-  return static_cast<int>(std::min(v, 1024L));
-}
+int env_threads() { return parse_env_threads(std::getenv("DDL_NUM_THREADS")); }
 
 /// One fork-join dispatch. Lives in a shared_ptr so a worker that wakes
 /// after the caller has already returned still holds valid memory; it will
@@ -63,7 +58,12 @@ class ThreadPool {
     return t;
   }
 
-  void set_target(int n) { target_.store(std::max(1, n), std::memory_order_relaxed); }
+  // The same [1, kMaxThreads] clamp env_threads() applies: before it, a
+  // set_threads(1 << 20) call would have grown the worker vector without
+  // bound on the next dispatch.
+  void set_target(int n) {
+    target_.store(std::clamp(n, 1, kMaxThreads), std::memory_order_relaxed);
+  }
 
   void run(index_t begin, index_t end, index_t grain, const ChunkBody& body) {
     const index_t count = end - begin;
@@ -82,6 +82,11 @@ class ThreadPool {
     job->nchunks = (count + job->chunk - 1) / job->chunk;
     job->nslots = nslots;
     job->body = &body;
+
+    // One dispatch event spans wake-up through join, so the trace shows
+    // fork-join overhead around the chunks it fanned out.
+    obs::count(obs::Counter::par_dispatches);
+    const obs::ScopedStage dispatch_stage(obs::Stage::par_dispatch, job->nchunks, nslots);
 
     {
       std::lock_guard<std::mutex> lk(mutex_);
@@ -144,11 +149,17 @@ class ThreadPool {
       if (c >= job.nchunks) break;
       const index_t i0 = job.begin + c * job.chunk;
       const index_t i1 = std::min(job.end, i0 + job.chunk);
-      try {
-        (*job.body)(i0, i1, slot);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(job.err_mutex);
-        if (!job.error) job.error = std::current_exception();
+      {
+        // Scope ends (and the event is recorded) before the done-counter
+        // release below, so a snapshot taken after the join sees it.
+        obs::count(obs::Counter::par_chunks);
+        const obs::ScopedStage chunk_stage(obs::Stage::par_chunk, c, slot);
+        try {
+          (*job.body)(i0, i1, slot);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(job.err_mutex);
+          if (!job.error) job.error = std::current_exception();
+        }
       }
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.nchunks) {
         std::lock_guard<std::mutex> lk(mutex_);  // pairs with the caller's wait
@@ -178,6 +189,20 @@ int hardware_threads() {
 
 int max_threads() { return ThreadPool::instance().target(); }
 
+int parse_env_threads(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || v < 1) return 0;  // malformed or non-positive: ignore
+  // Trailing garbage ("8abc") used to silently parse as 8; reject it so a
+  // typo'd environment falls back to the default instead of a wrong width.
+  // Trailing whitespace (e.g. from `export DDL_NUM_THREADS="8 "`) is fine.
+  for (; *end != '\0'; ++end) {
+    if (std::isspace(static_cast<unsigned char>(*end)) == 0) return 0;
+  }
+  return static_cast<int>(std::min<long>(v, kMaxThreads));
+}
+
 void set_threads(int n) {
   DDL_REQUIRE(n >= 1, "thread count must be >= 1");
   ThreadPool::instance().set_target(n);
@@ -190,6 +215,7 @@ void parallel_for(index_t begin, index_t end, index_t grain, const ChunkBody& bo
   const index_t count = end - begin;
   if (count <= 0) return;
   if (count <= grain || t_in_region || max_threads() <= 1) {
+    obs::count(obs::Counter::par_serial_regions);
     body(begin, end, 0);  // deterministic serial fallback, caller's lane
     return;
   }

@@ -8,6 +8,7 @@
 #include "ddl/fft/plan_cache.hpp"
 #include "ddl/layout/reorg.hpp"
 #include "ddl/layout/stride_perm.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/verify/plan_verify.hpp"
 
 namespace ddl::fft {
@@ -36,16 +37,19 @@ FftExecutor::FftExecutor(const plan::Node& tree)
 
 void FftExecutor::forward(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  const obs::ScopedStage root(obs::Stage::transform, tree_->n);
   run(*tree_, data.data(), 1, arena_.data(), 0);
 }
 
 void FftExecutor::forward_strided(cplx* data, index_t stride) {
   DDL_REQUIRE(data != nullptr && stride >= 1, "bad strided execution arguments");
+  const obs::ScopedStage root(obs::Stage::transform, tree_->n, stride);
   run(*tree_, data, stride, arena_.data(), 0);
 }
 
 void FftExecutor::inverse(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  const obs::ScopedStage root(obs::Stage::transform, tree_->n);
   run(*tree_, data.data(), 1, arena_.data(), 0);
   inverse_finish(data.data());
 }
@@ -74,6 +78,7 @@ void FftExecutor::forward_batch(cplx* data, index_t count, index_t batch_stride)
               "batch stride must be >= transform size");
   if (count == 0) return;
   const index_t n = tree_->n;
+  const obs::ScopedStage batch_stage(obs::Stage::batch, count, n);
   if (count > 1 && should_fan_out(count * n)) {
     lane_scratch_.ensure(parallel::max_threads(), 2 * n);
     parallel::parallel_for(0, count, 1, [&](index_t b0, index_t b1, int slot) {
@@ -92,6 +97,7 @@ void FftExecutor::inverse_batch(cplx* data, index_t count, index_t batch_stride)
               "batch stride must be >= transform size");
   if (count == 0) return;
   const index_t n = tree_->n;
+  const obs::ScopedStage batch_stage(obs::Stage::batch, count, n);
   if (count > 1 && should_fan_out(count * n)) {
     lane_scratch_.ensure(parallel::max_threads(), 2 * n);
     parallel::parallel_for(0, count, 1, [&](index_t b0, index_t b1, int slot) {
@@ -145,55 +151,83 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* 
   if (node.ddl) {
     // Dynamic data layout: reorganize so the column DFTs run at unit stride.
     cplx* scratch = arena + arena_off;
-    layout::transpose_gather(data, stride, n1, n2, scratch);
-    if (fan_out && n2 > 1) {
-      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
-      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
-        cplx* lane = lane_scratch_.slot(slot);
-        for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
-      });
-    } else {
-      for (index_t j = 0; j < n2; ++j) {
-        run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+    {
+      const obs::ScopedStage st(obs::Stage::reorg_gather, n1, n2);
+      layout::transpose_gather(data, stride, n1, n2, scratch);
+    }
+    {
+      // Leaf columns run at unit stride after the gather — exactly the
+      // measurement the planner's dft_leaf cost key wants (a = leaf size,
+      // b = column count), so keep the leaf case a distinct stage.
+      const bool leaf = node.left->is_leaf();
+      const obs::ScopedStage st(leaf ? obs::Stage::leaf_cols : obs::Stage::fft_cols, n1, n2);
+      if (fan_out && n2 > 1) {
+        lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+        parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+          cplx* lane = lane_scratch_.slot(slot);
+          for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
+        });
+      } else {
+        for (index_t j = 0; j < n2; ++j) {
+          run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+        }
       }
     }
-    twiddle_cols(scratch, n, n1, n2);
-    layout::transpose_scatter(data, stride, n1, n2, scratch);
+    {
+      const obs::ScopedStage st(obs::Stage::twiddle_cols, n, n2);
+      twiddle_cols(scratch, n, n1, n2);
+    }
+    {
+      const obs::ScopedStage st(obs::Stage::reorg_scatter, n1, n2);
+      layout::transpose_scatter(data, stride, n1, n2, scratch);
+    }
   } else {
     // Static layout: column DFTs walk the original strided storage.
-    if (fan_out && n2 > 1) {
-      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
-      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
-        cplx* lane = lane_scratch_.slot(slot);
-        for (index_t j = j0; j < j1; ++j) {
-          run(*node.left, data + j * stride, stride * n2, lane, 0);
+    {
+      const obs::ScopedStage st(obs::Stage::fft_cols, n1, n2);
+      if (fan_out && n2 > 1) {
+        lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+        parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+          cplx* lane = lane_scratch_.slot(slot);
+          for (index_t j = j0; j < j1; ++j) {
+            run(*node.left, data + j * stride, stride * n2, lane, 0);
+          }
+        });
+      } else {
+        for (index_t j = 0; j < n2; ++j) {
+          run(*node.left, data + j * stride, stride * n2, arena, arena_off);
         }
-      });
-    } else {
-      for (index_t j = 0; j < n2; ++j) {
-        run(*node.left, data + j * stride, stride * n2, arena, arena_off);
       }
     }
-    twiddle_rows(data, stride, n, n1, n2);
+    {
+      const obs::ScopedStage st(obs::Stage::twiddle_rows, n, n2);
+      twiddle_rows(data, stride, n, n1, n2);
+    }
   }
 
   // Row DFTs (right child, stride s per Property 1).
-  if (fan_out && n1 > 1) {
-    lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
-    parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
-      cplx* lane = lane_scratch_.slot(slot);
-      for (index_t i = i0; i < i1; ++i) {
-        run(*node.right, data + i * n2 * stride, stride, lane, 0);
+  {
+    const obs::ScopedStage st(obs::Stage::fft_rows, n2, n1);
+    if (fan_out && n1 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
+      parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
+        cplx* lane = lane_scratch_.slot(slot);
+        for (index_t i = i0; i < i1; ++i) {
+          run(*node.right, data + i * n2 * stride, stride, lane, 0);
+        }
+      });
+    } else {
+      for (index_t i = 0; i < n1; ++i) {
+        run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
       }
-    });
-  } else {
-    for (index_t i = 0; i < n1; ++i) {
-      run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
     }
   }
 
   // Restore natural order: position (i*n2+j) holds X[i + n1*j]; apply L^n_{n2}.
-  layout::stride_permute_inplace(data, stride, n, n2, arena + arena_off);
+  {
+    const obs::ScopedStage st(obs::Stage::stride_perm, n, n2);
+    layout::stride_permute_inplace(data, stride, n, n2, arena + arena_off);
+  }
 }
 
 void FftExecutor::twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2) {

@@ -1,6 +1,7 @@
 #include "ddl/fft/plan_cache.hpp"
 
 #include "ddl/common/check.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
 
 namespace ddl::fft {
@@ -22,13 +23,18 @@ PlanCache::Entry PlanCache::get_keyed(const std::string& key, const plan::Node* 
   std::unique_lock<std::mutex> lock(mutex_);
   if (auto it = index_.find(key); it != index_.end()) {
     ++hits_;
+    obs::count(obs::Counter::plan_cache_hits);
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     return it->second->second;
   }
   ++misses_;
+  obs::count(obs::Counter::plan_cache_misses);
   // Build outside the lock: construction is O(n) and must not block
   // concurrent lookups of other sizes. A racing builder of the same key is
-  // tolerated — last one in wins, both Entries stay valid.
+  // tolerated — the FIRST insertion wins: the relock below re-checks the
+  // index and returns the already-inserted entry, discarding this thread's
+  // freshly built executor. Every caller therefore observes one shared
+  // Entry per key (pinned by a test in tests/test_parallel.cpp).
   lock.unlock();
   Entry entry;
   if (tree != nullptr) {
@@ -43,11 +49,20 @@ PlanCache::Entry PlanCache::get_keyed(const std::string& key, const plan::Node* 
   if (auto it = index_.find(key); it != index_.end()) return it->second->second;
   lru_.emplace_front(key, entry);
   index_[key] = lru_.begin();
+  evict_over_capacity();
+  return entry;
+}
+
+/// Drop LRU-tail entries beyond capacity_ and account for them: uncounted,
+/// cache thrash at small capacity is indistinguishable from cold misses.
+/// Caller holds mutex_.
+void PlanCache::evict_over_capacity() {
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
+    ++evictions_;
+    obs::count(obs::Counter::plan_cache_evictions);
   }
-  return entry;
 }
 
 std::size_t PlanCache::size() const {
@@ -65,6 +80,11 @@ std::uint64_t PlanCache::misses() const {
   return misses_;
 }
 
+std::uint64_t PlanCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
 std::size_t PlanCache::capacity() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return capacity_;
@@ -74,10 +94,7 @@ void PlanCache::set_capacity(std::size_t cap) {
   DDL_REQUIRE(cap >= 1, "cache capacity must be >= 1");
   const std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = cap;
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
+  evict_over_capacity();  // a shrink evicts (and counts) immediately
 }
 
 void PlanCache::clear() {
@@ -86,6 +103,7 @@ void PlanCache::clear() {
   index_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace ddl::fft

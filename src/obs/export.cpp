@@ -1,0 +1,163 @@
+#include "ddl/obs/export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ddl::obs {
+
+namespace {
+
+double dur_seconds(const Event& e) noexcept {
+  return e.t1_ns >= e.t0_ns ? static_cast<double>(e.t1_ns - e.t0_ns) * 1e-9 : 0.0;
+}
+
+/// Rebuild the per-thread nesting of `snap.events` (already sorted by
+/// (tid, t0, t1 desc)): parent[i] is the index of the innermost enclosing
+/// event on the same thread, or npos. child_seconds[i] accumulates the
+/// time of i's direct children.
+struct Nesting {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent;
+  std::vector<double> child_seconds;
+};
+
+Nesting build_nesting(const Snapshot& snap) {
+  Nesting nest;
+  nest.parent.assign(snap.events.size(), Nesting::npos);
+  nest.child_seconds.assign(snap.events.size(), 0.0);
+  std::vector<std::size_t> stack;
+  std::uint32_t cur_tid = 0;
+  bool have_tid = false;
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    const Event& e = snap.events[i];
+    if (!have_tid || e.tid != cur_tid) {
+      stack.clear();
+      cur_tid = e.tid;
+      have_tid = true;
+    }
+    while (!stack.empty() && snap.events[stack.back()].t1_ns <= e.t0_ns) stack.pop_back();
+    if (!stack.empty()) {
+      nest.parent[i] = stack.back();
+      nest.child_seconds[stack.back()] += dur_seconds(e);
+    }
+    stack.push_back(i);
+  }
+  return nest;
+}
+
+}  // namespace
+
+std::vector<StageStats> summarize(const Snapshot& snap) {
+  const Nesting nest = build_nesting(snap);
+  std::array<StageStats, kStageCount> by_stage{};
+  for (std::size_t s = 0; s < kStageCount; ++s) by_stage[s].stage = static_cast<Stage>(s);
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    const Event& e = snap.events[i];
+    StageStats& st = by_stage[static_cast<std::size_t>(e.stage)];
+    const double d = dur_seconds(e);
+    ++st.calls;
+    st.total_seconds += d;
+    st.self_seconds += std::max(0.0, d - nest.child_seconds[i]);
+  }
+  std::vector<StageStats> out;
+  for (const StageStats& st : by_stage) {
+    if (st.calls > 0) out.push_back(st);
+  }
+  std::sort(out.begin(), out.end(), [](const StageStats& x, const StageStats& y) {
+    return x.self_seconds > y.self_seconds;
+  });
+  return out;
+}
+
+double stage_coverage(const Snapshot& snap) {
+  const Nesting nest = build_nesting(snap);
+  std::size_t root = Nesting::npos;
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    if (snap.events[i].stage != Stage::transform) continue;
+    if (root == Nesting::npos || dur_seconds(snap.events[i]) > dur_seconds(snap.events[root])) {
+      root = i;
+    }
+  }
+  if (root == Nesting::npos || dur_seconds(snap.events[root]) <= 0.0) return 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    if (nest.parent[i] == root) covered += dur_seconds(snap.events[i]);
+  }
+  return covered / dur_seconds(snap.events[root]);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const Snapshot& snap) {
+  std::uint64_t epoch = ~std::uint64_t{0};
+  for (const Event& e : snap.events) epoch = std::min(epoch, e.t0_ns);
+  if (snap.events.empty()) epoch = 0;
+
+  const auto us = [epoch](std::uint64_t ns) {
+    return static_cast<double>(ns - epoch) * 1e-3;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << std::fixed << std::setprecision(3);
+  bool first = true;
+  for (const Event& e : snap.events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << stage_name(e.stage) << "\",\"cat\":\"ddl\",\"ph\":\"X\""
+       << ",\"ts\":" << us(e.t0_ns) << ",\"dur\":" << us(e.t1_ns) - us(e.t0_ns)
+       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
+       << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void write_summary(std::ostream& os, const Snapshot& snap) {
+  const auto stats = summarize(snap);
+  double self_total = 0.0;
+  for (const StageStats& st : stats) self_total += st.self_seconds;
+
+  os << "stage                 calls      total_ms       self_ms   self_%\n";
+  os << std::fixed;
+  for (const StageStats& st : stats) {
+    os << std::left << std::setw(16) << stage_name(st.stage) << std::right << std::setw(10)
+       << st.calls << std::setw(14) << std::setprecision(3) << st.total_seconds * 1e3
+       << std::setw(14) << st.self_seconds * 1e3 << std::setw(9) << std::setprecision(1)
+       << (self_total > 0 ? st.self_seconds / self_total * 100.0 : 0.0) << "\n";
+  }
+  os << std::setprecision(1) << "stage coverage of transform wall time: "
+     << stage_coverage(snap) * 100.0 << "%\n";
+  bool any = false;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    if (snap.counters[c] == 0) continue;
+    if (!any) os << "counters:\n";
+    any = true;
+    os << "  " << counter_name(static_cast<Counter>(c)) << " = " << snap.counters[c] << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace ddl::obs

@@ -1,0 +1,99 @@
+#include "ddl/plan/obs_ingest.hpp"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "ddl/obs/obs.hpp"
+
+namespace ddl::plan {
+
+namespace {
+
+struct Acc {
+  double seconds = 0.0;
+  std::uint64_t weight = 0;  // divisor: events, or leaf calls for dft_leaf
+};
+
+double event_seconds(const obs::Event& e) {
+  return static_cast<double>(e.t1_ns - e.t0_ns) * 1e-9;
+}
+
+}  // namespace
+
+std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
+  using KeyTuple = std::tuple<std::string, index_t, index_t, index_t>;
+  std::map<KeyTuple, Acc> acc;
+
+  // reorg is probed as a gather+scatter *pair*; accumulate the two stages
+  // separately, then sum their per-event means under one key.
+  std::map<std::pair<index_t, index_t>, Acc> gather;
+  std::map<std::pair<index_t, index_t>, Acc> scatter;
+
+  for (const obs::Event& e : snap.events) {
+    const double s = event_seconds(e);
+    switch (e.stage) {
+      case obs::Stage::leaf_cols: {
+        if (e.b <= 0) break;
+        Acc& a = acc[{"dft_leaf", static_cast<index_t>(e.a), 1, 0}];
+        a.seconds += s;
+        a.weight += static_cast<std::uint64_t>(e.b);
+        break;
+      }
+      case obs::Stage::twiddle_cols: {
+        Acc& a = acc[{"tw_cols", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 0}];
+        a.seconds += s;
+        a.weight += 1;
+        break;
+      }
+      case obs::Stage::twiddle_rows: {
+        Acc& a = acc[{"tw_rows", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1}];
+        a.seconds += s;
+        a.weight += 1;
+        break;
+      }
+      case obs::Stage::stride_perm: {
+        Acc& a = acc[{"perm", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1}];
+        a.seconds += s;
+        a.weight += 1;
+        break;
+      }
+      case obs::Stage::reorg_gather: {
+        Acc& a = gather[{static_cast<index_t>(e.a), static_cast<index_t>(e.b)}];
+        a.seconds += s;
+        a.weight += 1;
+        break;
+      }
+      case obs::Stage::reorg_scatter: {
+        Acc& a = scatter[{static_cast<index_t>(e.a), static_cast<index_t>(e.b)}];
+        a.seconds += s;
+        a.weight += 1;
+        break;
+      }
+      default:
+        break;  // no cost-key mapping for this stage
+    }
+  }
+
+  for (const auto& [dims, g] : gather) {
+    const auto it = scatter.find(dims);
+    if (it == scatter.end()) continue;  // need both halves of the pair
+    Acc& a = acc[{"reorg", dims.first, dims.second, 1}];
+    a.seconds = g.seconds / static_cast<double>(g.weight) +
+                it->second.seconds / static_cast<double>(it->second.weight);
+    a.weight = 1;
+  }
+
+  std::size_t written = 0;
+  for (const auto& [key, a] : acc) {
+    if (a.weight == 0) continue;
+    const double cost = a.seconds / static_cast<double>(a.weight);
+    if (cost <= 0.0) continue;  // sub-resolution event; keep the probe value
+    db.put(CostKey{std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key)},
+           cost);
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace ddl::plan

@@ -4,6 +4,7 @@
 #include "ddl/common/check.hpp"
 #include "ddl/common/mathutil.hpp"
 #include "ddl/layout/reorg.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/verify/plan_verify.hpp"
 
 namespace ddl::wht {
@@ -43,6 +44,7 @@ WhtExecutor::WhtExecutor(const plan::Node& tree)
 
 void WhtExecutor::transform(std::span<real_t> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  const obs::ScopedStage root(obs::Stage::transform, tree_->n);
   run(*tree_, data.data(), 1, arena_.data(), 0);
 }
 
@@ -69,38 +71,51 @@ void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, real
   // Right factor first: n1 row transforms of size n2 at stride s. (The two
   // tensor factors commute, so the order is a free choice; rows-first keeps
   // the unit-stride work up front.)
-  if (fan_out && n1 > 1) {
-    lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
-    parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
-      real_t* lane = lane_scratch_.slot(slot);
-      for (index_t i = i0; i < i1; ++i) {
-        run(*node.right, data + i * n2 * stride, stride, lane, 0);
+  {
+    const obs::ScopedStage st(obs::Stage::wht_rows, n2, n1);
+    if (fan_out && n1 > 1) {
+      lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
+      parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
+        real_t* lane = lane_scratch_.slot(slot);
+        for (index_t i = i0; i < i1; ++i) {
+          run(*node.right, data + i * n2 * stride, stride, lane, 0);
+        }
+      });
+    } else {
+      for (index_t i = 0; i < n1; ++i) {
+        run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
       }
-    });
-  } else {
-    for (index_t i = 0; i < n1; ++i) {
-      run(*node.right, data + i * n2 * stride, stride, arena, arena_off);
     }
   }
 
   if (node.ddl) {
     // Reorganize so the column transforms run at unit stride (Fig. 5).
     real_t* scratch = arena + arena_off;
-    layout::transpose_gather(data, stride, n1, n2, scratch);
-    if (fan_out && n2 > 1) {
-      lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
-      parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
-        real_t* lane = lane_scratch_.slot(slot);
-        for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
-      });
-    } else {
-      for (index_t j = 0; j < n2; ++j) {
-        run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+    {
+      const obs::ScopedStage st(obs::Stage::reorg_gather, n1, n2);
+      layout::transpose_gather(data, stride, n1, n2, scratch);
+    }
+    {
+      const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2);
+      if (fan_out && n2 > 1) {
+        lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
+        parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
+          real_t* lane = lane_scratch_.slot(slot);
+          for (index_t j = j0; j < j1; ++j) run(*node.left, scratch + j * n1, 1, lane, 0);
+        });
+      } else {
+        for (index_t j = 0; j < n2; ++j) {
+          run(*node.left, scratch + j * n1, 1, arena, arena_off + n);
+        }
       }
     }
-    layout::transpose_scatter(data, stride, n1, n2, scratch);
+    {
+      const obs::ScopedStage st(obs::Stage::reorg_scatter, n1, n2);
+      layout::transpose_scatter(data, stride, n1, n2, scratch);
+    }
   } else {
     // Static layout: n2 column transforms of size n1 at stride s*n2.
+    const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2);
     if (fan_out && n2 > 1) {
       lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
       parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {

@@ -87,6 +87,35 @@ TEST(Args, MalformedFlagThrows) {
   EXPECT_THROW(Args::parse(static_cast<int>(argv.size()), argv.data()), std::invalid_argument);
 }
 
+TEST(Args, PositionalOperandsAfterCommand) {
+  // `ddlfft profile 2^20 --reps 3` style: bare tokens become positionals.
+  const auto argv = argv_of({"prog", "profile", "2^20", "--reps", "3"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.command(), "profile");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positional(0).value(), "2^20");
+  EXPECT_FALSE(args.positional(1).has_value());
+  EXPECT_EQ(args.int_or("reps", 0), 3);
+}
+
+TEST(Args, PositionalsDoNotSwallowFlagValues) {
+  // A bare token right after "--key" is that key's value, not a positional;
+  // one after a consumed pair is positional again.
+  const auto argv = argv_of({"prog", "run", "--n", "64", "extra", "more"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.size_or("n", 0), 64);
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positional(0).value(), "extra");
+  EXPECT_EQ(args.positional(1).value(), "more");
+}
+
+TEST(Args, NoPositionalsByDefault) {
+  const auto argv = argv_of({"prog", "plan", "--n", "16"});
+  const auto args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(args.positionals().empty());
+  EXPECT_FALSE(args.positional(0).has_value());
+}
+
 }  // namespace
 }  // namespace ddl::cli
 

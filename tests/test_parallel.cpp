@@ -8,6 +8,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "ddl/common/aligned.hpp"
@@ -136,6 +137,37 @@ TEST(ThreadPool, SetThreadsRoundTrips) {
   EXPECT_EQ(parallel::max_threads(), 1);
   EXPECT_THROW(parallel::set_threads(0), std::invalid_argument);
   EXPECT_GE(parallel::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, SetThreadsClampsToCap) {
+  // Regression: set_threads() used to accept any n >= 1 unclamped while the
+  // DDL_NUM_THREADS path capped at kMaxThreads — a set_threads(1 << 20)
+  // would grow the worker vector without bound on the next dispatch.
+  const ThreadGuard guard(1);
+  parallel::set_threads(parallel::kMaxThreads + 4096);
+  EXPECT_EQ(parallel::max_threads(), parallel::kMaxThreads);
+}
+
+TEST(ThreadPool, ParseEnvThreadsAcceptsWellFormedValues) {
+  EXPECT_EQ(parallel::parse_env_threads("8"), 8);
+  EXPECT_EQ(parallel::parse_env_threads("1"), 1);
+  EXPECT_EQ(parallel::parse_env_threads(" 8 "), 8);   // surrounding whitespace ok
+  EXPECT_EQ(parallel::parse_env_threads("8\n"), 8);   // trailing newline ok
+  // Same cap as set_threads(): oversize values clamp, not overflow.
+  EXPECT_EQ(parallel::parse_env_threads("2000"), parallel::kMaxThreads);
+  EXPECT_EQ(parallel::parse_env_threads("999999999999999999"), parallel::kMaxThreads);
+}
+
+TEST(ThreadPool, ParseEnvThreadsRejectsMalformedValues) {
+  // Regression: "8abc" used to silently parse as 8 via strtol; a typo'd
+  // environment must fall back to the default instead of a wrong width.
+  EXPECT_EQ(parallel::parse_env_threads("8abc"), 0);
+  EXPECT_EQ(parallel::parse_env_threads("abc"), 0);
+  EXPECT_EQ(parallel::parse_env_threads("8 2"), 0);
+  EXPECT_EQ(parallel::parse_env_threads(""), 0);
+  EXPECT_EQ(parallel::parse_env_threads(nullptr), 0);
+  EXPECT_EQ(parallel::parse_env_threads("0"), 0);
+  EXPECT_EQ(parallel::parse_env_threads("-3"), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -357,16 +389,47 @@ TEST(PlanCache, ExecuteTreeStillCorrectThroughCache) {
   }
 }
 
+TEST(PlanCache, ConcurrentGetSameKeyYieldsOneSharedEntry) {
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  constexpr int kRacers = 8;
+  std::vector<fft::FftExecutor*> seen(kRacers, nullptr);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&, t] {
+      // Rendezvous so the lookups race the (out-of-lock) executor build.
+      ready.fetch_add(1);
+      while (ready.load() < kRacers) std::this_thread::yield();
+      seen[static_cast<std::size_t>(t)] = cache.get("ctddl(ct(32,32),16)").exec.get();
+    });
+  }
+  for (auto& th : racers) th.join();
+  // The FIRST insertion wins (the relock path returns the already-inserted
+  // entry): every racing caller must observe the same shared executor, and
+  // exactly one entry may exist afterwards.
+  for (int t = 1; t < kRacers; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]) << "racer " << t;
+  }
+  EXPECT_NE(seen[0], nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+}
+
 TEST(PlanCache, EvictsLeastRecentlyUsed) {
   auto& cache = fft::PlanCache::instance();
   cache.clear();
   cache.set_capacity(2);
+  EXPECT_EQ(cache.evictions(), 0u);
   (void)cache.get("ct(4,4)");
   (void)cache.get("ct(8,8)");
   (void)cache.get("ct(16,16)");  // evicts ct(4,4)
   EXPECT_EQ(cache.size(), 2u);
-  (void)cache.get("ct(4,4)");  // miss again
+  EXPECT_EQ(cache.evictions(), 1u);
+  (void)cache.get("ct(4,4)");  // miss again, evicts ct(8,8)
   EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
   cache.set_capacity(32);
   cache.clear();
 }

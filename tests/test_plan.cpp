@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "ddl/fft/plan_cache.hpp"
 #include "ddl/plan/costdb.hpp"
 #include "ddl/plan/grammar.hpp"
 #include "ddl/plan/tree.hpp"
@@ -248,6 +249,35 @@ TEST(Wisdom, SaveLoadRoundTrip) {
   EXPECT_EQ(hit->tree, "ctddl(ct(16,16),ct(16,16))");
   EXPECT_DOUBLE_EQ(hit->seconds, 4.25e-4);
   std::filesystem::remove(file);
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache eviction accounting
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheCounters, SetCapacityShrinkEvictsAndCounts) {
+  // Regression: a set_capacity() shrink used to evict silently — cache
+  // thrash at small capacity was indistinguishable from cold misses.
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  cache.set_capacity(8);
+  (void)cache.get("ct(4,4)");
+  (void)cache.get("ct(8,8)");
+  (void)cache.get("ct(16,16)");
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  cache.set_capacity(1);  // shrink: the two LRU-tail entries go immediately
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // The survivor is the most recently used entry, still servable.
+  (void)cache.get("ct(16,16)");
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.set_capacity(32);
+  cache.clear();
+  EXPECT_EQ(cache.evictions(), 0u);  // clear() resets the counter
 }
 
 }  // namespace

@@ -27,6 +27,14 @@ flagged line or the line above; waivers should be rare and justified):
                     every public surface validates its contract before
                     touching data.
 
+  raw-clock         No direct std::chrono use outside the two timebase
+                    owners: ddl/common/timer (WallTimer, time_adaptive) and
+                    ddl::obs (now_ns(), the event timebase). Everything else
+                    must go through those — mixed clock sources are how
+                    stage timings and wall timings historically drift apart
+                    (different clocks, different resolutions), and the obs
+                    exporters assume every timestamp shares one epoch.
+
 Exit status: 0 when clean, 1 when any finding remains, 2 on usage error.
 """
 
@@ -64,6 +72,16 @@ NAKED_NEW = re.compile(
 )
 
 ENTRY_POINT = re.compile(r"(^|/)(\w+_api\.cpp|fft/fft\.cpp)$")
+
+# Files that own a clock: the wall-timer utility and the obs event timebase.
+CLOCK_ALLOWED = (
+    "src/obs/",
+    "include/ddl/obs/",
+    "src/common/timer.cpp",
+    "include/ddl/common/timer.hpp",
+)
+
+RAW_CLOCK = re.compile(r"\bstd\s*::\s*chrono\b|#\s*include\s*<chrono>")
 
 WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
 
@@ -119,6 +137,9 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
         STRIDE_ALLOWED
     )
     check_mem = rel.startswith(("src/", "include/"))
+    check_clock = rel.startswith(("src/", "include/", "apps/", "bench/")) and not rel.startswith(
+        CLOCK_ALLOWED
+    )
 
     in_block = False
     for idx, raw in enumerate(lines):
@@ -145,6 +166,13 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
             findings.append(
                 f"{rel}:{idx + 1}: naked-new: use std::make_unique/containers:"
                 f" {raw.strip()}"
+            )
+        if check_clock and RAW_CLOCK.search(code) and not waived(
+            "raw-clock", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: raw-clock: use WallTimer/time_adaptive or"
+                f" obs::now_ns(), not std::chrono directly: {raw.strip()}"
             )
 
     if ENTRY_POINT.search(rel) and "DDL_REQUIRE" not in text:

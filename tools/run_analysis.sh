@@ -2,16 +2,22 @@
 # run_analysis.sh — the full static/dynamic analysis gate, as run in CI.
 #
 #   1. tools/ddl_lint.py           project-specific lint (stride-arith,
-#                                  reinterpret-cast, naked-new, require-entry)
+#                                  reinterpret-cast, naked-new, require-entry,
+#                                  raw-clock)
 #   2. clang-tidy                  .clang-tidy profile over src/ and apps/
 #                                  (skipped with a note if not installed)
 #   3. default preset              warning-free -Werror build + full ctest
-#   4. asan preset (Debug)         full suite under AddressSanitizer with the
+#   4. profile smoke               `ddlfft profile` must emit valid
+#                                  chrome-trace JSON (the obs exporter gate)
+#   5. asan preset (Debug)         full suite under AddressSanitizer with the
 #                                  ddl::verify admission gate live
-#   5. ubsan preset (Debug)        full suite under UBSanitizer, gate live
+#   6. ubsan preset (Debug)        full suite under UBSanitizer, gate live
+#   7. tsan preset                 concurrency-labelled tests (thread pool,
+#                                  obs per-thread rings) under ThreadSanitizer
 #
 # Any finding or failure exits non-zero. Usage: tools/run_analysis.sh [--fast]
-# (--fast skips the sanitizer suites; lint + tidy + default build/test only).
+# (--fast skips the sanitizer suites; lint + tidy + default build/test +
+# profile smoke only).
 
 set -u -o pipefail
 
@@ -62,13 +68,22 @@ run_preset() { # run_preset <name> [ctest extra args...]
 }
 check "default (-Werror) build+test" run_preset default
 
-# 4/5. sanitizer suites -------------------------------------------------------
+# 4. observability smoke: the profile subcommand's trace must be valid JSON --
+profile_smoke() {
+  ./build/apps/ddlfft profile 2^12 --reps 2 --trace build/profile_smoke.json \
+    >/dev/null &&
+    python3 -c "import json; json.load(open('build/profile_smoke.json'))"
+}
+check "ddlfft profile smoke (chrome-trace JSON)" profile_smoke
+
+# 5/6/7. sanitizer suites -----------------------------------------------------
 if [[ "$FAST" == "0" ]]; then
   check "asan build+test" run_preset asan
   check "ubsan build+test" run_preset ubsan
+  check "tsan build+test (concurrency label)" run_preset tsan
 else
   note "sanitizers"
-  echo "-- asan/ubsan: skipped (--fast)"
+  echo "-- asan/ubsan/tsan: skipped (--fast)"
 fi
 
 # ----------------------------------------------------------------------------
