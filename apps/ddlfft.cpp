@@ -20,6 +20,7 @@
 //
 // Shared flags: --wisdom FILE / --costdb FILE persist planning artifacts.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -91,8 +92,17 @@ struct Stores {
   explicit Stores(const cli::Args& args) {
     cost_file = args.get_or("costdb", "");
     wisdom_file = args.get_or("wisdom", "");
-    if (!cost_file.empty()) cost_db.load(cost_file);
-    if (!wisdom_file.empty()) wisdom.load(wisdom_file);
+    // A rejected file is not fatal — planning falls back to fresh probes —
+    // but silence here would hide that a calibration run is being ignored.
+    // A missing file is the normal first run, so only corruption warns.
+    if (!cost_file.empty() && !cost_db.load(cost_file) &&
+        std::filesystem::exists(cost_file)) {
+      std::cerr << "warning: ignoring cost database: " << cost_db.load_error() << "\n";
+    }
+    if (!wisdom_file.empty() && !wisdom.load(wisdom_file) &&
+        std::filesystem::exists(wisdom_file)) {
+      std::cerr << "warning: ignoring wisdom: " << wisdom.load_error() << "\n";
+    }
   }
   ~Stores() {
     if (!cost_file.empty()) cost_db.save(cost_file);
@@ -410,13 +420,15 @@ int cmd_explain(const cli::Args& args) {
   nodes.print(std::cout, "nodes (strides per Property 1)");
 
   // Parallel stages and their write footprints (the race-analysis model).
-  TableWriter stages({"node", "stage", "space", "chunks", "jump", "count", "step"});
+  // "lanes" is the batched-kernel fusion width of a leaf loop (1 = scalar).
+  TableWriter stages({"node", "stage", "space", "chunks", "jump", "count", "step", "lanes"});
   for (const auto& stage : verify::enumerate_stages(*tree, kind)) {
     const auto& f = stage.writes;
     stages.add_row({stage.node_path, stage.op,
                     f.space == verify::Space::scratch ? "scratch" : "data",
                     std::to_string(f.chunks), std::to_string(f.jump),
-                    std::to_string(f.count), std::to_string(f.stride)});
+                    std::to_string(f.count), std::to_string(f.stride),
+                    std::to_string(stage.lane_batch)});
   }
   std::cout << "\n";
   stages.print(std::cout, "parallel stages (per-chunk write sets, node-stride units)");

@@ -22,6 +22,7 @@
 #include "bench_common.hpp"
 #include "ddl/bench_util/bench_util.hpp"
 #include "ddl/cachesim/cache.hpp"
+#include "ddl/codelets/codelets.hpp"
 #include "ddl/common/table.hpp"
 #include "ddl/common/timer.hpp"
 #include "ddl/fft/executor.hpp"
@@ -93,7 +94,9 @@ constexpr Platform kPlatforms[] = {
 
 int main() {
   benchutil::print_host_banner(std::cout);
-  std::cout << "Figs. 11-14 reproduction: FFT MFLOPS vs size\n\n";
+  std::cout << "Figs. 11-14 reproduction: FFT MFLOPS vs size\n";
+  std::cout << "codelet backend: " << codelets::isa_name(codelets::active_isa())
+            << " (override with DDL_SIMD=scalar|sse2|avx2|neon|native)\n\n";
 
   benchcommon::Stores stores;
   fft::FftPlanner planner(benchcommon::fft_opts(stores));

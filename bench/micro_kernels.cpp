@@ -49,6 +49,53 @@ void BM_WhtCodelet64(benchmark::State& state) {
 }
 BENCHMARK(BM_WhtCodelet64)->Arg(1)->Arg(1024)->Arg(1 << 15);
 
+// Batched SIMD leaf kernels over every compiled backend: 256 unit-stride
+// size-16 columns per call (dist = 16), the geometry a DDL gather produces.
+// Compare against BM_DftCodelet16/Arg(1) * 256 for the per-column speedup.
+void BM_DftBatch16(benchmark::State& state) {
+  const auto isa = static_cast<codelets::Isa>(state.range(0));
+  if (!codelets::isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this host/build");
+    return;
+  }
+  constexpr index_t kCols = 256;
+  AlignedBuffer<cplx> buf(16 * kCols);
+  const auto batch = codelets::dft_batch_kernel(16, isa);
+  for (auto _ : state) {
+    batch(buf.data(), 1, 16, kCols);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * kCols);
+  state.SetLabel(codelets::isa_name(isa));
+}
+BENCHMARK(BM_DftBatch16)
+    ->Arg(static_cast<int>(codelets::Isa::scalar))
+    ->Arg(static_cast<int>(codelets::Isa::sse2))
+    ->Arg(static_cast<int>(codelets::Isa::avx2))
+    ->Arg(static_cast<int>(codelets::Isa::neon));
+
+void BM_WhtBatch64(benchmark::State& state) {
+  const auto isa = static_cast<codelets::Isa>(state.range(0));
+  if (!codelets::isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this host/build");
+    return;
+  }
+  constexpr index_t kCols = 256;
+  AlignedBuffer<real_t> buf(64 * kCols);
+  const auto batch = codelets::wht_batch_kernel(64, isa);
+  for (auto _ : state) {
+    batch(buf.data(), 1, 64, kCols);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * kCols);
+  state.SetLabel(codelets::isa_name(isa));
+}
+BENCHMARK(BM_WhtBatch64)
+    ->Arg(static_cast<int>(codelets::Isa::scalar))
+    ->Arg(static_cast<int>(codelets::Isa::sse2))
+    ->Arg(static_cast<int>(codelets::Isa::avx2))
+    ->Arg(static_cast<int>(codelets::Isa::neon));
+
 void BM_TransposeGather(benchmark::State& state) {
   const index_t n1 = state.range(0);
   const index_t n2 = state.range(0);

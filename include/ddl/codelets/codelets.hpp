@@ -15,7 +15,17 @@
 /// the *same* codelet runs dramatically slower at a large power-of-two
 /// stride than at unit stride (Sec. III-B), which is what the dynamic data
 /// layout removes.
+///
+/// On top of the scalar kernels sits a *batched SIMD backend*: for every
+/// codelet size a vector variant transforms `count` independent
+/// sub-transforms spaced `dist` elements apart, packing kLanes of them
+/// across the vector lanes (see ddl/common/vec.hpp and docs/SIMD.md).
+/// Backends are compiled per ISA (scalar reference, SSE2, AVX2, NEON) and
+/// selected at runtime: cpuid on x86, overridable with the DDL_SIMD
+/// environment variable ("off"/"scalar"/"sse2"/"avx2"/"neon"/"native").
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "ddl/common/types.hpp"
@@ -27,6 +37,74 @@ using DftKernel = void (*)(cplx* x, index_t s) noexcept;
 
 /// In-place strided WHT kernel.
 using WhtKernel = void (*)(real_t* x, index_t s) noexcept;
+
+/// Batched DFT kernel: `count` in-place transforms, transform j on
+/// x[j*dist + i*s] for 0 <= i < n. Groups of kLanes(isa) columns run across
+/// the vector lanes; the remainder falls back to the scalar codelet.
+using DftBatchKernel = void (*)(cplx* x, index_t s, index_t dist, index_t count) noexcept;
+
+/// Batched WHT kernel (same geometry over real data).
+using WhtBatchKernel = void (*)(real_t* x, index_t s, index_t dist, index_t count) noexcept;
+
+/// Instruction-set levels a batched backend can be compiled for. Values are
+/// ordered by preference (higher = wider/faster); keep in sync with
+/// isa_name() and obs::isa_label().
+enum class Isa : std::uint8_t { scalar = 0, sse2 = 1, avx2 = 2, neon = 3 };
+
+/// Stable lower-case name ("scalar", "sse2", "avx2", "neon").
+const char* isa_name(Isa isa) noexcept;
+
+/// Parse an ISA name or DDL_SIMD-style selector. Accepts the isa_name()
+/// strings plus "off"/"0"/"none" (scalar) and "native"/"1"/"on" (best
+/// supported). Returns nullopt for anything else.
+std::optional<Isa> parse_isa(std::string_view text) noexcept;
+
+/// True iff `isa`'s kernels are compiled into this binary AND the host CPU
+/// can execute them (cpuid check on x86). Isa::scalar is always supported.
+bool isa_supported(Isa isa) noexcept;
+
+/// Widest supported ISA level (what dispatch picks with no override).
+Isa best_isa() noexcept;
+
+/// Vector lane count of an ISA level (1 for scalar).
+int isa_lanes(Isa isa) noexcept;
+
+/// Largest lane count among supported ISA levels; the footprint analyzer
+/// uses this as the batching width bound (ddl::verify).
+int max_batch_lanes() noexcept;
+
+/// The ISA level batched kernels currently dispatch to. Defaults to
+/// best_isa(), honouring the DDL_SIMD environment variable at process
+/// start; unsupported requests degrade to the best supported level.
+Isa active_isa() noexcept;
+
+/// Override the dispatched ISA (clamped to a supported level; returns the
+/// level actually installed). Control-plane only: call between transforms,
+/// not concurrently with executor calls. Intended for tests and benches.
+Isa set_active_isa(Isa isa) noexcept;
+
+/// Batched kernel lookup for a specific ISA level; nullptr if the size has
+/// no codelet or the level is not supported. Scalar requests always
+/// resolve for codelet sizes (the reference backend is always built).
+DftBatchKernel dft_batch_kernel(index_t n, Isa isa) noexcept;
+WhtBatchKernel wht_batch_kernel(index_t n, Isa isa) noexcept;
+
+/// Batched kernel at the active ISA level.
+DftBatchKernel dft_batch_kernel(index_t n) noexcept;
+WhtBatchKernel wht_batch_kernel(index_t n) noexcept;
+
+namespace detail {
+// Per-backend lookup tables, one pair per vec_*.cpp translation unit.
+// A backend that is not compiled into the binary returns nullptr.
+DftBatchKernel dft_batch_scalar(index_t n) noexcept;
+WhtBatchKernel wht_batch_scalar(index_t n) noexcept;
+DftBatchKernel dft_batch_sse2(index_t n) noexcept;
+WhtBatchKernel wht_batch_sse2(index_t n) noexcept;
+DftBatchKernel dft_batch_avx2(index_t n) noexcept;
+WhtBatchKernel wht_batch_avx2(index_t n) noexcept;
+DftBatchKernel dft_batch_neon(index_t n) noexcept;
+WhtBatchKernel wht_batch_neon(index_t n) noexcept;
+}  // namespace detail
 
 // Generated kernels (see dft_codelets_gen.cpp / wht_codelets_gen.cpp).
 void dft_codelet_2(cplx* x, index_t s) noexcept;

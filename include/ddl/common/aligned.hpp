@@ -29,6 +29,11 @@ class AlignedBuffer {
   explicit AlignedBuffer(size_pt n) : size_(n) {
     DDL_REQUIRE(n >= 0, "buffer size must be non-negative");
     if (n == 0) return;
+    // n*sizeof(T) (and round_up's +kAlignment-1 slack) must not wrap
+    // std::size_t: a wrapped request would allocate a tiny block and turn
+    // every element access into heap corruption.
+    constexpr std::size_t kMaxBytes = static_cast<std::size_t>(-1) - kAlignment;
+    if (static_cast<std::size_t>(n) > kMaxBytes / sizeof(T)) throw std::bad_alloc{};
     void* p = std::aligned_alloc(kAlignment, round_up(static_cast<std::size_t>(n) * sizeof(T)));
     if (p == nullptr) throw std::bad_alloc{};
     data_ = static_cast<T*>(p);

@@ -1,0 +1,290 @@
+#pragma once
+/// \file vec.hpp
+/// \brief Portable vector-lane abstraction for the batched SIMD codelets.
+///
+/// The DDL transformation exists to make every sub-transform unit-stride so
+/// the leaf codelets stream contiguously; this header is what finally
+/// exploits that. A batched codelet transforms `kLanes` independent columns
+/// at once: vector lane `l` carries column `j + l`, every scalar temporary
+/// of the straight-line codelet becomes a `vd` of per-column values, and
+/// each lane walks its own contiguous column. The expression tree is
+/// IDENTICAL to the scalar codelet (tools/gen_codelets.py emits both from
+/// the same DAG), and the vector TUs are built with FP contraction off, so
+/// lane results match the scalar kernels bit-for-bit — asserted within
+/// 2 ULP by the `simd` test label.
+///
+/// ## Instruction-set selection
+///
+/// One implementation of the `vd` value type and its load/store helpers is
+/// compiled per translation unit, chosen by macros *before* this header is
+/// included:
+///
+///   DDL_VX_REQUIRE_SCALAR   force the 1-lane reference implementation
+///   DDL_VX_REQUIRE_SSE2     x86-64 baseline, 2 lanes (128-bit)
+///   DDL_VX_REQUIRE_AVX2     x86 AVX2, 4 lanes (256-bit); the TU must be
+///                           compiled with -mavx2 (see src/codelets)
+///   DDL_VX_REQUIRE_NEON     aarch64 baseline, 2 lanes (128-bit)
+///   (none)                  best ISA the current TU's flags allow
+///
+/// Each implementation lives in its own namespace (ddl::vx_scalar,
+/// ddl::vx_sse2, ...) so translation units built for different ISAs never
+/// define the same entity differently (no ODR hazard); `DDL_VX_NS` names
+/// the selected namespace and the including TU aliases it locally:
+///
+///   namespace vx = ddl::DDL_VX_NS;
+///
+/// Runtime dispatch between the compiled backends is the codelet registry's
+/// job (ddl::codelets::active_isa()); this header is compile-time only.
+/// A `DDL_SIMD=OFF` build defines DDL_SIMD_DISABLED and every TU collapses
+/// to the scalar implementation. See docs/SIMD.md.
+///
+/// All load/store helpers go through std::complex accessors / plain element
+/// indexing — no type punning, so the footprint analyzer's element-level
+/// model and the sanitizer story both stay intact.
+
+#include "ddl/common/types.hpp"
+
+#if defined(DDL_SIMD_DISABLED) && !defined(DDL_VX_REQUIRE_SCALAR)
+#define DDL_VX_REQUIRE_SCALAR 1
+#endif
+
+#if defined(DDL_VX_REQUIRE_SCALAR)
+#define DDL_VX_SELECT_SCALAR 1
+#elif defined(DDL_VX_REQUIRE_AVX2)
+#if !defined(__AVX2__)
+#error "DDL_VX_REQUIRE_AVX2 translation unit must be compiled with -mavx2"
+#endif
+#define DDL_VX_SELECT_AVX2 1
+#elif defined(DDL_VX_REQUIRE_SSE2)
+#if !(defined(__SSE2__) || defined(_M_X64))
+#error "DDL_VX_REQUIRE_SSE2 translation unit needs SSE2 support"
+#endif
+#define DDL_VX_SELECT_SSE2 1
+#elif defined(DDL_VX_REQUIRE_NEON)
+#if !(defined(__aarch64__) || defined(__ARM_NEON))
+#error "DDL_VX_REQUIRE_NEON translation unit needs NEON support"
+#endif
+#define DDL_VX_SELECT_NEON 1
+#elif defined(__AVX2__)
+#define DDL_VX_SELECT_AVX2 1
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define DDL_VX_SELECT_NEON 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#define DDL_VX_SELECT_SSE2 1
+#else
+#define DDL_VX_SELECT_SCALAR 1
+#endif
+
+#if defined(DDL_VX_SELECT_AVX2) || defined(DDL_VX_SELECT_SSE2)
+#include <immintrin.h>
+#elif defined(DDL_VX_SELECT_NEON)
+#include <arm_neon.h>
+#endif
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementation: 1 lane, plain double arithmetic. This is
+// the semantics contract for every other backend (and the DDL_SIMD=OFF
+// fallback); with kLanes == 1 the batched codelets degrade to exactly the
+// scalar kernels applied column by column.
+// ---------------------------------------------------------------------------
+#if defined(DDL_VX_SELECT_SCALAR)
+#define DDL_VX_NS vx_scalar
+
+namespace ddl::vx_scalar {
+
+inline constexpr int kLanes = 1;
+inline constexpr const char* kIsaName = "scalar";
+
+struct vd {
+  double v;
+};
+
+inline vd operator+(vd a, vd b) noexcept { return {a.v + b.v}; }
+inline vd operator-(vd a, vd b) noexcept { return {a.v - b.v}; }
+inline vd operator*(vd a, vd b) noexcept { return {a.v * b.v}; }
+inline vd operator-(vd a) noexcept { return {-a.v}; }
+inline vd operator*(vd a, double c) noexcept { return {a.v * c}; }
+
+/// Lane l reads p[l*d].real() — d is the element distance between columns.
+inline vd load_re(const cplx* p, index_t d) noexcept {
+  (void)d;
+  return {p[0].real()};
+}
+
+inline vd load_im(const cplx* p, index_t d) noexcept {
+  (void)d;
+  return {p[0].imag()};
+}
+
+inline void store(cplx* p, index_t d, vd re, vd im) noexcept {
+  (void)d;
+  p[0] = cplx(re.v, im.v);
+}
+
+inline vd load(const real_t* p, index_t d) noexcept {
+  (void)d;
+  return {p[0]};
+}
+
+inline void store(real_t* p, index_t d, vd x) noexcept {
+  (void)d;
+  p[0] = x.v;
+}
+
+}  // namespace ddl::vx_scalar
+#endif  // DDL_VX_SELECT_SCALAR
+
+// ---------------------------------------------------------------------------
+// SSE2: x86-64 baseline, 2 columns per 128-bit register. Available on every
+// x86-64 CPU, so the non-AVX2 x86 build still gets a 2-lane backend.
+// ---------------------------------------------------------------------------
+#if defined(DDL_VX_SELECT_SSE2)
+#define DDL_VX_NS vx_sse2
+
+namespace ddl::vx_sse2 {
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kIsaName = "sse2";
+
+struct vd {
+  __m128d v;
+};
+
+inline vd operator+(vd a, vd b) noexcept { return {_mm_add_pd(a.v, b.v)}; }
+inline vd operator-(vd a, vd b) noexcept { return {_mm_sub_pd(a.v, b.v)}; }
+inline vd operator*(vd a, vd b) noexcept { return {_mm_mul_pd(a.v, b.v)}; }
+inline vd operator-(vd a) noexcept { return {_mm_sub_pd(_mm_setzero_pd(), a.v)}; }
+inline vd operator*(vd a, double c) noexcept { return {_mm_mul_pd(a.v, _mm_set1_pd(c))}; }
+
+inline vd load_re(const cplx* p, index_t d) noexcept {
+  return {_mm_setr_pd(p[0].real(), p[d].real())};
+}
+
+inline vd load_im(const cplx* p, index_t d) noexcept {
+  return {_mm_setr_pd(p[0].imag(), p[d].imag())};
+}
+
+inline void store(cplx* p, index_t d, vd re, vd im) noexcept {
+  p[0] = cplx(_mm_cvtsd_f64(re.v), _mm_cvtsd_f64(im.v));
+  p[d] = cplx(_mm_cvtsd_f64(_mm_unpackhi_pd(re.v, re.v)),
+              _mm_cvtsd_f64(_mm_unpackhi_pd(im.v, im.v)));
+}
+
+inline vd load(const real_t* p, index_t d) noexcept { return {_mm_setr_pd(p[0], p[d])}; }
+
+inline void store(real_t* p, index_t d, vd x) noexcept {
+  p[0] = _mm_cvtsd_f64(x.v);
+  p[d] = _mm_cvtsd_f64(_mm_unpackhi_pd(x.v, x.v));
+}
+
+}  // namespace ddl::vx_sse2
+#endif  // DDL_VX_SELECT_SSE2
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 columns per 256-bit register. The owning TU is compiled with
+// -mavx2 -ffp-contract=off (no FMA contraction: scalar/vector bit
+// equality); the registry only dispatches here after a cpuid check, so
+// baseline hosts never execute these kernels.
+// ---------------------------------------------------------------------------
+#if defined(DDL_VX_SELECT_AVX2)
+#define DDL_VX_NS vx_avx2
+
+namespace ddl::vx_avx2 {
+
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "avx2";
+
+struct vd {
+  __m256d v;
+};
+
+inline vd operator+(vd a, vd b) noexcept { return {_mm256_add_pd(a.v, b.v)}; }
+inline vd operator-(vd a, vd b) noexcept { return {_mm256_sub_pd(a.v, b.v)}; }
+inline vd operator*(vd a, vd b) noexcept { return {_mm256_mul_pd(a.v, b.v)}; }
+inline vd operator-(vd a) noexcept { return {_mm256_sub_pd(_mm256_setzero_pd(), a.v)}; }
+inline vd operator*(vd a, double c) noexcept { return {_mm256_mul_pd(a.v, _mm256_set1_pd(c))}; }
+
+inline vd load_re(const cplx* p, index_t d) noexcept {
+  return {_mm256_setr_pd(p[0].real(), p[d].real(), p[2 * d].real(), p[3 * d].real())};
+}
+
+inline vd load_im(const cplx* p, index_t d) noexcept {
+  return {_mm256_setr_pd(p[0].imag(), p[d].imag(), p[2 * d].imag(), p[3 * d].imag())};
+}
+
+inline void store(cplx* p, index_t d, vd re, vd im) noexcept {
+  alignas(32) double r[4];
+  alignas(32) double i[4];
+  _mm256_store_pd(r, re.v);
+  _mm256_store_pd(i, im.v);
+  p[0] = cplx(r[0], i[0]);
+  p[d] = cplx(r[1], i[1]);
+  p[2 * d] = cplx(r[2], i[2]);
+  p[3 * d] = cplx(r[3], i[3]);
+}
+
+inline vd load(const real_t* p, index_t d) noexcept {
+  return {_mm256_setr_pd(p[0], p[d], p[2 * d], p[3 * d])};
+}
+
+inline void store(real_t* p, index_t d, vd x) noexcept {
+  alignas(32) double r[4];
+  _mm256_store_pd(r, x.v);
+  p[0] = r[0];
+  p[d] = r[1];
+  p[2 * d] = r[2];
+  p[3 * d] = r[3];
+}
+
+}  // namespace ddl::vx_avx2
+#endif  // DDL_VX_SELECT_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON: aarch64 baseline, 2 columns per 128-bit register. NEON is
+// architectural on aarch64, so no runtime check is needed there.
+// ---------------------------------------------------------------------------
+#if defined(DDL_VX_SELECT_NEON)
+#define DDL_VX_NS vx_neon
+
+namespace ddl::vx_neon {
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kIsaName = "neon";
+
+struct vd {
+  float64x2_t v;
+};
+
+inline vd operator+(vd a, vd b) noexcept { return {vaddq_f64(a.v, b.v)}; }
+inline vd operator-(vd a, vd b) noexcept { return {vsubq_f64(a.v, b.v)}; }
+inline vd operator*(vd a, vd b) noexcept { return {vmulq_f64(a.v, b.v)}; }
+inline vd operator-(vd a) noexcept { return {vnegq_f64(a.v)}; }
+inline vd operator*(vd a, double c) noexcept { return {vmulq_n_f64(a.v, c)}; }
+
+inline vd load_re(const cplx* p, index_t d) noexcept {
+  float64x2_t r = vdupq_n_f64(p[0].real());
+  return {vsetq_lane_f64(p[d].real(), r, 1)};
+}
+
+inline vd load_im(const cplx* p, index_t d) noexcept {
+  float64x2_t r = vdupq_n_f64(p[0].imag());
+  return {vsetq_lane_f64(p[d].imag(), r, 1)};
+}
+
+inline void store(cplx* p, index_t d, vd re, vd im) noexcept {
+  p[0] = cplx(vgetq_lane_f64(re.v, 0), vgetq_lane_f64(im.v, 0));
+  p[d] = cplx(vgetq_lane_f64(re.v, 1), vgetq_lane_f64(im.v, 1));
+}
+
+inline vd load(const real_t* p, index_t d) noexcept {
+  float64x2_t r = vdupq_n_f64(p[0]);
+  return {vsetq_lane_f64(p[d], r, 1)};
+}
+
+inline void store(real_t* p, index_t d, vd x) noexcept {
+  p[0] = vgetq_lane_f64(x.v, 0);
+  p[d] = vgetq_lane_f64(x.v, 1);
+}
+
+}  // namespace ddl::vx_neon
+#endif  // DDL_VX_SELECT_NEON

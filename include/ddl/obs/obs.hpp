@@ -88,6 +88,16 @@ inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::c
 
 const char* counter_name(Counter counter) noexcept;
 
+/// ISA level of the kernel a leaf stage dispatched to. Values mirror
+/// ddl::codelets::Isa (obs sits below codelets, so the numbering is
+/// duplicated here and pinned by a static_assert in src/codelets/
+/// dispatch.cpp): 0 = scalar, 1 = sse2, 2 = avx2, 3 = neon.
+inline constexpr std::uint8_t kIsaScalar = 0;
+
+/// Stable lower-case label for an Event::isa value ("scalar", "sse2",
+/// "avx2", "neon"; unknown values map to "scalar").
+const char* isa_label(std::uint8_t isa) noexcept;
+
 /// One recorded interval. Times are steady-clock nanoseconds (now_ns()).
 struct Event {
   std::uint64_t t0_ns = 0;
@@ -95,6 +105,7 @@ struct Event {
   std::int64_t a = 0;  ///< stage-specific payload (usually a node size)
   std::int64_t b = 0;  ///< stage-specific payload (usually a count/slot)
   Stage stage = Stage::transform;
+  std::uint8_t isa = kIsaScalar;  ///< dispatched ISA (leaf stages; see isa_label)
   std::uint32_t tid = 0;  ///< dense per-thread id (registration order)
 };
 
@@ -116,7 +127,7 @@ extern std::atomic<bool> g_enabled;
 
 /// Slow paths, out of line: thread-log lookup/creation and the append.
 void record_event(Stage stage, std::uint64_t t0, std::uint64_t t1, std::int64_t a,
-                  std::int64_t b) noexcept;
+                  std::int64_t b, std::uint8_t isa = kIsaScalar) noexcept;
 void add_count(Counter counter, std::uint64_t delta) noexcept;
 
 }  // namespace detail
@@ -160,8 +171,9 @@ inline void count(Counter counter, std::uint64_t delta = 1) noexcept {
 /// records on destruction. Cheap to construct either way; never throws.
 class ScopedStage {
  public:
-  explicit ScopedStage(Stage stage, std::int64_t a = 0, std::int64_t b = 0) noexcept
-      : stage_(stage), a_(a), b_(b) {
+  explicit ScopedStage(Stage stage, std::int64_t a = 0, std::int64_t b = 0,
+                       std::uint8_t isa = kIsaScalar) noexcept
+      : stage_(stage), a_(a), b_(b), isa_(isa) {
     if (enabled()) t0_ = now_ns();
   }
 
@@ -169,7 +181,7 @@ class ScopedStage {
   ScopedStage& operator=(const ScopedStage&) = delete;
 
   ~ScopedStage() {
-    if (t0_ != 0) detail::record_event(stage_, t0_, now_ns(), a_, b_);
+    if (t0_ != 0) detail::record_event(stage_, t0_, now_ns(), a_, b_, isa_);
   }
 
  private:
@@ -177,6 +189,7 @@ class ScopedStage {
   Stage stage_;
   std::int64_t a_;
   std::int64_t b_;
+  std::uint8_t isa_;
 };
 
 }  // namespace ddl::obs

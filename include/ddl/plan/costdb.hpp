@@ -5,10 +5,15 @@
 ///
 /// The paper determines the DP base costs "by executing the codes for these
 /// operations" offline (Sec. IV-B). CostDb caches such measurements under a
-/// (kind, a, b, c) key — e.g. ("dft_leaf", n, stride, 0) — so each primitive
-/// is timed once per process, and can persist them to a text file so that a
-/// later process (or a later bench binary in the same run) skips the
-/// measurement entirely.
+/// (kind, a, b, c, isa) key — e.g. ("dft_leaf", n, stride, 0, "avx2") — so
+/// each primitive is timed once per process, and can persist them to a text
+/// file so that a later process (or a later bench binary in the same run)
+/// skips the measurement entirely.
+///
+/// The `isa` component exists because vectorized leaf kernels shift the
+/// optimal factorization split points: scalar and per-ISA leaf costs must
+/// coexist in one table so the DP re-decides the tree per backend. Non-leaf
+/// primitives (reorg, twiddle, perm) are scalar loops and leave it empty.
 
 #include <filesystem>
 #include <functional>
@@ -26,6 +31,7 @@ struct CostKey {
   index_t a = 0;     ///< primary size
   index_t b = 0;     ///< stride or second size
   index_t c = 0;     ///< optional third parameter
+  std::string isa{};  ///< kernel backend ("" for ISA-independent primitives)
 
   auto operator<=>(const CostKey&) const = default;
 };
@@ -39,22 +45,36 @@ class CostDb {
   /// True iff the key is already cached.
   [[nodiscard]] bool contains(const CostKey& key) const;
 
-  /// Insert/overwrite a cost directly.
+  /// Insert/overwrite a cost directly. Enforces the same invariant as
+  /// get_or_measure: `seconds` must be finite and non-negative (a clock
+  /// anomaly fed through ingest_stage_costs must not plant a negative cost
+  /// the DP would then preferentially select).
   void put(const CostKey& key, double seconds);
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
   void clear() { table_.clear(); }
 
-  /// Persist all entries as "kind a b c seconds" lines. Returns false on I/O
-  /// failure (callers treat persistence as best-effort).
+  /// Persist all entries as "kind a b c isa seconds" lines (isa written as
+  /// "-" when empty, keeping the line a fixed six tokens). Returns false on
+  /// I/O failure (callers treat persistence as best-effort).
   bool save(const std::filesystem::path& file) const;
 
-  /// Merge entries from a previously saved file; unknown lines are skipped.
-  /// Returns false if the file cannot be opened.
+  /// Merge entries from a previously saved file. The whole file is parsed
+  /// and validated first — costs must be finite and non-negative — and
+  /// nothing is committed unless every line passes, so a truncated or
+  /// corrupted file cannot poison the DP with a partial table. Legacy
+  /// five-token lines (no isa column) load with isa = "". Returns false if
+  /// the file cannot be opened or fails validation; load_error() then
+  /// reports the offending line.
   bool load(const std::filesystem::path& file);
 
+  /// Human-readable reason the last load() returned false ("" if it
+  /// succeeded), including the 1-based line number for parse failures.
+  [[nodiscard]] const std::string& load_error() const noexcept { return load_error_; }
+
  private:
-  std::map<std::tuple<std::string, index_t, index_t, index_t>, double> table_;
+  std::map<std::tuple<std::string, index_t, index_t, index_t, std::string>, double> table_;
+  std::string load_error_;
 };
 
 }  // namespace ddl::plan

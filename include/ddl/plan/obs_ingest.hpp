@@ -10,12 +10,16 @@
 /// planning uses costs measured *in situ*, cache pressure and all.
 ///
 /// Mapping (matching src/fft/planner.cpp's probe keys):
-///   leaf_cols(a=n1, b=n2)      -> {"dft_leaf", n1, 1, 0}, seconds / n2
+///   leaf_cols(a=n1, b=n2)      -> {"dft_leaf", n1, 1, 0, isa}, seconds / n2
 ///   twiddle_cols(a=n, b=n2)    -> {"tw_cols",  n,  n2, 0}
 ///   twiddle_rows(a=n, b=n2)    -> {"tw_rows",  n,  n2, 1}
 ///   stride_perm(a=n, b=n2)     -> {"perm",     n,  n2, 1}
 ///   reorg_gather + reorg_scatter(a=n1, b=n2)
 ///                              -> {"reorg",    n1, n2, 1} (pair summed)
+///
+/// The leaf key's isa component comes from the event's dispatched-ISA tag
+/// ("" for scalar / unbatched execution), so calibrated vector leaf costs
+/// land under the same keys the planner reads when that backend is active.
 ///
 /// Strided variants (b != 1 for dft_leaf, c != 1 for the rest) are left to
 /// the planner's own probes: the executor's DDL path runs these stages at

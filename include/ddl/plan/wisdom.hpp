@@ -41,11 +41,21 @@ class Wisdom {
   /// Persist as "transform strategy n seconds tree" lines; best-effort.
   bool save(const std::filesystem::path& file) const;
 
-  /// Merge from a saved file. Returns false if the file cannot be opened.
+  /// Merge from a saved file. The whole file is validated before anything
+  /// is committed: every line must carry five tokens, a finite non-negative
+  /// predicted time, and a tree token that plan::parse_tree accepts — so a
+  /// truncated or hand-mangled wisdom file cannot plant a partial table or
+  /// an unexecutable tree. Returns false if the file cannot be opened or
+  /// fails validation; load_error() then reports the offending line.
   bool load(const std::filesystem::path& file);
+
+  /// Human-readable reason the last load() returned false ("" if it
+  /// succeeded), including the 1-based line number for parse failures.
+  [[nodiscard]] const std::string& load_error() const noexcept { return load_error_; }
 
  private:
   std::map<std::tuple<std::string, std::string, index_t>, WisdomEntry> table_;
+  std::string load_error_;
 };
 
 }  // namespace ddl::plan

@@ -64,10 +64,20 @@ struct ChunkFamily {
 };
 
 /// One potentially-parallel execution stage of one node.
+///
+/// `lane_batch` models the SIMD codelet backend (docs/SIMD.md): a leaf
+/// sub-transform loop dispatches a batched kernel that processes up to
+/// lane_batch consecutive chunks of the family per call, their elements
+/// interleaved across vector lanes. The executor batches only within one
+/// parallel_for subrange, and a batch call's write set is exactly the union
+/// of its chunks' write sets — so per-chunk disjointness (family_overlap)
+/// remains the precise race criterion; lane_batch is shape metadata for
+/// diagnostics and cache modelling, not a new race surface.
 struct Stage {
-  std::string node_path;  ///< "root.L.R"-style location of the owning node
-  std::string op;         ///< loop name, e.g. "left columns", "reorg gather"
-  ChunkFamily writes;     ///< the concurrently-written access family
+  std::string node_path;   ///< "root.L.R"-style location of the owning node
+  std::string op;          ///< loop name, e.g. "left columns", "reorg gather"
+  ChunkFamily writes;      ///< the concurrently-written access family
+  index_t lane_batch = 1;  ///< max chunks fused per kernel call (1 = scalar)
 };
 
 /// A disproof of disjointness: two chunk indices and one element index

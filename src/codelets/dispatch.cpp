@@ -1,0 +1,172 @@
+/// \file dispatch.cpp
+/// \brief Runtime ISA selection for the batched codelet backends.
+///
+/// Selection order: the widest backend that is (a) compiled into this
+/// binary and (b) executable on the host CPU. Compiled-in is probed through
+/// the per-backend lookup tables (a missing backend returns nullptr for
+/// every size); executability needs a cpuid check only for AVX2 — SSE2 and
+/// NEON are baseline for their respective 64-bit ABIs. The DDL_SIMD
+/// environment variable overrides the default at process start, and tests
+/// or benches can switch levels with set_active_isa().
+
+#include <atomic>
+#include <cstdlib>
+
+#include "ddl/codelets/codelets.hpp"
+
+namespace ddl::codelets {
+
+// The obs layer duplicates this name table (obs cannot depend on codelets);
+// src/obs/obs.cpp keys it by these numeric values.
+static_assert(static_cast<int>(Isa::scalar) == 0 &&
+                  static_cast<int>(Isa::sse2) == 1 &&
+                  static_cast<int>(Isa::avx2) == 2 &&
+                  static_cast<int>(Isa::neon) == 3,
+              "Isa numbering is part of the obs trace format; update "
+              "obs::isa_label() if it changes");
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar: return "scalar";
+    case Isa::sse2: return "sse2";
+    case Isa::avx2: return "avx2";
+    case Isa::neon: return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> parse_isa(std::string_view text) noexcept {
+  if (text == "scalar" || text == "off" || text == "0" || text == "none") {
+    return Isa::scalar;
+  }
+  if (text == "sse2") return Isa::sse2;
+  if (text == "avx2") return Isa::avx2;
+  if (text == "neon") return Isa::neon;
+  if (text == "native" || text == "on" || text == "1") return best_isa();
+  return std::nullopt;
+}
+
+int isa_lanes(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar: return 1;
+    case Isa::sse2: return 2;
+    case Isa::avx2: return 4;
+    case Isa::neon: return 2;
+  }
+  return 1;
+}
+
+namespace {
+
+bool cpu_can_run(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar:
+      return true;
+    case Isa::sse2:
+    case Isa::neon:
+      // Baseline for the only ABIs whose backend compiles (x86-64 /
+      // aarch64); if the backend is in the binary the CPU can run it.
+      return true;
+    case Isa::avx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool backend_compiled(Isa isa) noexcept {
+  // Size 2 has a codelet in every backend, so it doubles as the
+  // "was this backend compiled in" probe.
+  switch (isa) {
+    case Isa::scalar: return detail::dft_batch_scalar(2) != nullptr;
+    case Isa::sse2: return detail::dft_batch_sse2(2) != nullptr;
+    case Isa::avx2: return detail::dft_batch_avx2(2) != nullptr;
+    case Isa::neon: return detail::dft_batch_neon(2) != nullptr;
+  }
+  return false;
+}
+
+/// Degrade an unsupported request to the widest supported level.
+Isa clamp_isa(Isa isa) noexcept {
+  if (isa_supported(isa)) return isa;
+  Isa widest = Isa::scalar;
+  for (Isa candidate : {Isa::sse2, Isa::neon, Isa::avx2}) {
+    if (isa_supported(candidate) &&
+        isa_lanes(candidate) >= isa_lanes(widest)) {
+      widest = candidate;
+    }
+  }
+  return widest;
+}
+
+Isa initial_isa() noexcept {
+  if (const char* env = std::getenv("DDL_SIMD")) {
+    if (auto parsed = parse_isa(env)) return clamp_isa(*parsed);
+  }
+  return best_isa();
+}
+
+std::atomic<Isa>& active_isa_slot() noexcept {
+  static std::atomic<Isa> slot{initial_isa()};
+  return slot;
+}
+
+}  // namespace
+
+bool isa_supported(Isa isa) noexcept {
+  return backend_compiled(isa) && cpu_can_run(isa);
+}
+
+Isa best_isa() noexcept {
+  if (isa_supported(Isa::avx2)) return Isa::avx2;
+  if (isa_supported(Isa::neon)) return Isa::neon;
+  if (isa_supported(Isa::sse2)) return Isa::sse2;
+  return Isa::scalar;
+}
+
+int max_batch_lanes() noexcept { return isa_lanes(best_isa()); }
+
+Isa active_isa() noexcept {
+  return active_isa_slot().load(std::memory_order_relaxed);
+}
+
+Isa set_active_isa(Isa isa) noexcept {
+  const Isa installed = clamp_isa(isa);
+  active_isa_slot().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+DftBatchKernel dft_batch_kernel(index_t n, Isa isa) noexcept {
+  if (!isa_supported(isa)) return nullptr;
+  switch (isa) {
+    case Isa::scalar: return detail::dft_batch_scalar(n);
+    case Isa::sse2: return detail::dft_batch_sse2(n);
+    case Isa::avx2: return detail::dft_batch_avx2(n);
+    case Isa::neon: return detail::dft_batch_neon(n);
+  }
+  return nullptr;
+}
+
+WhtBatchKernel wht_batch_kernel(index_t n, Isa isa) noexcept {
+  if (!isa_supported(isa)) return nullptr;
+  switch (isa) {
+    case Isa::scalar: return detail::wht_batch_scalar(n);
+    case Isa::sse2: return detail::wht_batch_sse2(n);
+    case Isa::avx2: return detail::wht_batch_avx2(n);
+    case Isa::neon: return detail::wht_batch_neon(n);
+  }
+  return nullptr;
+}
+
+DftBatchKernel dft_batch_kernel(index_t n) noexcept {
+  return dft_batch_kernel(n, active_isa());
+}
+
+WhtBatchKernel wht_batch_kernel(index_t n) noexcept {
+  return wht_batch_kernel(n, active_isa());
+}
+
+}  // namespace ddl::codelets

@@ -1,0 +1,43 @@
+/// \file vec_avx2.cpp
+/// \brief Batched codelet backend, AVX2 (4 lanes).
+///
+/// This translation unit is compiled with -mavx2 -mfma when the compiler
+/// supports those flags (see src/codelets/CMakeLists.txt); only the code in
+/// this file may contain AVX2 instructions, and the dispatcher guards every
+/// call behind a runtime cpuid check so the binary stays runnable on
+/// pre-AVX2 hosts. Collapses to nullptr stubs when the flags are
+/// unavailable, on non-x86 targets, and in DDL_SIMD=OFF builds.
+
+#include "ddl/codelets/codelets.hpp"
+
+#if defined(__AVX2__) && !defined(DDL_SIMD_DISABLED)
+
+#define DDL_VX_REQUIRE_AVX2 1
+#include "ddl/common/vec.hpp"
+
+namespace ddl::codelets {
+namespace {
+namespace vx = ddl::DDL_VX_NS;
+#include "codelets_vec_gen.inc"
+}  // namespace
+
+DftBatchKernel detail::dft_batch_avx2(index_t n) noexcept {
+  return vec_dft_lookup(n);
+}
+
+WhtBatchKernel detail::wht_batch_avx2(index_t n) noexcept {
+  return vec_wht_lookup(n);
+}
+
+}  // namespace ddl::codelets
+
+#else  // !__AVX2__ || DDL_SIMD_DISABLED
+
+namespace ddl::codelets {
+
+DftBatchKernel detail::dft_batch_avx2(index_t) noexcept { return nullptr; }
+WhtBatchKernel detail::wht_batch_avx2(index_t) noexcept { return nullptr; }
+
+}  // namespace ddl::codelets
+
+#endif

@@ -1,0 +1,40 @@
+/// \file vec_neon.cpp
+/// \brief Batched codelet backend, NEON (2 lanes, aarch64 baseline).
+///
+/// Advanced SIMD is mandatory on aarch64, so like SSE2 this backend needs
+/// no extra flags and no runtime feature check. Collapses to nullptr stubs
+/// on other architectures and in DDL_SIMD=OFF builds.
+
+#include "ddl/codelets/codelets.hpp"
+
+#if defined(__aarch64__) && !defined(DDL_SIMD_DISABLED)
+
+#define DDL_VX_REQUIRE_NEON 1
+#include "ddl/common/vec.hpp"
+
+namespace ddl::codelets {
+namespace {
+namespace vx = ddl::DDL_VX_NS;
+#include "codelets_vec_gen.inc"
+}  // namespace
+
+DftBatchKernel detail::dft_batch_neon(index_t n) noexcept {
+  return vec_dft_lookup(n);
+}
+
+WhtBatchKernel detail::wht_batch_neon(index_t n) noexcept {
+  return vec_wht_lookup(n);
+}
+
+}  // namespace ddl::codelets
+
+#else  // !__aarch64__ || DDL_SIMD_DISABLED
+
+namespace ddl::codelets {
+
+DftBatchKernel detail::dft_batch_neon(index_t) noexcept { return nullptr; }
+WhtBatchKernel detail::wht_batch_neon(index_t) noexcept { return nullptr; }
+
+}  // namespace ddl::codelets
+
+#endif

@@ -1,0 +1,28 @@
+/// \file vec_scalar.cpp
+/// \brief Batched codelet backend, scalar (1-lane) reference implementation.
+///
+/// Always compiled, including in DDL_SIMD=OFF builds: it is the portable
+/// fallback the dispatcher degrades to and the reference the `simd` test
+/// label compares the wide backends against. The batched bodies live in
+/// codelets_vec_gen.inc and are instantiated here against ddl::vx_scalar.
+
+#include "ddl/codelets/codelets.hpp"
+
+#define DDL_VX_REQUIRE_SCALAR 1
+#include "ddl/common/vec.hpp"
+
+namespace ddl::codelets {
+namespace {
+namespace vx = ddl::DDL_VX_NS;
+#include "codelets_vec_gen.inc"
+}  // namespace
+
+DftBatchKernel detail::dft_batch_scalar(index_t n) noexcept {
+  return vec_dft_lookup(n);
+}
+
+WhtBatchKernel detail::wht_batch_scalar(index_t n) noexcept {
+  return vec_wht_lookup(n);
+}
+
+}  // namespace ddl::codelets

@@ -1,0 +1,41 @@
+/// \file vec_sse2.cpp
+/// \brief Batched codelet backend, SSE2 (2 lanes, x86-64 baseline).
+///
+/// SSE2 is part of the x86-64 ABI, so this backend needs no extra compiler
+/// flags and no cpuid gate — it exists so x86 hosts without AVX2 still get
+/// a 2-wide backend. Collapses to nullptr stubs on other architectures and
+/// in DDL_SIMD=OFF builds.
+
+#include "ddl/codelets/codelets.hpp"
+
+#if defined(__SSE2__) && !defined(DDL_SIMD_DISABLED)
+
+#define DDL_VX_REQUIRE_SSE2 1
+#include "ddl/common/vec.hpp"
+
+namespace ddl::codelets {
+namespace {
+namespace vx = ddl::DDL_VX_NS;
+#include "codelets_vec_gen.inc"
+}  // namespace
+
+DftBatchKernel detail::dft_batch_sse2(index_t n) noexcept {
+  return vec_dft_lookup(n);
+}
+
+WhtBatchKernel detail::wht_batch_sse2(index_t n) noexcept {
+  return vec_wht_lookup(n);
+}
+
+}  // namespace ddl::codelets
+
+#else  // !__SSE2__ || DDL_SIMD_DISABLED
+
+namespace ddl::codelets {
+
+DftBatchKernel detail::dft_batch_sse2(index_t) noexcept { return nullptr; }
+WhtBatchKernel detail::wht_batch_sse2(index_t) noexcept { return nullptr; }
+
+}  // namespace ddl::codelets
+
+#endif

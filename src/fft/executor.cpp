@@ -158,10 +158,24 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* 
     {
       // Leaf columns run at unit stride after the gather — exactly the
       // measurement the planner's dft_leaf cost key wants (a = leaf size,
-      // b = column count), so keep the leaf case a distinct stage.
+      // b = column count), so keep the leaf case a distinct stage. Leaf
+      // children with a codelet take the batched kernel, which packs
+      // kLanes consecutive columns (dist = n1) across the vector lanes.
       const bool leaf = node.left->is_leaf();
-      const obs::ScopedStage st(leaf ? obs::Stage::leaf_cols : obs::Stage::fft_cols, n1, n2);
-      if (fan_out && n2 > 1) {
+      const codelets::Isa isa = codelets::active_isa();
+      const auto batch = leaf ? codelets::dft_batch_kernel(n1, isa) : nullptr;
+      const obs::ScopedStage st(leaf ? obs::Stage::leaf_cols : obs::Stage::fft_cols, n1, n2,
+                                batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                                 : obs::kIsaScalar);
+      if (batch != nullptr) {
+        if (fan_out && n2 > 1) {
+          parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int) {
+            batch(scratch + j0 * n1, 1, n1, j1 - j0);
+          });
+        } else {
+          batch(scratch, 1, n1, n2);
+        }
+      } else if (fan_out && n2 > 1) {
         lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
         parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
           cplx* lane = lane_scratch_.slot(slot);
@@ -182,10 +196,25 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* 
       layout::transpose_scatter(data, stride, n1, n2, scratch);
     }
   } else {
-    // Static layout: column DFTs walk the original strided storage.
+    // Static layout: column DFTs walk the original strided storage. The
+    // batched kernel still applies — column j starts at data + j*stride
+    // (dist = stride) with element stride stride*n2.
     {
-      const obs::ScopedStage st(obs::Stage::fft_cols, n1, n2);
-      if (fan_out && n2 > 1) {
+      const codelets::Isa isa = codelets::active_isa();
+      const auto batch =
+          node.left->is_leaf() ? codelets::dft_batch_kernel(n1, isa) : nullptr;
+      const obs::ScopedStage st(obs::Stage::fft_cols, n1, n2,
+                                batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                                 : obs::kIsaScalar);
+      if (batch != nullptr) {
+        if (fan_out && n2 > 1) {
+          parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int) {
+            batch(data + j0 * stride, stride * n2, stride, j1 - j0);
+          });
+        } else {
+          batch(data, stride * n2, stride, n2);
+        }
+      } else if (fan_out && n2 > 1) {
         lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
         parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
           cplx* lane = lane_scratch_.slot(slot);
@@ -205,10 +234,24 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* 
     }
   }
 
-  // Row DFTs (right child, stride s per Property 1).
+  // Row DFTs (right child, stride s per Property 1). Leaf rows batch with
+  // dist = n2*stride — the lanes carry n1 independent row transforms.
   {
-    const obs::ScopedStage st(obs::Stage::fft_rows, n2, n1);
-    if (fan_out && n1 > 1) {
+    const codelets::Isa isa = codelets::active_isa();
+    const auto batch =
+        node.right->is_leaf() ? codelets::dft_batch_kernel(n2, isa) : nullptr;
+    const obs::ScopedStage st(obs::Stage::fft_rows, n2, n1,
+                              batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                               : obs::kIsaScalar);
+    if (batch != nullptr) {
+      if (fan_out && n1 > 1) {
+        parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int) {
+          batch(data + i0 * n2 * stride, stride, n2 * stride, i1 - i0);
+        });
+      } else {
+        batch(data, stride, n2 * stride, n1);
+      }
+    } else if (fan_out && n1 > 1) {
       lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
       parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
         cplx* lane = lane_scratch_.slot(slot);

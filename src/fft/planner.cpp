@@ -69,7 +69,14 @@ std::vector<std::pair<index_t, index_t>> FftPlanner::candidate_splits(index_t n)
 // ---------------------------------------------------------------------------
 
 double FftPlanner::leaf_cost(index_t n, index_t stride) {
-  const plan::CostKey key{"dft_leaf", n, stride, 0};
+  // Vectorized leaves shift the optimal split points, so their measured
+  // costs live under an ISA-tagged key and coexist with the scalar ones
+  // (empty isa = scalar / unbatched execution, matching legacy files).
+  const codelets::Isa isa = codelets::active_isa();
+  const auto batch =
+      isa != codelets::Isa::scalar ? codelets::dft_batch_kernel(n, isa) : nullptr;
+  const plan::CostKey key{"dft_leaf", n, stride, 0,
+                          batch != nullptr ? codelets::isa_name(isa) : ""};
   if (opts_.cost_oracle) {
     return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
   }
@@ -77,6 +84,20 @@ double FftPlanner::leaf_cost(index_t n, index_t stride) {
     const index_t extent = std::max(n * stride, opts_.stream_points);
     ensure_buffers(extent);
     cplx* x = bufs_->data.data();
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 4};
+    // Best of two adaptive runs: a single scheduler blip in a probe would
+    // otherwise poison the DP through the persistent cost database.
+    if (batch != nullptr) {
+      // Batched probe, mirroring the executor's leaf loops: a unit-stride
+      // leaf batches consecutive blocks (dist = n); a strided leaf batches
+      // the siblings at consecutive base offsets (dist = 1) — the same
+      // "successive DFTs" the scalar probe walks one at a time.
+      const index_t count = stride > 1 ? stride : std::max<index_t>(1, extent / n);
+      const index_t dist = stride > 1 ? 1 : n;
+      const double per_call =
+          time_best_of([&] { batch(x, stride, dist, count); }, 2, topts);
+      return per_call / static_cast<double>(count);
+    }
     const auto kernel = codelets::dft_kernel(n);
     // Successive sub-DFT offsets emulate a real computation stage: for a
     // strided leaf the siblings sit at consecutive base offsets (Fig. 3's
@@ -85,9 +106,6 @@ double FftPlanner::leaf_cost(index_t n, index_t stride) {
     const index_t n_offsets = stride > 1 ? stride : extent / n;
     const index_t offset_step = stride > 1 ? 1 : n;
     index_t j = 0;
-    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 4};
-    // Best of two adaptive runs: a single scheduler blip in a probe would
-    // otherwise poison the DP through the persistent cost database.
     return time_best_of(
         [&] {
           if (kernel != nullptr) {

@@ -130,7 +130,7 @@ void write_chrome_trace(std::ostream& os, const Snapshot& snap) {
     os << "\n{\"name\":\"" << stage_name(e.stage) << "\",\"cat\":\"ddl\",\"ph\":\"X\""
        << ",\"ts\":" << us(e.t0_ns) << ",\"dur\":" << us(e.t1_ns) - us(e.t0_ns)
        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
-       << "}}";
+       << ",\"isa\":\"" << isa_label(e.isa) << "\"}}";
   }
   os << "\n]}\n";
 }

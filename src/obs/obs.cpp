@@ -64,7 +64,7 @@ ThreadLog& thread_log() {
 }  // namespace
 
 void record_event(Stage stage, std::uint64_t t0, std::uint64_t t1, std::int64_t a,
-                  std::int64_t b) noexcept {
+                  std::int64_t b, std::uint8_t isa) noexcept {
   ThreadLog& log = thread_log();
   if (log.ring.empty()) return;
   if (log.written >= log.ring.size()) {
@@ -76,6 +76,7 @@ void record_event(Stage stage, std::uint64_t t0, std::uint64_t t1, std::int64_t 
   e.a = a;
   e.b = b;
   e.stage = stage;
+  e.isa = isa;
   e.tid = log.tid;
   log.next = (log.next + 1) % log.ring.size();
   ++log.written;
@@ -120,6 +121,17 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::count_: break;
   }
   return "unknown";
+}
+
+const char* isa_label(std::uint8_t isa) noexcept {
+  // Mirrors ddl::codelets::Isa; the numbering is pinned by a static_assert
+  // in src/codelets/dispatch.cpp.
+  switch (isa) {
+    case 1: return "sse2";
+    case 2: return "avx2";
+    case 3: return "neon";
+    default: return "scalar";
+  }
 }
 
 const char* counter_name(Counter counter) noexcept {

@@ -1,14 +1,45 @@
 #include "ddl/plan/costdb.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "ddl/common/check.hpp"
 
 namespace ddl::plan {
 namespace {
 
-std::tuple<std::string, index_t, index_t, index_t> to_tuple(const CostKey& key) {
-  return {key.kind, key.a, key.b, key.c};
+std::tuple<std::string, index_t, index_t, index_t, std::string> to_tuple(const CostKey& key) {
+  return {key.kind, key.a, key.b, key.c, key.isa};
+}
+
+/// Empty isa serializes as "-" so every line stays a fixed token count.
+const std::string& isa_token(const std::string& isa) {
+  static const std::string dash = "-";
+  return isa.empty() ? dash : isa;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+bool parse_index(const std::string& token, long long& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// Strict double parse: the whole token must be consumed. from_chars
+/// accepts "nan"/"inf" spellings, so finiteness is checked separately by
+/// the callers that need it.
+bool parse_double(const std::string& token, double& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
 }  // namespace
@@ -24,7 +55,11 @@ double CostDb::get_or_measure(const CostKey& key, const std::function<double()>&
 
 bool CostDb::contains(const CostKey& key) const { return table_.count(to_tuple(key)) != 0; }
 
-void CostDb::put(const CostKey& key, double seconds) { table_[to_tuple(key)] = seconds; }
+void CostDb::put(const CostKey& key, double seconds) {
+  DDL_CHECK(std::isfinite(seconds) && seconds >= 0.0,
+            "cost must be finite and non-negative");
+  table_[to_tuple(key)] = seconds;
+}
 
 bool CostDb::save(const std::filesystem::path& file) const {
   std::ofstream os(file);
@@ -32,22 +67,55 @@ bool CostDb::save(const std::filesystem::path& file) const {
   os.precision(17);
   for (const auto& [k, v] : table_) {
     os << std::get<0>(k) << ' ' << std::get<1>(k) << ' ' << std::get<2>(k) << ' '
-       << std::get<3>(k) << ' ' << v << '\n';
+       << std::get<3>(k) << ' ' << isa_token(std::get<4>(k)) << ' ' << v << '\n';
   }
   return static_cast<bool>(os);
 }
 
 bool CostDb::load(const std::filesystem::path& file) {
+  load_error_.clear();
   std::ifstream is(file);
-  if (!is) return false;
-  std::string kind;
-  long long a = 0;
-  long long b = 0;
-  long long c = 0;
-  double v = 0.0;
-  while (is >> kind >> a >> b >> c >> v) {
-    table_[{kind, a, b, c}] = v;
+  if (!is) {
+    load_error_ = "cannot open " + file.string();
+    return false;
   }
+  // Parse the entire file into a staging table first; a failure on any line
+  // commits nothing, so a truncated write cannot leave a partial table.
+  decltype(table_) staged;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const char* what) {
+    std::ostringstream msg;
+    msg << file.string() << ":" << line_no << ": " << what;
+    load_error_ = msg.str();
+    return false;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.empty()) continue;  // blank line
+    // "kind a b c isa seconds"; legacy files predate the isa column and
+    // carry five tokens, loading with isa = "".
+    if (tokens.size() != 5 && tokens.size() != 6) {
+      return fail("expected 'kind a b c [isa] seconds'");
+    }
+    long long a = 0;
+    long long b = 0;
+    long long c = 0;
+    if (!parse_index(tokens[1], a) || !parse_index(tokens[2], b) ||
+        !parse_index(tokens[3], c)) {
+      return fail("malformed key parameter");
+    }
+    std::string isa;
+    if (tokens.size() == 6 && tokens[4] != "-") isa = tokens[4];
+    double seconds = 0.0;
+    if (!parse_double(tokens.back(), seconds)) return fail("malformed cost");
+    if (!std::isfinite(seconds) || seconds < 0.0) {
+      return fail("cost must be finite and non-negative");
+    }
+    staged[{tokens[0], a, b, c, std::move(isa)}] = seconds;
+  }
+  for (auto& [k, v] : staged) table_[k] = v;
   return true;
 }
 

@@ -19,10 +19,17 @@ double event_seconds(const obs::Event& e) {
   return static_cast<double>(e.t1_ns - e.t0_ns) * 1e-9;
 }
 
+/// Cost-key isa component for a leaf event: the planner files scalar /
+/// unbatched leaf costs under an empty isa, so only the wide backends get
+/// a tag (isa_label maps 0 and unknown values to "scalar").
+std::string event_isa(const obs::Event& e) {
+  return e.isa == obs::kIsaScalar ? std::string{} : obs::isa_label(e.isa);
+}
+
 }  // namespace
 
 std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
-  using KeyTuple = std::tuple<std::string, index_t, index_t, index_t>;
+  using KeyTuple = std::tuple<std::string, index_t, index_t, index_t, std::string>;
   std::map<KeyTuple, Acc> acc;
 
   // reorg is probed as a gather+scatter *pair*; accumulate the two stages
@@ -35,25 +42,25 @@ std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
     switch (e.stage) {
       case obs::Stage::leaf_cols: {
         if (e.b <= 0) break;
-        Acc& a = acc[{"dft_leaf", static_cast<index_t>(e.a), 1, 0}];
+        Acc& a = acc[{"dft_leaf", static_cast<index_t>(e.a), 1, 0, event_isa(e)}];
         a.seconds += s;
         a.weight += static_cast<std::uint64_t>(e.b);
         break;
       }
       case obs::Stage::twiddle_cols: {
-        Acc& a = acc[{"tw_cols", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 0}];
+        Acc& a = acc[{"tw_cols", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 0, {}}];
         a.seconds += s;
         a.weight += 1;
         break;
       }
       case obs::Stage::twiddle_rows: {
-        Acc& a = acc[{"tw_rows", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1}];
+        Acc& a = acc[{"tw_rows", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1, {}}];
         a.seconds += s;
         a.weight += 1;
         break;
       }
       case obs::Stage::stride_perm: {
-        Acc& a = acc[{"perm", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1}];
+        Acc& a = acc[{"perm", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1, {}}];
         a.seconds += s;
         a.weight += 1;
         break;
@@ -78,7 +85,7 @@ std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
   for (const auto& [dims, g] : gather) {
     const auto it = scatter.find(dims);
     if (it == scatter.end()) continue;  // need both halves of the pair
-    Acc& a = acc[{"reorg", dims.first, dims.second, 1}];
+    Acc& a = acc[{"reorg", dims.first, dims.second, 1, {}}];
     a.seconds = g.seconds / static_cast<double>(g.weight) +
                 it->second.seconds / static_cast<double>(it->second.weight);
     a.weight = 1;
@@ -89,7 +96,8 @@ std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
     if (a.weight == 0) continue;
     const double cost = a.seconds / static_cast<double>(a.weight);
     if (cost <= 0.0) continue;  // sub-resolution event; keep the probe value
-    db.put(CostKey{std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key)},
+    db.put(CostKey{std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key),
+                   std::get<4>(key)},
            cost);
     ++written;
   }

@@ -1,6 +1,13 @@
 #include "ddl/plan/wisdom.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ddl/plan/grammar.hpp"
 
 namespace ddl::plan {
 
@@ -26,17 +33,64 @@ bool Wisdom::save(const std::filesystem::path& file) const {
   return static_cast<bool>(os);
 }
 
+namespace {
+
+bool parse_whole(const std::string& token, long long& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_whole(const std::string& token, double& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
 bool Wisdom::load(const std::filesystem::path& file) {
+  load_error_.clear();
   std::ifstream is(file);
-  if (!is) return false;
-  std::string transform;
-  std::string strategy;
-  long long n = 0;
-  double seconds = 0.0;
-  std::string tree;
-  while (is >> transform >> strategy >> n >> seconds >> tree) {
-    table_[{transform, strategy, n}] = WisdomEntry{tree, seconds};
+  if (!is) {
+    load_error_ = "cannot open " + file.string();
+    return false;
   }
+  // Validate the entire file before committing anything: a stale partial
+  // write must not seed the planner with a half-merged table.
+  decltype(table_) staged;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    std::ostringstream msg;
+    msg << file.string() << ":" << line_no << ": " << what;
+    load_error_ = msg.str();
+    return false;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::vector<std::string> t;
+    std::string token;
+    while (tokens >> token) t.push_back(std::move(token));
+    if (t.empty()) continue;  // blank line
+    if (t.size() != 5) return fail("expected 'transform strategy n seconds tree'");
+    long long n = 0;
+    if (!parse_whole(t[2], n) || n < 1) return fail("malformed size");
+    double seconds = 0.0;
+    if (!parse_whole(t[3], seconds)) return fail("malformed predicted time");
+    if (!std::isfinite(seconds) || seconds < 0.0) {
+      return fail("predicted time must be finite and non-negative");
+    }
+    // Grammar trees contain no whitespace, so the tree is exactly one
+    // token; anything parse_tree rejects would be unexecutable anyway.
+    try {
+      const TreePtr parsed = parse_tree(t[4]);
+      if (parsed->n != n) return fail("tree size does not match key size");
+    } catch (const std::invalid_argument& e) {
+      return fail(std::string("bad tree: ") + e.what());
+    }
+    staged[{t[0], t[1], n}] = WisdomEntry{t[4], seconds};
+  }
+  for (auto& [k, v] : staged) table_[k] = v;
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "ddl/codelets/codelets.hpp"
 #include "ddl/common/check.hpp"
 
 namespace ddl::verify {
@@ -61,9 +62,19 @@ void node_stages(const plan::Node& node, Transform kind, const std::string& path
   const index_t left_ext = effective_extent(*node.left, kind);
   const index_t right_ext = effective_extent(*node.right, kind);
 
-  const auto stage = [&](const char* op, ChunkFamily f) {
-    out.push_back(Stage{path, op, f});
+  const auto stage = [&](const char* op, ChunkFamily f, index_t lane_batch = 1) {
+    out.push_back(Stage{path, op, f, lane_batch});
   };
+
+  // Leaf children with a codelet dispatch the batched SIMD kernel, fusing
+  // up to max_batch_lanes() chunks of the loop's family per call (see the
+  // Stage doc comment for why this cannot introduce races).
+  const auto leaf_lanes = [&](const plan::Node& child, bool wht) {
+    const bool batched = child.is_leaf() && (wht ? codelets::has_wht_codelet(child.n)
+                                                 : codelets::has_dft_codelet(child.n));
+    return batched ? static_cast<index_t>(codelets::max_batch_lanes()) : index_t{1};
+  };
+  const bool wht = kind == Transform::wht;
 
   // Mirrors the loop structure of fft/executor.cpp, wht/executor.cpp and
   // layout/reorg.cpp; offsets in units of the node's base stride. The WHT
@@ -73,18 +84,21 @@ void node_stages(const plan::Node& node, Transform kind, const std::string& path
   if (node.ddl) {
     stage("reorg gather",
           {Space::scratch, 0, n1, n2, 1, n1});  // column j -> scratch[j*n1 ..)
-    stage("left columns (scratch)", {Space::scratch, 0, n1, n2, 1, left_ext});
+    stage("left columns (scratch)", {Space::scratch, 0, n1, n2, 1, left_ext},
+          leaf_lanes(*node.left, wht));
     if (kind == Transform::fft) {
       stage("twiddle columns (scratch)", {Space::scratch, n1, n1, n2 - 1, 1, n1});
     }
     stage("reorg scatter", {Space::data, 0, 1, n2, n2, n1});  // comb j + i*n2
   } else {
-    stage("left columns", {Space::data, 0, 1, n2, n2, left_ext});
+    stage("left columns", {Space::data, 0, 1, n2, n2, left_ext},
+          leaf_lanes(*node.left, wht));
     if (kind == Transform::fft) {
       stage("twiddle rows", {Space::data, n2, n2, n1 - 1, 1, n2});
     }
   }
-  stage("right rows", {Space::data, 0, n2, n1, 1, right_ext});
+  stage("right rows", {Space::data, 0, n2, n1, 1, right_ext},
+        leaf_lanes(*node.right, wht));
   if (kind == Transform::fft && n2 > 0 && n % n2 == 0) {
     // stride_permute_inplace = transpose_gather into scratch + linear unpack.
     stage("permute gather (scratch)", {Space::scratch, 0, n / n2, n2, 1, n / n2});

@@ -72,8 +72,21 @@ void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, real
   // tensor factors commute, so the order is a free choice; rows-first keeps
   // the unit-stride work up front.)
   {
-    const obs::ScopedStage st(obs::Stage::wht_rows, n2, n1);
-    if (fan_out && n1 > 1) {
+    const codelets::Isa isa = codelets::active_isa();
+    const auto batch =
+        node.right->is_leaf() ? codelets::wht_batch_kernel(n2, isa) : nullptr;
+    const obs::ScopedStage st(obs::Stage::wht_rows, n2, n1,
+                              batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                               : obs::kIsaScalar);
+    if (batch != nullptr) {
+      if (fan_out && n1 > 1) {
+        parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int) {
+          batch(data + i0 * n2 * stride, stride, n2 * stride, i1 - i0);
+        });
+      } else {
+        batch(data, stride, n2 * stride, n1);
+      }
+    } else if (fan_out && n1 > 1) {
       lane_scratch_.ensure(parallel::max_threads(), 2 * n2);
       parallel::parallel_for(0, n1, 1, [&](index_t i0, index_t i1, int slot) {
         real_t* lane = lane_scratch_.slot(slot);
@@ -96,8 +109,21 @@ void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, real
       layout::transpose_gather(data, stride, n1, n2, scratch);
     }
     {
-      const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2);
-      if (fan_out && n2 > 1) {
+      const codelets::Isa isa = codelets::active_isa();
+      const auto batch =
+          node.left->is_leaf() ? codelets::wht_batch_kernel(n1, isa) : nullptr;
+      const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2,
+                                batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                                 : obs::kIsaScalar);
+      if (batch != nullptr) {
+        if (fan_out && n2 > 1) {
+          parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int) {
+            batch(scratch + j0 * n1, 1, n1, j1 - j0);
+          });
+        } else {
+          batch(scratch, 1, n1, n2);
+        }
+      } else if (fan_out && n2 > 1) {
         lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
         parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
           real_t* lane = lane_scratch_.slot(slot);
@@ -115,8 +141,21 @@ void WhtExecutor::run(const plan::Node& node, real_t* data, index_t stride, real
     }
   } else {
     // Static layout: n2 column transforms of size n1 at stride s*n2.
-    const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2);
-    if (fan_out && n2 > 1) {
+    const codelets::Isa isa = codelets::active_isa();
+    const auto batch =
+        node.left->is_leaf() ? codelets::wht_batch_kernel(n1, isa) : nullptr;
+    const obs::ScopedStage st(obs::Stage::wht_cols, n1, n2,
+                              batch != nullptr ? static_cast<std::uint8_t>(isa)
+                                               : obs::kIsaScalar);
+    if (batch != nullptr) {
+      if (fan_out && n2 > 1) {
+        parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int) {
+          batch(data + j0 * stride, stride * n2, stride, j1 - j0);
+        });
+      } else {
+        batch(data, stride * n2, stride, n2);
+      }
+    } else if (fan_out && n2 > 1) {
       lane_scratch_.ensure(parallel::max_threads(), 2 * n1);
       parallel::parallel_for(0, n2, 1, [&](index_t j0, index_t j1, int slot) {
         real_t* lane = lane_scratch_.slot(slot);

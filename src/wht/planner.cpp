@@ -36,7 +36,13 @@ void WhtPlanner::ensure_buffers(index_t points) {
 }
 
 double WhtPlanner::leaf_cost(index_t n, index_t stride) {
-  const plan::CostKey key{"wht_leaf", n, stride, 0};
+  // Same ISA-tagged key discipline as FftPlanner::leaf_cost: vector and
+  // scalar leaf costs coexist, empty isa meaning scalar / unbatched.
+  const codelets::Isa isa = codelets::active_isa();
+  const auto batch =
+      isa != codelets::Isa::scalar ? codelets::wht_batch_kernel(n, isa) : nullptr;
+  const plan::CostKey key{"wht_leaf", n, stride, 0,
+                          batch != nullptr ? codelets::isa_name(isa) : ""};
   if (opts_.cost_oracle) {
     return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
   }
@@ -44,12 +50,21 @@ double WhtPlanner::leaf_cost(index_t n, index_t stride) {
     const index_t extent = std::max(n * stride, opts_.stream_points);
     ensure_buffers(extent);
     real_t* x = bufs_->data.data();  // zeros: WHT of zeros is stable
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 4};
+    // Best of two adaptive runs (see fft/planner.cpp on probe robustness).
+    if (batch != nullptr) {
+      // Batched probe mirroring the executor's batched leaf loops (see
+      // fft/planner.cpp for the dist/count geometry rationale).
+      const index_t count = stride > 1 ? stride : std::max<index_t>(1, extent / n);
+      const index_t dist = stride > 1 ? 1 : n;
+      const double per_call =
+          time_best_of([&] { batch(x, stride, dist, count); }, 2, topts);
+      return per_call / static_cast<double>(count);
+    }
     const auto kernel = codelets::wht_kernel(n);
     const index_t n_offsets = stride > 1 ? stride : extent / n;
     const index_t offset_step = stride > 1 ? 1 : n;
     index_t j = 0;
-    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 4};
-    // Best of two adaptive runs (see fft/planner.cpp on probe robustness).
     return time_best_of(
         [&] {
           if (kernel != nullptr) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -147,6 +148,19 @@ TEST(AlignedBuffer, IterationCoversAll) {
   int expect = 0;
   for (int v : buf) EXPECT_EQ(v, expect++);
   EXPECT_EQ(expect, 8);
+}
+
+// Regression: n * sizeof(T) used to be computed unchecked, so an absurd n
+// wrapped to a tiny allocation that round_up then "satisfied" — handing
+// back a buffer far smaller than requested. Now the multiply is guarded
+// and overflow reports as allocation failure.
+TEST(AlignedBuffer, ByteCountOverflowThrowsBadAlloc) {
+  const auto huge = static_cast<index_t>(std::numeric_limits<std::size_t>::max() / sizeof(cplx)) - 1;
+  EXPECT_THROW(AlignedBuffer<cplx> buf(huge), std::bad_alloc);
+  // Just past the exact byte-count boundary too (padding headroom).
+  EXPECT_THROW(AlignedBuffer<real_t> buf(
+                   static_cast<index_t>(std::numeric_limits<std::size_t>::max() / sizeof(real_t))),
+               std::bad_alloc);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
 #include "ddl/fft/plan_cache.hpp"
+#include "ddl/codelets/codelets.hpp"
 #include "ddl/obs/export.hpp"
 #include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
@@ -604,9 +605,14 @@ TEST(ObsIngest, TracedDdlRunCalibratesLeafAndReorgCosts) {
   plan::CostDb db;
   const std::size_t written = plan::ingest_stage_costs(db, snap);
   EXPECT_GT(written, 0u);
-  EXPECT_TRUE(db.contains({"dft_leaf", 32, 1, 0}));
+  // The leaf loop dispatched to the active batched backend, so its cost
+  // lands under the matching ISA tag ("" when running scalar / unbatched).
+  const codelets::Isa isa = codelets::active_isa();
+  const std::string leaf_isa =
+      isa == codelets::Isa::scalar ? std::string{} : codelets::isa_name(isa);
+  EXPECT_TRUE(db.contains({"dft_leaf", 32, 1, 0, leaf_isa}));
   EXPECT_TRUE(db.contains({"reorg", 32, 1024, 1}));
-  EXPECT_GT(db.get_or_measure({"dft_leaf", 32, 1, 0}, [] { return -1.0; }), 0.0);
+  EXPECT_GT(db.get_or_measure({"dft_leaf", 32, 1, 0, leaf_isa}, [] { return -1.0; }), 0.0);
 }
 
 // ---------------------------------------------------------------------------

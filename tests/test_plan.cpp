@@ -6,6 +6,9 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "ddl/fft/plan_cache.hpp"
@@ -208,6 +211,115 @@ TEST(CostDb, SaveLoadRoundTrip) {
 TEST(CostDb, LoadMissingFileFails) {
   CostDb db;
   EXPECT_FALSE(db.load("/nonexistent/path/costdb.txt"));
+  EXPECT_NE(db.load_error().find("cannot open"), std::string::npos);
+}
+
+namespace {
+
+void write_text(const std::filesystem::path& file, const std::string& text) {
+  std::ofstream os(file);
+  os << text;
+}
+
+std::string read_bytes(const std::filesystem::path& file) {
+  std::ifstream is(file, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+// Regression: put() used to bypass the seconds >= 0 invariant that
+// get_or_measure enforced, so a planner bug could poison the database with
+// costs that save/load would then round-trip forever.
+TEST(CostDb, PutRejectsNonFiniteAndNegative) {
+  CostDb db;
+  EXPECT_THROW(db.put({"x", 1, 1, 0}, -1.0), std::logic_error);
+  EXPECT_THROW(db.put({"x", 1, 1, 0}, std::numeric_limits<double>::quiet_NaN()),
+               std::logic_error);
+  EXPECT_THROW(db.put({"x", 1, 1, 0}, std::numeric_limits<double>::infinity()),
+               std::logic_error);
+  EXPECT_EQ(db.size(), 0u);
+  db.put({"x", 1, 1, 0}, 0.0);  // zero is a valid measured cost
+  EXPECT_EQ(db.size(), 1u);
+}
+
+// Regression: load() used to skip unparseable lines silently, so a
+// truncated write (power loss mid-save) read back as a smaller but
+// "successfully" loaded database. Now any bad line rejects the whole file,
+// names the line, and leaves the in-memory table untouched.
+TEST(CostDb, LoadRejectsTruncatedFileAtomically) {
+  const auto file = temp_file("costdb_trunc");
+  write_text(file, "dft_leaf 16 1 0 - 1.25e-07\nreorg 32 64 2 -\n");
+  CostDb db;
+  db.put({"keep", 2, 1, 0}, 0.5);
+  EXPECT_FALSE(db.load(file));
+  EXPECT_NE(db.load_error().find(":2:"), std::string::npos) << db.load_error();
+  EXPECT_EQ(db.size(), 1u);  // prior contents survive the failed load
+  EXPECT_TRUE(db.contains({"keep", 2, 1, 0}));
+  EXPECT_FALSE(db.contains({"dft_leaf", 16, 1, 0}));
+  std::filesystem::remove(file);
+}
+
+TEST(CostDb, LoadRejectsNegativeAndNonFiniteCosts) {
+  const auto file = temp_file("costdb_badcost");
+  CostDb db;
+  write_text(file, "dft_leaf 16 1 0 - -2.5e-07\n");
+  EXPECT_FALSE(db.load(file));
+  EXPECT_NE(db.load_error().find(":1:"), std::string::npos) << db.load_error();
+  write_text(file, "ok 8 1 0 - 1e-9\ndft_leaf 16 1 0 - nan\n");
+  EXPECT_FALSE(db.load(file));
+  EXPECT_NE(db.load_error().find(":2:"), std::string::npos) << db.load_error();
+  write_text(file, "dft_leaf 16 1 0 - inf\n");
+  EXPECT_FALSE(db.load(file));
+  EXPECT_EQ(db.size(), 0u);
+  std::filesystem::remove(file);
+}
+
+TEST(CostDb, LoadRejectsGarbageNumbers) {
+  const auto file = temp_file("costdb_garbage");
+  CostDb db;
+  write_text(file, "dft_leaf sixteen 1 0 - 1e-9\n");
+  EXPECT_FALSE(db.load(file));
+  write_text(file, "dft_leaf 16 1 0 - fast\n");
+  EXPECT_FALSE(db.load(file));
+  write_text(file, "dft_leaf 16 1 0 avx2 1e-9 trailing\n");
+  EXPECT_FALSE(db.load(file));
+  std::filesystem::remove(file);
+}
+
+// Pre-SIMD databases carry five tokens (no ISA column); they must still
+// load, mapping to the scalar/unbatched entry (empty isa tag).
+TEST(CostDb, LoadAcceptsLegacyFiveTokenLines) {
+  const auto file = temp_file("costdb_legacy");
+  write_text(file, "dft_leaf 16 1 0 1.25e-07\nreorg 32 64 2 3.5e-06\n");
+  CostDb db;
+  EXPECT_TRUE(db.load(file)) << db.load_error();
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.contains({"dft_leaf", 16, 1, 0}));  // isa defaults to ""
+  EXPECT_TRUE(db.contains({"reorg", 32, 64, 2, ""}));
+  std::filesystem::remove(file);
+}
+
+// save -> load -> save must be byte-identical: the table is ordered and the
+// text format loses no precision, so the database is a stable fixed point
+// (re-saving a tuned database never churns the file).
+TEST(CostDb, SaveLoadSaveIsByteIdentical) {
+  const auto first = temp_file("costdb_rt1");
+  const auto second = temp_file("costdb_rt2");
+  CostDb db;
+  db.put({"dft_leaf", 16, 1, 0, "avx2"}, 1.0 / 3.0 * 1e-7);
+  db.put({"dft_leaf", 16, 1, 0, ""}, 7.25e-7);
+  db.put({"reorg", 32, 64, 2}, 3.5e-6);
+  db.put({"wht_leaf", 64, 1, 0, "sse2"}, 0.1234567890123456789e-6);
+  EXPECT_TRUE(db.save(first));
+  CostDb loaded;
+  EXPECT_TRUE(loaded.load(first)) << loaded.load_error();
+  EXPECT_TRUE(loaded.save(second));
+  EXPECT_EQ(read_bytes(first), read_bytes(second));
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
 }
 
 // ---------------------------------------------------------------------------
@@ -249,6 +361,54 @@ TEST(Wisdom, SaveLoadRoundTrip) {
   EXPECT_EQ(hit->tree, "ctddl(ct(16,16),ct(16,16))");
   EXPECT_DOUBLE_EQ(hit->seconds, 4.25e-4);
   std::filesystem::remove(file);
+}
+
+// Regression: like CostDb, Wisdom::load used to skip bad lines silently —
+// a corrupted wisdom file downgraded to "fewer plans" instead of an error.
+TEST(Wisdom, LoadRejectsTruncatedFileAtomically) {
+  const auto file = temp_file("wisdom_trunc");
+  write_text(file, "fft ddl_dp 1024 1e-5 ctddl(32,32)\nwht sdl_dp 256\n");
+  Wisdom w;
+  w.remember("fft", "ddl_dp", 64, {"ct(8,8)", 2.0});
+  EXPECT_FALSE(w.load(file));
+  EXPECT_NE(w.load_error().find(":2:"), std::string::npos) << w.load_error();
+  EXPECT_EQ(w.size(), 1u);  // prior contents survive
+  EXPECT_TRUE(w.recall("fft", "ddl_dp", 64).has_value());
+  EXPECT_FALSE(w.recall("fft", "ddl_dp", 1024).has_value());
+  std::filesystem::remove(file);
+}
+
+TEST(Wisdom, LoadRejectsBadSecondsAndBadTrees) {
+  const auto file = temp_file("wisdom_bad");
+  Wisdom w;
+  write_text(file, "fft ddl_dp 1024 -1e-5 ctddl(32,32)\n");
+  EXPECT_FALSE(w.load(file));
+  write_text(file, "fft ddl_dp 1024 nan ctddl(32,32)\n");
+  EXPECT_FALSE(w.load(file));
+  write_text(file, "fft ddl_dp 1024 1e-5 ctddl(32,oops)\n");
+  EXPECT_FALSE(w.load(file));
+  EXPECT_NE(w.load_error().find(":1:"), std::string::npos) << w.load_error();
+  // Tree parses but its size contradicts the key: also rejected.
+  write_text(file, "fft ddl_dp 2048 1e-5 ctddl(32,32)\n");
+  EXPECT_FALSE(w.load(file));
+  EXPECT_EQ(w.size(), 0u);
+  std::filesystem::remove(file);
+}
+
+TEST(Wisdom, SaveLoadSaveIsByteIdentical) {
+  const auto first = temp_file("wisdom_rt1");
+  const auto second = temp_file("wisdom_rt2");
+  Wisdom w;
+  w.remember("fft", "ddl_dp", 65536, {"ctddl(ct(16,16),ct(16,16))", 1.0 / 3.0 * 1e-3});
+  w.remember("fft", "rightmost", 1024, {"ct(32,32)", 5.5e-6});
+  w.remember("wht", "sdl_dp", 256, {"ct(16,16)", 1e-6});
+  EXPECT_TRUE(w.save(first));
+  Wisdom loaded;
+  EXPECT_TRUE(loaded.load(first)) << loaded.load_error();
+  EXPECT_TRUE(loaded.save(second));
+  EXPECT_EQ(read_bytes(first), read_bytes(second));
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
 }
 
 // ---------------------------------------------------------------------------

@@ -80,7 +80,7 @@ TEST(GrammarFuzz, MutatedValidTreesNeverCrash) {
 // Corrupted persistence files
 // ---------------------------------------------------------------------------
 
-TEST(Persistence, CostDbSkipsGarbageLines) {
+TEST(Persistence, CostDbRejectsGarbageLinesAtomically) {
   const auto file = temp_file("costdb");
   {
     std::ofstream os(file);
@@ -90,14 +90,17 @@ TEST(Persistence, CostDbSkipsGarbageLines) {
        << "perm 64 8 1 3.25e-6\n";
   }
   plan::CostDb db;
-  EXPECT_TRUE(db.load(file));
-  // The leading valid line loads; parsing stops/skips at garbage without
-  // crashing or corrupting previously loaded entries.
-  EXPECT_TRUE(db.contains({"dft_leaf", 16, 4, 0}));
+  // A corrupted file must be rejected as a whole: committing the leading
+  // valid lines would hand the DP a partial table. The error names the
+  // first offending line.
+  EXPECT_FALSE(db.load(file));
+  EXPECT_NE(db.load_error().find(":2:"), std::string::npos) << db.load_error();
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_FALSE(db.contains({"dft_leaf", 16, 4, 0}));
   std::filesystem::remove(file);
 }
 
-TEST(Persistence, WisdomSkipsGarbage) {
+TEST(Persistence, WisdomRejectsGarbageAtomically) {
   const auto file = temp_file("wisdom");
   {
     std::ofstream os(file);
@@ -105,8 +108,9 @@ TEST(Persistence, WisdomSkipsGarbage) {
        << "not even close\n";
   }
   plan::Wisdom w;
-  EXPECT_TRUE(w.load(file));
-  ASSERT_TRUE(w.recall("fft", "ddl_dp", 1024).has_value());
+  EXPECT_FALSE(w.load(file));
+  EXPECT_NE(w.load_error().find(":2:"), std::string::npos) << w.load_error();
+  EXPECT_FALSE(w.recall("fft", "ddl_dp", 1024).has_value());
   std::filesystem::remove(file);
 }
 

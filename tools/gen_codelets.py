@@ -10,6 +10,13 @@ Emits straight-line, fully unrolled, in-place *strided* transform kernels
     twiddles (multiplications by 1, -1, +/-i are folded away).
   * wht_codelets_gen.cpp — Walsh-Hadamard codelets for the power-of-two
     sizes in WHT_SIZES (natural/Hadamard order butterfly recursion).
+  * codelets_vec_gen.inc — *batched* vector variants of every codelet,
+    emitted from the SAME expression DAG with every scalar temporary turned
+    into a vector of ddl::vx lanes: lane l carries column j+l of a batch of
+    `count` transforms spaced `d` elements apart. Included (inside an
+    anonymous namespace, with `namespace vx = ddl::<isa namespace>;` in
+    scope) once per compiled ISA backend by src/codelets/vec_*.cpp; the
+    registry dispatches between the backends at runtime (docs/SIMD.md).
 
 Each kernel operates in place on x[0], x[s], ..., x[(n-1)*s]; the executor
 is responsible for twiddle passes and output reordering of composite nodes.
@@ -30,16 +37,23 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "src", "codelets")
 
 
 class Emitter:
-    """Collects SSA-style straight-line statements."""
+    """Collects SSA-style straight-line statements.
 
-    def __init__(self):
+    ctype/indent parameterize the emitted temporaries so the same DAG
+    builders produce the scalar codelets (`const double tN = ...;`) and the
+    batched vector codelets (`const vx::vd tN = ...;` inside the lane loop).
+    """
+
+    def __init__(self, ctype="double", indent="  "):
         self.lines = []
         self.counter = 0
+        self.ctype = ctype
+        self.indent = indent
 
     def tmp(self, expr):
         name = f"t{self.counter}"
         self.counter += 1
-        self.lines.append(f"  const double {name} = {expr};")
+        self.lines.append(f"{self.indent}const {self.ctype} {name} = {expr};")
         return name
 
 
@@ -205,6 +219,77 @@ def wht_codelet_source(n):
     return "\n".join(fn)
 
 
+def dft_vcodelet_source(n):
+    """Batched vector DFT codelet: kLanes columns per pass, scalar tail."""
+    em = Emitter(ctype="vx::vd", indent="    ")
+    xs = []
+    for i in range(n):
+        idx = "p" if i == 0 else ("p + s" if i == 1 else f"p + {i} * s")
+        re = em.tmp(f"vx::load_re({idx}, d)")
+        im = em.tmp(f"vx::load_im({idx}, d)")
+        xs.append(CVal(re, im))
+    out = gen_dft(em, xs)
+    body = list(em.lines)
+    for k in range(n):
+        idx = "p" if k == 0 else ("p + s" if k == 1 else f"p + {k} * s")
+        body.append(f"    vx::store({idx}, d, {out[k].re}, {out[k].im});")
+    fn = [
+        f"inline void dft_vcodelet_{n}(cplx* x, index_t s, index_t d,",
+        f"                             index_t count) noexcept {{",
+        "  index_t j = 0;",
+        "  for (; j + vx::kLanes <= count; j += vx::kLanes) {",
+        "    cplx* p = x + j * d;",
+    ]
+    fn += body
+    fn += [
+        "  }",
+        f"  for (; j < count; ++j) dft_codelet_{n}(x + j * d, s);",
+        "}",
+    ]
+    return "\n".join(fn)
+
+
+def wht_vcodelet_source(n):
+    """Batched vector WHT codelet: kLanes columns per pass, scalar tail."""
+    em = Emitter(ctype="vx::vd", indent="    ")
+    xs = []
+    for i in range(n):
+        idx = "p" if i == 0 else ("p + s" if i == 1 else f"p + {i} * s")
+        xs.append(em.tmp(f"vx::load({idx}, d)"))
+    out = gen_wht(em, xs)
+    body = list(em.lines)
+    for k in range(n):
+        idx = "p" if k == 0 else ("p + s" if k == 1 else f"p + {k} * s")
+        body.append(f"    vx::store({idx}, d, {out[k]});")
+    fn = [
+        f"inline void wht_vcodelet_{n}(real_t* x, index_t s, index_t d,",
+        f"                             index_t count) noexcept {{",
+        "  index_t j = 0;",
+        "  for (; j + vx::kLanes <= count; j += vx::kLanes) {",
+        "    real_t* p = x + j * d;",
+    ]
+    fn += body
+    fn += [
+        "  }",
+        f"  for (; j < count; ++j) wht_codelet_{n}(x + j * d, s);",
+        "}",
+    ]
+    return "\n".join(fn)
+
+
+def vec_lookup_source():
+    """Per-ISA lookup tables over the batched codelets."""
+    lines = ["inline DftBatchKernel vec_dft_lookup(index_t n) noexcept {", "  switch (n) {"]
+    for n in DFT_SIZES:
+        lines.append(f"    case {n}: return &dft_vcodelet_{n};")
+    lines += ["    default: return nullptr;", "  }", "}", ""]
+    lines += ["inline WhtBatchKernel vec_wht_lookup(index_t n) noexcept {", "  switch (n) {"]
+    for n in WHT_SIZES:
+        lines.append(f"    case {n}: return &wht_vcodelet_{n};")
+    lines += ["    default: return nullptr;", "  }", "}"]
+    return "\n".join(lines)
+
+
 HEADER = """\
 // GENERATED FILE — do not edit by hand.
 // Produced by tools/gen_codelets.py; regenerate with
@@ -214,6 +299,21 @@ HEADER = """\
 #include "ddl/codelets/codelets.hpp"
 
 namespace ddl::codelets {{
+
+"""
+
+VEC_HEADER = """\
+// GENERATED FILE — do not edit by hand.
+// Produced by tools/gen_codelets.py; regenerate with
+//   python3 tools/gen_codelets.py
+// Batched vector codelets: lane l of every vx::vd temporary carries column
+// j+l of a batch of `count` transforms spaced `d` elements apart (element
+// stride `s` inside each transform). The expression DAG is identical to the
+// scalar codelets; the tail loop delegates leftover columns (< kLanes) to
+// them. This file is included — inside an anonymous namespace, after
+// `namespace vx = ddl::<isa namespace>;` — once per ISA backend by the
+// src/codelets/vec_*.cpp translation units. It must not be compiled
+// standalone.
 
 """
 
@@ -237,8 +337,20 @@ def main():
             f.write(wht_codelet_source(n))
             f.write("\n\n")
         f.write(FOOTER.format())
+    vec_path = os.path.join(OUT_DIR, "codelets_vec_gen.inc")
+    with open(vec_path, "w") as f:
+        f.write(VEC_HEADER)
+        for n in DFT_SIZES:
+            f.write(dft_vcodelet_source(n))
+            f.write("\n\n")
+        for n in WHT_SIZES:
+            f.write(wht_vcodelet_source(n))
+            f.write("\n\n")
+        f.write(vec_lookup_source())
+        f.write("\n")
     print(f"wrote {dft_path}")
     print(f"wrote {wht_path}")
+    print(f"wrote {vec_path}")
 
 
 if __name__ == "__main__":

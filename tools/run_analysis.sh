@@ -14,10 +14,13 @@
 #   6. ubsan preset (Debug)        full suite under UBSanitizer, gate live
 #   7. tsan preset                 concurrency-labelled tests (thread pool,
 #                                  obs per-thread rings) under ThreadSanitizer
+#   8. nosimd preset               full suite with DDL_SIMD=OFF — the scalar
+#                                  fallback build every non-x86/ARM target
+#                                  gets must stay green on its own
 #
 # Any finding or failure exits non-zero. Usage: tools/run_analysis.sh [--fast]
-# (--fast skips the sanitizer suites; lint + tidy + default build/test +
-# profile smoke only).
+# (--fast skips the sanitizer and nosimd suites; lint + tidy + default
+# build/test + profile smoke only).
 
 set -u -o pipefail
 
@@ -84,6 +87,14 @@ if [[ "$FAST" == "0" ]]; then
 else
   note "sanitizers"
   echo "-- asan/ubsan/tsan: skipped (--fast)"
+fi
+
+# 8. scalar-only build: DDL_SIMD=OFF must pass the whole suite ----------------
+if [[ "$FAST" == "0" ]]; then
+  check "nosimd build+test (DDL_SIMD=OFF)" run_preset nosimd
+else
+  note "nosimd"
+  echo "-- nosimd: skipped (--fast)"
 fi
 
 # ----------------------------------------------------------------------------
