@@ -20,14 +20,19 @@
 //
 // Shared flags: --wisdom FILE / --costdb FILE persist planning artifacts.
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "ddl/bench_util/bench_util.hpp"
 #include "ddl/cachesim/cache.hpp"
+#include "ddl/common/aligned.hpp"
 #include "ddl/common/cli.hpp"
 #include "ddl/common/parallel.hpp"
+#include "ddl/common/rng.hpp"
 #include "ddl/common/table.hpp"
 #include "ddl/codelets/codelets.hpp"
 #include "ddl/fft/executor.hpp"
@@ -37,6 +42,7 @@
 #include "ddl/plan/grammar.hpp"
 #include "ddl/plan/obs_ingest.hpp"
 #include "ddl/sim/trace.hpp"
+#include "ddl/svc/service.hpp"
 #include "ddl/verify/plan_verify.hpp"
 #include "ddl/wht/planner.hpp"
 #include "ddl/wht/wht_api.hpp"
@@ -67,6 +73,9 @@ int usage() {
       "            [--wht] [--strict] [--stride S] [--scratch N]\n"
       "  explain-plan  (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--wht] [--dot]\n"
+      "  serve     --inproc [--n 1024] [--producers 4] [--requests 64]\n"
+      "            [--threads N] [--plan]   embedded transform-service smoke:\n"
+      "            concurrent producers through ddl::svc (DDL_SVC_* env knobs)\n"
       "\n"
       "shared:    --wisdom FILE --costdb FILE  (persist planning artifacts)\n"
       "sizes accept 1048576, 2^20, 512K, 64M notation.\n";
@@ -465,6 +474,93 @@ int cmd_compare(const cli::Args& args) {
   return 0;
 }
 
+// serve --inproc: spin up an embedded ddl::svc::TransformService, drive it
+// with a small mixed FFT/WHT workload from concurrent producers, and print
+// the request accounting plus the service's degradation counters. This is
+// the smoke entry point for the service subsystem (docs/SERVICE.md);
+// tools/run_analysis.sh runs it headless.
+int cmd_serve(const cli::Args& args) {
+  if (!args.has("inproc")) {
+    std::cerr << "serve: only the embedded mode is implemented; pass --inproc\n";
+    return 2;
+  }
+  Stores stores(args);
+  const index_t n = args.size_or("n", 1024);
+  const int producers = static_cast<int>(args.int_or("producers", 4));
+  const int per_producer = static_cast<int>(args.int_or("requests", 64));
+  if (args.has("threads")) {
+    parallel::set_threads(static_cast<int>(args.int_or("threads", 1)));
+  }
+
+  svc::ServiceConfig cfg = svc::ServiceConfig::from_env();
+  cfg.plan_dp = args.has("plan");
+  cfg.cost_db = &stores.cost_db;
+  cfg.wisdom = &stores.wisdom;
+  svc::TransformService service(cfg);
+
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> wrong{0};
+  {
+    std::vector<std::thread> workers;  // ddl-lint: allow(raw-thread)
+    workers.reserve(static_cast<std::size_t>(producers));
+    for (int t = 0; t < producers; ++t) {
+      // Producers are the tenants of the embedded service — the one place
+      // outside the pool/batcher allowed to own threads.
+      workers.emplace_back([&, t] {
+        AlignedBuffer<cplx> signal(n);
+        AlignedBuffer<real_t> wsignal(n);
+        for (int i = 0; i < per_producer; ++i) {
+          fill_random(signal.span(), static_cast<std::uint64_t>(t * 4096 + i));
+          const svc::Result r = service.submit_fft(signal.span()).get();
+          if (r.status == svc::Status::ok) {
+            ok.fetch_add(1);
+          } else {
+            shed.fetch_add(1);
+          }
+          // Every 4th request also exercises the WHT path (power-of-two n
+          // only; the service validates and we count `invalid` as wrong).
+          if (i % 4 == 3 && (n & (n - 1)) == 0) {
+            fill_random(wsignal.span(), static_cast<std::uint64_t>(t * 4096 + i));
+            const svc::Status ws = service.submit_wht(wsignal.span()).get().status;
+            if (ws == svc::Status::ok) {
+              ok.fetch_add(1);
+            } else if (ws == svc::Status::invalid) {
+              wrong.fetch_add(1);
+            } else {
+              shed.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  service.drain();
+
+  const svc::TransformService::Stats stats = service.stats();
+  TableWriter table({"counter", "value"});
+  table.add_row({"ok", std::to_string(ok.load())});
+  table.add_row({"shed", std::to_string(shed.load())});
+  table.add_row({"submitted", std::to_string(stats.submitted)});
+  table.add_row({"completed", std::to_string(stats.completed)});
+  table.add_row({"rejected_full", std::to_string(stats.rejected_full)});
+  table.add_row({"deadline_expired", std::to_string(stats.deadline_expired)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.add_row({"batched_requests", std::to_string(stats.batched_requests)});
+  table.add_row({"fallback_plans", std::to_string(stats.fallback_plans)});
+  table.add_row({"queue_peak", std::to_string(stats.queue_peak)});
+  table.print(std::cout, "serve --inproc n=" + fmt_pow2(n));
+
+  if (wrong.load() != 0 || stats.backlog != 0 || ok.load() == 0) {
+    std::cerr << "serve: smoke failed (wrong=" << wrong.load()
+              << " backlog=" << stats.backlog << " ok=" << ok.load() << ")\n";
+    return 1;
+  }
+  std::cout << "serve: " << ok.load() << " transforms served, clean drain\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -485,6 +581,8 @@ int main(int argc, char** argv) {
       rc = cmd_verify(args);
     } else if (args.command() == "explain-plan" || args.has("explain-plan")) {
       rc = cmd_explain(args);
+    } else if (args.command() == "serve") {
+      rc = cmd_serve(args);
     } else {
       return usage();
     }

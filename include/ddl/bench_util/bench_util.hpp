@@ -51,6 +51,12 @@ struct BenchRecord {
   /// Per-stage share of total time in [0, 1], from a ddl::obs summary
   /// (empty when the run was not traced).
   std::vector<std::pair<std::string, double>> stage_share;
+
+  /// Bench-specific scalar metrics emitted as an `"extra": {...}` object
+  /// (e.g. the service load generator's p50/p99 latency and shed counts).
+  /// Omitted from the row when empty, so existing bench output is
+  /// byte-identical.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Collects BenchRecords and writes them as one JSON document:

@@ -1,0 +1,92 @@
+#pragma once
+/// \file env.hpp
+/// \brief One strict parser for every DDL_* environment variable.
+///
+/// Every layer used to hand-roll its own std::getenv handling, and they
+/// drifted: DDL_NUM_THREADS grew strict trailing-garbage rejection (a
+/// typo'd "8abc" must fall back to the default, not silently parse as 8)
+/// while other integer knobs would have accepted it. This header is the
+/// single place that policy lives; all call sites (`DDL_NUM_THREADS`,
+/// `DDL_TRACE`, `DDL_SIMD`, `DDL_VERIFY_PLANS`, `DDL_BENCH_JSON`, the
+/// `DDL_SVC_*` family) route through it.
+///
+/// Parsing contract:
+///  * integers: optional surrounding whitespace, decimal digits, nothing
+///    else. "8abc", "8 2", "" and out-of-range values are *unset*, never a
+///    partial parse. Callers get their fallback instead of a wrong knob.
+///  * flags: "1" / "true" / "on" enable (the historical DDL_TRACE set);
+///    everything else, including unset, is false. get_flag_or() gives
+///    default-on knobs the same vocabulary.
+///
+/// Header-only on purpose: ddl::obs sits *below* ddl_common in the link
+/// order (so the thread pool is traceable), but it still honours DDL_TRACE
+/// — an inline header keeps the policy shared without a link dependency.
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ddl::env {
+
+/// Raw lookup. nullptr when unset.
+inline const char* get(const char* name) noexcept { return std::getenv(name); }
+
+/// Value of `name` when set and non-empty, else nullopt. For path-like
+/// variables (DDL_BENCH_JSON) where "" means "not configured".
+inline std::optional<std::string> get_nonempty(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+/// Strict decimal integer: optional surrounding whitespace around a
+/// [+-]?digits token, nothing else. Returns nullopt for nullptr, empty,
+/// non-numeric, trailing garbage ("8abc", "8 2"), or out-of-range input.
+inline std::optional<long long> parse_int(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || errno == ERANGE) return std::nullopt;
+  for (; *end != '\0'; ++end) {
+    if (std::isspace(static_cast<unsigned char>(*end)) == 0) return std::nullopt;
+  }
+  return v;
+}
+
+/// Integer knob: strict-parsed value of `name` clamped to [lo, hi], or
+/// `fallback` when unset/malformed. Malformed never half-applies: the
+/// whole value is ignored, exactly like the DDL_NUM_THREADS precedent.
+inline long long get_int_or(const char* name, long long fallback, long long lo,
+                            long long hi) noexcept {
+  const auto v = parse_int(std::getenv(name));
+  if (!v) return fallback;
+  if (*v < lo) return lo;
+  if (*v > hi) return hi;
+  return *v;
+}
+
+/// True for the canonical enable spellings ("1", "true", "on"); false for
+/// anything else including nullptr.
+inline bool parse_flag(const char* text) noexcept {
+  if (text == nullptr) return false;
+  const std::string_view v(text);
+  return v == "1" || v == "true" || v == "on";
+}
+
+/// Flag knob defaulting to off: set-and-enabled, else false.
+inline bool get_flag(const char* name) noexcept { return parse_flag(std::getenv(name)); }
+
+/// Flag knob with an explicit default: unset keeps `fallback`, set parses
+/// with the canonical vocabulary (so DDL_SVC_PLAN=0 disables a default-on
+/// feature and DDL_SVC_PLAN=on re-enables it).
+inline bool get_flag_or(const char* name, bool fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return parse_flag(v);
+}
+
+}  // namespace ddl::env

@@ -54,6 +54,10 @@ class PlanCache {
   [[nodiscard]] std::uint64_t evictions() const;
 
   /// Max entries kept; least-recently-used beyond that are evicted.
+  /// Shrinking evicts (and counts) immediately; capacity 0 disables
+  /// caching entirely — every entry is evicted now and every future get()
+  /// builds, returns, and immediately evicts its entry (still counted).
+  /// Entries already handed out stay valid through shared ownership.
   [[nodiscard]] std::size_t capacity() const;
   void set_capacity(std::size_t cap);
 

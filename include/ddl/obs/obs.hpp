@@ -64,6 +64,12 @@ enum class Stage : std::uint16_t {
   wht_rows,       ///< WHT row sub-transform loop (a = child n, b = count)
   par_dispatch,   ///< one thread-pool fork-join (a = chunks, b = lanes)
   par_chunk,      ///< one claimed chunk on a lane (a = chunk idx, b = slot)
+  svc_batch,      ///< one coalesced service dispatch (a = occupancy,
+                  ///< b = queue depth when the batch was cut)
+  svc_gather,     ///< service staging gather before a batched dispatch
+                  ///< (a = points per request, b = occupancy)
+  svc_scatter,    ///< service staging scatter back to tenant buffers
+                  ///< (a = points per request, b = occupancy)
   count_          ///< sentinel
 };
 
@@ -81,6 +87,13 @@ enum class Counter : std::uint16_t {
   plan_cache_misses,
   plan_cache_evictions,
   events_dropped,        ///< ring-buffer overwrites (trace incomplete)
+  svc_submitted,         ///< service requests admitted to the queue
+  svc_rejected,          ///< shed at submit: queue full (Status::overloaded)
+  svc_expired,           ///< shed in queue: deadline passed before dispatch
+  svc_batches,           ///< coalesced dispatches the batcher issued
+  svc_batched_requests,  ///< requests those dispatches carried (occupancy =
+                         ///< svc_batched_requests / svc_batches)
+  svc_fallback_plans,    ///< sizes planned with the default tree under load
   count_                 ///< sentinel
 };
 

@@ -1,0 +1,219 @@
+#pragma once
+/// \file service.hpp
+/// \brief ddl::svc — embedded asynchronous transform service.
+///
+/// A TransformService turns the library's synchronous executors into an
+/// in-process request/response engine: tenants submit() FFT/WHT transform
+/// requests and receive a std::future<Result>; a single batcher thread
+/// coalesces same-(kind, direction, size) requests into **size buckets**
+/// and dispatches each bucket through the existing batched entry points
+/// (FftExecutor::forward_batch / inverse_batch), which fan the bucket
+/// across the process-wide ddl::parallel pool with per-lane scratch.
+///
+/// Batching preserves the library's determinism guarantee: a batched
+/// dispatch runs exactly the per-element operations of a direct forward()
+/// call, so service results are **bitwise identical** to unbatched
+/// execution at every thread count (pinned by tests/test_svc.cpp).
+///
+/// ## Degradation under load (three tiers)
+///
+///  1. **Reject at the door** — the request queue is bounded
+///     (ServiceConfig::queue_capacity); a submit() against a full queue
+///     completes immediately with Status::overloaded instead of queueing
+///     unbounded work (counter: svc_rejected).
+///  2. **Expire in queue** — a request whose deadline passes before its
+///     bucket dispatches completes with Status::deadline_exceeded without
+///     touching its data (counter: svc_expired).
+///  3. **Stop planning** — when the backlog exceeds
+///     ServiceConfig::plan_queue_threshold, first-seen sizes get the
+///     default balanced tree instead of a DP planner search; the cheap
+///     plan is memoized and transparently **upgraded** to the DP plan the
+///     next time that size is dispatched while the service is idle
+///     (counter: svc_fallback_plans).
+///
+/// Planning always happens on the batcher thread with **no service lock
+/// held**, and executors come from the process-wide fft::PlanCache, so
+/// concurrent tenants (and direct execute_tree callers) share one executor
+/// and one twiddle set per tree shape.
+///
+/// ## Shutdown semantics
+///
+///  * drain()        — stop admitting, flush every held bucket, complete
+///                     all in-flight futures, join the batcher. The
+///                     destructor drains.
+///  * shutdown_now() — stop admitting and complete queued/held requests
+///                     with Status::cancelled without executing them.
+///
+/// After either call the service is stopped: further submit()s complete
+/// immediately with Status::overloaded. See docs/SERVICE.md.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ddl/common/types.hpp"
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/plan/wisdom.hpp"
+
+namespace ddl::svc {
+
+/// Transform family of a request.
+enum class Kind : std::uint8_t { fft = 0, wht };
+
+/// Transform direction. For the WHT (self-inverse up to 1/n), inverse is
+/// the transform followed by the 1/n scale — identical to wht::Wht.
+enum class Direction : std::uint8_t { forward = 0, inverse };
+
+/// Terminal state of a request.
+enum class Status : std::uint8_t {
+  ok = 0,            ///< transform executed; data holds the result
+  overloaded,        ///< shed at submit: queue full or service stopped
+  deadline_exceeded, ///< deadline passed before the bucket dispatched
+  cancelled,         ///< shutdown_now() dropped it before execution
+  invalid,           ///< malformed request (size window, span, power of two)
+  failed,            ///< execution threw; Result::error carries the message
+};
+
+/// Stable lower_snake name ("ok", "overloaded", ...).
+const char* status_name(Status s) noexcept;
+
+/// One transform request. Exactly one of the two payload spans is used:
+/// `cdata` for Kind::fft, `rdata` for Kind::wht; its length is the
+/// transform size n. The tenant's buffer must stay valid and untouched
+/// until the future resolves — the service transforms it in place (a
+/// batched dispatch stages through an internal arena and scatters back).
+struct Request {
+  Kind kind = Kind::fft;
+  Direction dir = Direction::forward;
+  std::span<cplx> cdata;    ///< FFT payload (in/out), size n
+  std::span<real_t> rdata;  ///< WHT payload (in/out), size n
+
+  /// Absolute deadline on the obs::now_ns() steady-clock timebase;
+  /// 0 = no deadline. A request not *dispatched* by this instant completes
+  /// with Status::deadline_exceeded and its data untouched (a dispatch
+  /// already in flight is never abandoned mid-transform).
+  std::uint64_t deadline_ns = 0;
+};
+
+/// Completion record delivered through the future.
+struct Result {
+  Status status = Status::ok;
+  std::string error;             ///< Status::failed: the exception message
+  std::uint64_t submit_ns = 0;   ///< admission time (obs::now_ns timebase)
+  std::uint64_t start_ns = 0;    ///< dispatch start (0 when never dispatched)
+  std::uint64_t done_ns = 0;     ///< completion time
+  int batch_occupancy = 0;       ///< live requests in the coalesced dispatch
+  bool fallback_plan = false;    ///< executed under a tier-3 fallback plan
+};
+
+/// Service configuration. Validated by verify::verify_service_config at
+/// construction; a TransformService refuses to start on a bad config.
+struct ServiceConfig {
+  /// Bounded request queue (backpressure valve). DDL_SVC_QUEUE_CAP.
+  long long queue_capacity = 256;
+
+  /// Most requests one dispatch coalesces. DDL_SVC_MAX_BATCH.
+  long long max_batch = 16;
+
+  /// Longest the batcher holds a partial bucket waiting for co-batchable
+  /// requests before dispatching it anyway. 0 = dispatch immediately
+  /// (batching only what arrives together). DDL_SVC_BATCH_DELAY_US
+  /// (microseconds in the environment; nanoseconds here).
+  long long batch_delay_ns = 200'000;
+
+  /// Admissible transform sizes [min_points, max_points].
+  /// DDL_SVC_MAX_POINTS bounds the top; the floor is fixed at 2.
+  index_t min_points = 2;
+  index_t max_points = index_t{1} << 22;
+
+  /// Tier-3 threshold: backlog (queued + held requests) above which a
+  /// first-seen size gets the fallback plan instead of a DP search.
+  /// DDL_SVC_PLAN_THRESHOLD.
+  long long plan_queue_threshold = 8;
+
+  /// Master switch for DP planning; off = every size uses the default
+  /// balanced tree (fast, deterministic — what the tests use).
+  /// DDL_SVC_PLAN (flag).
+  bool plan_dp = true;
+
+  /// Optional shared planner stores (multi-tenant wisdom): injected into
+  /// the service's planners so cost probes and chosen plans are shared
+  /// with every other planner pointed at the same stores.
+  plan::CostDb* cost_db = nullptr;
+  plan::Wisdom* wisdom = nullptr;
+
+  /// Defaults overridden by any DDL_SVC_* environment variables set
+  /// (strict parsing via ddl::env; malformed values keep the default).
+  static ServiceConfig from_env();
+};
+
+/// The default (tier-3 / planning-disabled) tree the service executes a
+/// size-n transform with: the near-balanced factorization, DDL above the
+/// L1-escape threshold. Exposed so tests can reproduce service results
+/// exactly with a direct executor.
+plan::TreePtr default_tree(Kind kind, index_t n);
+
+class TransformService {
+ public:
+  /// Validates `config` (throws std::invalid_argument with the verify
+  /// report on violation) and starts the batcher thread.
+  explicit TransformService(ServiceConfig config = {});
+
+  TransformService(const TransformService&) = delete;
+  TransformService& operator=(const TransformService&) = delete;
+
+  /// Drains: equivalent to drain().
+  ~TransformService();
+
+  /// Submit one transform; never blocks on transform work. The returned
+  /// future resolves when the request reaches a terminal Status. Shed
+  /// requests (overloaded / invalid / already-expired deadlines) resolve
+  /// before submit() returns.
+  std::future<Result> submit(Request req);
+
+  /// Convenience: submit an FFT over `data` (size = data.size()).
+  std::future<Result> submit_fft(std::span<cplx> data,
+                                 Direction dir = Direction::forward,
+                                 std::uint64_t deadline_ns = 0);
+
+  /// Convenience: submit a WHT over `data` (size = data.size()).
+  std::future<Result> submit_wht(std::span<real_t> data,
+                                 Direction dir = Direction::forward,
+                                 std::uint64_t deadline_ns = 0);
+
+  /// Monotonic lifetime tallies plus an instantaneous backlog gauge.
+  struct Stats {
+    std::uint64_t submitted = 0;         ///< admitted to the queue
+    std::uint64_t completed = 0;         ///< resolved with Status::ok
+    std::uint64_t rejected_full = 0;     ///< Status::overloaded sheds
+    std::uint64_t deadline_expired = 0;  ///< Status::deadline_exceeded sheds
+    std::uint64_t cancelled = 0;         ///< dropped by shutdown_now()
+    std::uint64_t failed = 0;            ///< execution threw
+    std::uint64_t batches = 0;           ///< coalesced dispatches issued
+    std::uint64_t batched_requests = 0;  ///< requests those dispatches carried
+    std::uint64_t fallback_plans = 0;    ///< tier-3 fallback plan events
+    std::uint64_t queue_peak = 0;        ///< deepest queue observed
+    std::uint64_t backlog = 0;           ///< queued + held right now
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Stop admitting, execute everything already admitted, join the
+  /// batcher. Idempotent; safe to call concurrently with submit().
+  void drain();
+
+  /// Stop admitting and complete queued/held requests with
+  /// Status::cancelled without executing them. Idempotent.
+  void shutdown_now();
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Impl;
+  ServiceConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ddl::svc

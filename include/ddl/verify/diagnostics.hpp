@@ -26,6 +26,9 @@ enum class Rule {
   scratch_sizing,     ///< symbolic scratch demand fits what the executor provisions
   chunk_overlap,      ///< concurrently-written chunk families are pairwise disjoint
   grammar_round_trip, ///< to_string -> parse_tree reproduces the tree
+  svc_queue_bounds,   ///< service queue capacity within [1, limit]
+  svc_bucket_limits,  ///< service batch/bucket knobs consistent (max_batch,
+                      ///< size window, delay within the supported ranges)
 };
 
 /// Stable short name for a rule ("size_product", ...), for messages and CLI.

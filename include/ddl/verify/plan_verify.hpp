@@ -84,4 +84,39 @@ void set_enforcement(int mode);
 /// enforcement_enabled() first.
 void require_verified(const plan::Node& tree, Transform kind, const char* context);
 
+// ---------------------------------------------------------------------------
+// Service configuration validation (ddl::svc)
+// ---------------------------------------------------------------------------
+
+/// Widest queue the service may be configured with. A bounded queue is the
+/// backpressure mechanism; "effectively unbounded" defeats it and turns
+/// overload into unbounded memory growth.
+inline constexpr long long kMaxServiceQueue = 1 << 20;
+
+/// Widest size bucket one dispatch may coalesce.
+inline constexpr long long kMaxServiceBatch = 4096;
+
+/// Longest the batcher may hold a partial bucket waiting for co-batchable
+/// requests (10 s — far beyond any sane latency budget).
+inline constexpr long long kMaxServiceDelayNs = 10'000'000'000LL;
+
+/// Shape-only view of a svc::ServiceConfig. Plain numbers so ddl::verify
+/// stays below ddl::svc in the layer order (svc calls down into verify; the
+/// rule catalogue must not include service headers).
+struct ServiceLimits {
+  long long queue_capacity = 0;
+  long long max_batch = 0;
+  long long batch_delay_ns = 0;
+  index_t min_points = 0;  ///< smallest transform the service admits
+  index_t max_points = 0;  ///< largest transform the service admits
+};
+
+/// Validate service bounds against the svc_queue_bounds / svc_bucket_limits
+/// rules: queue capacity in [1, kMaxServiceQueue], batch width in
+/// [1, min(queue capacity, kMaxServiceBatch)], hold delay in
+/// [0, kMaxServiceDelayNs], and a non-empty size window with min_points
+/// >= 2. Same contract as verify_plan: violations collect into the Report,
+/// nothing throws.
+Report verify_service_config(const ServiceLimits& limits);
+
 }  // namespace ddl::verify

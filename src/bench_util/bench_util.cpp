@@ -3,13 +3,13 @@
 #include <unistd.h>
 
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <utility>
 
 #include "ddl/common/check.hpp"
+#include "ddl/common/env.hpp"
 #include "ddl/obs/export.hpp"
 
 namespace ddl::benchutil {
@@ -89,16 +89,25 @@ bool BenchJsonWriter::write(const std::filesystem::path& file) const {
       first_stage = false;
       os << "\"" << obs::json_escape(stage) << "\": " << share;
     }
-    os << "}}";
+    os << "}";
+    if (!r.extra.empty()) {
+      os << ", \"extra\": {";
+      bool first_extra = true;
+      for (const auto& [key, value] : r.extra) {
+        if (!first_extra) os << ", ";
+        first_extra = false;
+        os << "\"" << obs::json_escape(key) << "\": " << value;
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n ]}\n";
   return static_cast<bool>(os);
 }
 
 std::filesystem::path BenchJsonWriter::resolve_path(const std::string& fallback) {
-  if (const char* env = std::getenv("DDL_BENCH_JSON"); env != nullptr && *env != '\0') {
-    return env;
-  }
+  if (const auto env = ddl::env::get_nonempty("DDL_BENCH_JSON")) return *env;
   return fallback;
 }
 

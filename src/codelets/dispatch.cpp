@@ -10,9 +10,9 @@
 /// or benches can switch levels with set_active_isa().
 
 #include <atomic>
-#include <cstdlib>
 
 #include "ddl/codelets/codelets.hpp"
+#include "ddl/common/env.hpp"
 
 namespace ddl::codelets {
 
@@ -103,7 +103,7 @@ Isa clamp_isa(Isa isa) noexcept {
 }
 
 Isa initial_isa() noexcept {
-  if (const char* env = std::getenv("DDL_SIMD")) {
+  if (const char* env = ddl::env::get("DDL_SIMD")) {
     if (auto parsed = parse_isa(env)) return clamp_isa(*parsed);
   }
   return best_isa();

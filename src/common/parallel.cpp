@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "ddl/common/check.hpp"
+#include "ddl/common/env.hpp"
 #include "ddl/obs/obs.hpp"
 
 namespace ddl::parallel {
@@ -21,7 +20,7 @@ namespace {
 /// non-reentrancy rule.
 thread_local bool t_in_region = false;
 
-int env_threads() { return parse_env_threads(std::getenv("DDL_NUM_THREADS")); }
+int env_threads() { return parse_env_threads(env::get("DDL_NUM_THREADS")); }
 
 /// One fork-join dispatch. Lives in a shared_ptr so a worker that wakes
 /// after the caller has already returned still holds valid memory; it will
@@ -190,17 +189,12 @@ int hardware_threads() {
 int max_threads() { return ThreadPool::instance().target(); }
 
 int parse_env_threads(const char* text) noexcept {
-  if (text == nullptr || *text == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || v < 1) return 0;  // malformed or non-positive: ignore
-  // Trailing garbage ("8abc") used to silently parse as 8; reject it so a
-  // typo'd environment falls back to the default instead of a wrong width.
-  // Trailing whitespace (e.g. from `export DDL_NUM_THREADS="8 "`) is fine.
-  for (; *end != '\0'; ++end) {
-    if (std::isspace(static_cast<unsigned char>(*end)) == 0) return 0;
-  }
-  return static_cast<int>(std::min<long>(v, kMaxThreads));
+  // env::parse_int carries the strict trailing-garbage rejection this
+  // function pioneered ("8abc" must be ignored, not parse as 8); the
+  // thread-specific policy left here is just "non-positive means unset".
+  const auto v = env::parse_int(text);
+  if (!v || *v < 1) return 0;
+  return static_cast<int>(std::min<long long>(*v, kMaxThreads));
 }
 
 void set_threads(int n) {

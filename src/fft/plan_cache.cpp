@@ -1,6 +1,5 @@
 #include "ddl/fft/plan_cache.hpp"
 
-#include "ddl/common/check.hpp"
 #include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
 
@@ -91,7 +90,13 @@ std::size_t PlanCache::capacity() const {
 }
 
 void PlanCache::set_capacity(std::size_t cap) {
-  DDL_REQUIRE(cap >= 1, "cache capacity must be >= 1");
+  // cap == 0 is legal: a fully disabled cache. The shrink below evicts
+  // everything and counts each eviction (set_capacity(0) used to be
+  // rejected, so "turn the cache off" had no accounting story). Entries
+  // handed out earlier stay valid — shared ownership — and a get() racing
+  // this shrink simply re-inserts and immediately evicts, each insertion
+  // and eviction counted once, so the evictions counter can never
+  // underflow or double-count.
   const std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = cap;
   evict_over_capacity();  // a shrink evicts (and counts) immediately

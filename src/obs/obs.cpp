@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <mutex>
+
+#include "ddl/common/env.hpp"
 
 namespace ddl::obs {
 
@@ -118,6 +118,9 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::wht_rows: return "wht_rows";
     case Stage::par_dispatch: return "par_dispatch";
     case Stage::par_chunk: return "par_chunk";
+    case Stage::svc_batch: return "svc_batch";
+    case Stage::svc_gather: return "svc_gather";
+    case Stage::svc_scatter: return "svc_scatter";
     case Stage::count_: break;
   }
   return "unknown";
@@ -143,6 +146,12 @@ const char* counter_name(Counter counter) noexcept {
     case Counter::plan_cache_misses: return "plan_cache_misses";
     case Counter::plan_cache_evictions: return "plan_cache_evictions";
     case Counter::events_dropped: return "events_dropped";
+    case Counter::svc_submitted: return "svc_submitted";
+    case Counter::svc_rejected: return "svc_rejected";
+    case Counter::svc_expired: return "svc_expired";
+    case Counter::svc_batches: return "svc_batches";
+    case Counter::svc_batched_requests: return "svc_batched_requests";
+    case Counter::svc_fallback_plans: return "svc_fallback_plans";
     case Counter::count_: break;
   }
   return "unknown";
@@ -151,11 +160,10 @@ const char* counter_name(Counter counter) noexcept {
 void enable(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
 
 void init_from_env() noexcept {
-  const char* v = std::getenv("DDL_TRACE");
-  if (v == nullptr) return;
-  const bool on = std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
-                  std::strcmp(v, "on") == 0;
-  enable(on);
+  // env.hpp is header-only, so using it here adds no link dependency and
+  // keeps ddl_obs below ddl_common (see the note in that header).
+  if (env::get("DDL_TRACE") == nullptr) return;
+  enable(env::get_flag("DDL_TRACE"));
 }
 
 void reset() noexcept {

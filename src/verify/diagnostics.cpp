@@ -14,6 +14,8 @@ const char* rule_name(Rule rule) noexcept {
     case Rule::scratch_sizing: return "scratch_sizing";
     case Rule::chunk_overlap: return "chunk_overlap";
     case Rule::grammar_round_trip: return "grammar_round_trip";
+    case Rule::svc_queue_bounds: return "svc_queue_bounds";
+    case Rule::svc_bucket_limits: return "svc_bucket_limits";
   }
   return "unknown";
 }

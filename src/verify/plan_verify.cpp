@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <sstream>
 #include <string_view>
 
 #include "ddl/codelets/codelets.hpp"
 #include "ddl/common/check.hpp"
+#include "ddl/common/env.hpp"
 #include "ddl/common/mathutil.hpp"
 #include "ddl/plan/grammar.hpp"
 
@@ -139,7 +139,9 @@ namespace {
 std::atomic<int> g_enforce{-1};
 
 bool default_enforcement() {
-  if (const char* env = std::getenv("DDL_VERIFY_PLANS")) {
+  // Historical semantics kept: *any* value other than "0" enables (this
+  // knob predates the canonical flag vocabulary in env.hpp).
+  if (const char* env = ddl::env::get("DDL_VERIFY_PLANS")) {
     return std::string_view(env) != "0";
   }
 #ifndef NDEBUG
@@ -161,6 +163,44 @@ bool enforcement_enabled() {
 void set_enforcement(int mode) {
   DDL_REQUIRE(mode >= -1 && mode <= 1, "enforcement mode is -1, 0, or 1");
   g_enforce.store(mode, std::memory_order_relaxed);
+}
+
+Report verify_service_config(const ServiceLimits& limits) {
+  Report report;
+  // Queue bounds: the queue is the backpressure valve, so it must exist
+  // (>= 1) and stay small enough that "full" means something.
+  if (limits.queue_capacity < 1 || limits.queue_capacity > kMaxServiceQueue) {
+    diag(report, Rule::svc_queue_bounds,
+         "config.queue_capacity", "queue capacity outside [1, kMaxServiceQueue]",
+         static_cast<index_t>(kMaxServiceQueue), static_cast<index_t>(limits.queue_capacity));
+  }
+  // Bucket limits: a dispatch coalesces at most max_batch requests, which
+  // can never exceed what the queue can hold.
+  if (limits.max_batch < 1 || limits.max_batch > kMaxServiceBatch) {
+    diag(report, Rule::svc_bucket_limits,
+         "config.max_batch", "batch width outside [1, kMaxServiceBatch]",
+         static_cast<index_t>(kMaxServiceBatch), static_cast<index_t>(limits.max_batch));
+  } else if (limits.queue_capacity >= 1 && limits.max_batch > limits.queue_capacity) {
+    diag(report, Rule::svc_bucket_limits,
+         "config.max_batch", "batch width exceeds the queue capacity",
+         static_cast<index_t>(limits.queue_capacity), static_cast<index_t>(limits.max_batch));
+  }
+  if (limits.batch_delay_ns < 0 || limits.batch_delay_ns > kMaxServiceDelayNs) {
+    diag(report, Rule::svc_bucket_limits,
+         "config.batch_delay_ns", "bucket hold delay outside [0, kMaxServiceDelayNs]",
+         static_cast<index_t>(kMaxServiceDelayNs), static_cast<index_t>(limits.batch_delay_ns));
+  }
+  if (limits.min_points < 2) {
+    diag(report, Rule::svc_bucket_limits,
+         "config.min_points", "smallest admissible transform must be >= 2", 2,
+         limits.min_points);
+  }
+  if (limits.max_points < limits.min_points) {
+    diag(report, Rule::svc_bucket_limits,
+         "config.max_points", "size window is empty (max_points < min_points)",
+         limits.min_points, limits.max_points);
+  }
+  return report;
 }
 
 void require_verified(const plan::Node& tree, Transform kind, const char* context) {

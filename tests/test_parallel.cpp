@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -430,6 +431,78 @@ TEST(PlanCache, EvictsLeastRecentlyUsed) {
   (void)cache.get("ct(4,4)");  // miss again, evicts ct(8,8)
   EXPECT_EQ(cache.misses(), 4u);
   EXPECT_EQ(cache.evictions(), 2u);
+  cache.set_capacity(32);
+  cache.clear();
+}
+
+TEST(PlanCache, SetCapacityZeroEvictsEverythingAndCounts) {
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  cache.set_capacity(32);
+  (void)cache.get("ct(4,4)");
+  (void)cache.get("ct(8,8)");
+  const auto held = cache.get("ct(16,16)");
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Regression: set_capacity(0) used to be rejected with DDL_REQUIRE, so a
+  // "disable the cache" shrink had no accounting story. It must evict
+  // everything and count every eviction.
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 3u);
+
+  // Entries handed out before the shrink stay valid (shared ownership).
+  ASSERT_NE(held.exec.get(), nullptr);
+  EXPECT_EQ(held.exec->size(), 256);
+
+  // At capacity 0 every lookup builds, returns, and immediately evicts —
+  // still counted, so thrash stays visible.
+  const auto transient = cache.get("ct(4,4)");
+  EXPECT_NE(transient.exec.get(), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 4u);
+
+  cache.set_capacity(32);
+  cache.clear();
+}
+
+TEST(PlanCache, ConcurrentSubmitDuringShrinkKeepsCountersConsistent) {
+  auto& cache = fft::PlanCache::instance();
+  cache.clear();
+  cache.set_capacity(8);
+  constexpr int kRacers = 4;
+  constexpr int kRounds = 25;
+  const std::array<const char*, 4> keys = {"ct(4,4)", "ct(8,8)", "ct(16,16)", "ct(8,4)"};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int r = 0; r < kRounds; ++r) {
+        (void)cache.get(keys[static_cast<std::size_t>((t + r) % 4)]);
+      }
+    });
+  }
+  // The shrinker oscillates capacity 0 <-> 8 while lookups race it, so
+  // insertions keep landing on a cache that is mid-shrink.
+  std::thread shrinker([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int r = 0; r < kRounds; ++r) {
+      cache.set_capacity(0);
+      cache.set_capacity(8);
+    }
+  });
+  go.store(true);
+  for (auto& th : racers) th.join();
+  shrinker.join();
+
+  // The evictions counter must never underflow (a wrapped uint64 shows up
+  // as an astronomically large value), and the books must balance: every
+  // eviction removes an entry that a prior miss inserted.
+  EXPECT_LT(cache.evictions(), std::uint64_t{1} << 32);
+  EXPECT_LE(cache.evictions(), cache.misses());
+  EXPECT_LE(cache.size(), 8u);
   cache.set_capacity(32);
   cache.clear();
 }

@@ -1,0 +1,403 @@
+// ddl::svc tests: batching correctness (service results bitwise identical
+// to direct executor calls at every thread count), the three degradation
+// tiers (queue-full rejection, in-queue deadline expiry, fallback
+// planning), drain/shutdown semantics, config admission, and an
+// 8-producer stress run. Registered under the ctest labels `svc` and
+// `concurrency`, so the ThreadSanitizer preset races the whole submit /
+// batch / resolve path.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/parallel.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/plan_cache.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/svc/service.hpp"
+#include "ddl/verify/plan_verify.hpp"
+#include "ddl/wht/wht_api.hpp"
+
+namespace ddl {
+namespace {
+
+/// Every test leaves the pool back at one thread so test order can't leak
+/// parallelism into suites that assume the serial default.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_threads(n); }
+  ~ThreadGuard() { parallel::set_threads(1); }
+};
+
+/// Deterministic test config: DP planning off (every size runs the
+/// default_tree), instant bucket cut unless a test overrides the delay.
+svc::ServiceConfig test_config() {
+  svc::ServiceConfig cfg;
+  cfg.plan_dp = false;
+  cfg.batch_delay_ns = 0;
+  return cfg;
+}
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  AlignedBuffer<cplx> buf(n);
+  fill_random(buf.span(), seed);
+  return {buf.begin(), buf.end()};
+}
+
+TEST(Svc, SingleRequestMatchesDirectExecutor) {
+  const index_t n = 256;
+  std::vector<cplx> data = random_signal(n, 11);
+  std::vector<cplx> expect = data;
+  fft::FftExecutor exec(*svc::default_tree(svc::Kind::fft, n));
+  exec.forward(expect);
+
+  svc::TransformService service(test_config());
+  svc::Result r = service.submit_fft(data).get();
+  ASSERT_EQ(r.status, svc::Status::ok);
+  EXPECT_EQ(r.batch_occupancy, 1);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(data[i].real(), expect[i].real()) << i;
+    EXPECT_EQ(data[i].imag(), expect[i].imag()) << i;
+  }
+}
+
+// The acceptance property: a coalesced dispatch runs exactly the
+// per-element operations of a direct forward() call, so batched service
+// results are bitwise identical to unbatched execution — at one thread
+// and at many.
+TEST(Svc, BatchedResultsBitwiseEqualDirectAcrossThreadCounts) {
+  const index_t n = 512;
+  const int kRequests = 12;
+  std::vector<std::vector<cplx>> expect(kRequests);
+  fft::FftExecutor exec(*svc::default_tree(svc::Kind::fft, n));
+  for (int i = 0; i < kRequests; ++i) {
+    expect[i] = random_signal(n, 100 + static_cast<std::uint64_t>(i));
+    exec.forward(expect[i]);
+  }
+
+  for (const int threads : {1, 4}) {
+    const ThreadGuard guard(threads);
+    svc::ServiceConfig cfg = test_config();
+    cfg.batch_delay_ns = 50'000'000;  // hold buckets so requests coalesce
+    cfg.max_batch = kRequests;
+    svc::TransformService service(cfg);
+
+    std::vector<std::vector<cplx>> data(kRequests);
+    std::vector<std::future<svc::Result>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      data[i] = random_signal(n, 100 + static_cast<std::uint64_t>(i));
+      futures.push_back(service.submit_fft(data[i]));
+    }
+    bool coalesced = false;
+    for (int i = 0; i < kRequests; ++i) {
+      const svc::Result r = futures[i].get();
+      ASSERT_EQ(r.status, svc::Status::ok) << "threads=" << threads;
+      coalesced = coalesced || r.batch_occupancy > 1;
+      for (index_t k = 0; k < n; ++k) {
+        ASSERT_EQ(data[i][k].real(), expect[i][k].real())
+            << "threads=" << threads << " req=" << i << " k=" << k;
+        ASSERT_EQ(data[i][k].imag(), expect[i][k].imag())
+            << "threads=" << threads << " req=" << i << " k=" << k;
+      }
+    }
+    // With a full-width bucket and a generous hold delay, at least some
+    // requests must actually have shared a dispatch.
+    EXPECT_TRUE(coalesced) << "threads=" << threads;
+    EXPECT_GE(service.stats().batched_requests, static_cast<std::uint64_t>(kRequests));
+  }
+}
+
+TEST(Svc, InverseRoundTripsThroughService) {
+  const index_t n = 128;
+  std::vector<cplx> data = random_signal(n, 7);
+  const std::vector<cplx> original = data;
+
+  svc::TransformService service(test_config());
+  ASSERT_EQ(service.submit_fft(data, svc::Direction::forward).get().status,
+            svc::Status::ok);
+  ASSERT_EQ(service.submit_fft(data, svc::Direction::inverse).get().status,
+            svc::Status::ok);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Svc, WhtForwardAndInverseMatchDirectApi) {
+  const index_t n = 1024;
+  AlignedBuffer<real_t> buf(n);
+  fill_random(buf.span(), 21);
+  std::vector<real_t> data(buf.begin(), buf.end());
+  std::vector<real_t> expect = data;
+
+  wht::Wht direct = wht::Wht::from_tree(*svc::default_tree(svc::Kind::wht, n));
+  direct.transform(expect);
+
+  svc::TransformService service(test_config());
+  ASSERT_EQ(service.submit_wht(data).get().status, svc::Status::ok);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(data[i], expect[i]) << i;
+
+  direct.inverse(expect);
+  ASSERT_EQ(service.submit_wht(data, svc::Direction::inverse).get().status,
+            svc::Status::ok);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(data[i], expect[i]) << i;
+}
+
+TEST(Svc, RejectsInvalidRequests) {
+  svc::TransformService service(test_config());
+
+  // Wrong payload span for the kind.
+  svc::Request req;
+  req.kind = svc::Kind::fft;
+  EXPECT_EQ(service.submit(req).get().status, svc::Status::invalid);
+
+  // Non-power-of-two WHT.
+  std::vector<real_t> odd(48, 1.0);
+  EXPECT_EQ(service.submit_wht(odd).get().status, svc::Status::invalid);
+
+  // Size above the admissible window.
+  svc::ServiceConfig small = test_config();
+  small.max_points = 64;
+  svc::TransformService tight(small);
+  std::vector<cplx> over(128, cplx{1.0, 0.0});
+  EXPECT_EQ(tight.submit_fft(over).get().status, svc::Status::invalid);
+}
+
+// Tier 1: reject at the door. The batcher is deterministically wedged by
+// holding the PlanCache entry guard its first dispatch needs, so the
+// bounded queue fills and the (capacity + 2)-th submit must shed.
+TEST(Svc, QueueFullRejectsWithOverloaded) {
+  const index_t n = 64;
+  const std::string grammar = plan::to_string(*svc::default_tree(svc::Kind::fft, n));
+  const fft::PlanCache::Entry entry = fft::PlanCache::instance().get(grammar);
+
+  svc::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 4;
+  cfg.max_batch = 1;  // every request dispatches alone, straight into the guard
+  svc::TransformService service(cfg);
+
+  std::vector<std::vector<cplx>> data;
+  std::vector<std::future<svc::Result>> futures;
+  {
+    const std::lock_guard<std::mutex> wedge(*entry.guard);
+    // The batcher's first (and only) queue swap can capture at most
+    // queue_capacity requests before its dispatch blocks on the wedged
+    // guard; after that the queue itself holds at most queue_capacity
+    // more. 2 * capacity + 3 submits therefore guarantee a shed. A valid,
+    // deadline-free submit resolves immediately only on the shed path.
+    bool saw_overloaded = false;
+    for (int i = 0; i < 11 && !saw_overloaded; ++i) {
+      data.emplace_back(static_cast<std::size_t>(n), cplx{1.0, 0.0});
+      std::future<svc::Result> f = service.submit_fft(data.back());
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        EXPECT_EQ(f.get().status, svc::Status::overloaded);
+        saw_overloaded = true;
+      } else {
+        futures.push_back(std::move(f));
+      }
+    }
+    EXPECT_TRUE(saw_overloaded);
+    EXPECT_GE(service.stats().rejected_full, 1u);
+  }
+  // Guard released: everything admitted completes.
+  for (auto& f : futures) EXPECT_EQ(f.get().status, svc::Status::ok);
+}
+
+// shutdown_now() completes admitted-but-unexecuted work with
+// Status::cancelled instead of running it.
+TEST(Svc, ShutdownNowCancelsParkedWork) {
+  svc::ServiceConfig cfg = test_config();
+  cfg.batch_delay_ns = verify::kMaxServiceDelayNs;  // buckets never mature
+  cfg.max_batch = 64;                               // and never fill
+  svc::TransformService service(cfg);
+
+  const int kRequests = 8;
+  std::vector<std::vector<cplx>> data(kRequests);
+  std::vector<std::future<svc::Result>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    data[i] = std::vector<cplx>(64, cplx{1.0, 0.0});
+    futures.push_back(service.submit_fft(data[i]));
+  }
+  service.shutdown_now();
+  for (auto& f : futures) {
+    const svc::Result r = f.get();
+    EXPECT_EQ(r.status, svc::Status::cancelled);
+    EXPECT_EQ(r.start_ns, 0u);  // never dispatched
+  }
+  const svc::TransformService::Stats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.backlog, 0u);
+  // Cancelled requests' data is untouched.
+  EXPECT_EQ(data[0][0].real(), 1.0);
+
+  // A stopped service sheds new submits immediately.
+  std::vector<cplx> late(64, cplx{1.0, 0.0});
+  EXPECT_EQ(service.submit_fft(late).get().status, svc::Status::overloaded);
+}
+
+TEST(Svc, DeadlinesExpireInQueue) {
+  svc::ServiceConfig cfg = test_config();
+  cfg.batch_delay_ns = verify::kMaxServiceDelayNs;  // bucket would never cut
+  cfg.max_batch = 64;
+  svc::TransformService service(cfg);
+
+  // Already-past deadline: shed at submit, data untouched.
+  std::vector<cplx> a(64, cplx{2.0, 0.0});
+  const svc::Result past =
+      service.submit_fft(a, svc::Direction::forward, obs::now_ns() - 1).get();
+  EXPECT_EQ(past.status, svc::Status::deadline_exceeded);
+  EXPECT_EQ(a.front().real(), 2.0);
+
+  // Deadline shorter than the bucket hold: the batcher must resolve the
+  // expiry at the deadline instead of holding the future for the full
+  // (10 s) bucket delay.
+  std::vector<cplx> b(64, cplx{3.0, 0.0});
+  const std::uint64_t t0 = obs::now_ns();
+  const svc::Result r =
+      service.submit_fft(b, svc::Direction::forward, t0 + 20'000'000).get();
+  const std::uint64_t waited = obs::now_ns() - t0;
+  EXPECT_EQ(r.status, svc::Status::deadline_exceeded);
+  EXPECT_LT(waited, 5'000'000'000u);  // resolved near the deadline, not the hold
+  EXPECT_EQ(b.front().real(), 3.0);   // data untouched
+  EXPECT_GE(service.stats().deadline_expired, 2u);
+}
+
+TEST(Svc, DrainExecutesEverythingAdmitted) {
+  svc::ServiceConfig cfg = test_config();
+  cfg.batch_delay_ns = verify::kMaxServiceDelayNs;  // only drain can flush
+  cfg.max_batch = 32;
+  cfg.queue_capacity = 64;
+  svc::TransformService service(cfg);
+
+  const index_t n = 128;
+  const int kRequests = 24;
+  std::vector<std::vector<cplx>> data(kRequests);
+  std::vector<std::future<svc::Result>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    data[i] = random_signal(n, 500 + static_cast<std::uint64_t>(i));
+    futures.push_back(service.submit_fft(data[i]));
+  }
+  service.drain();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, svc::Status::ok);
+  const svc::TransformService::Stats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.backlog, 0u);
+  // Drain is idempotent, and the destructor's drain is then a no-op.
+  service.drain();
+}
+
+TEST(Svc, ConfigAdmissionGate) {
+  svc::ServiceConfig bad = test_config();
+  bad.queue_capacity = 0;
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  bad = test_config();
+  bad.max_batch = bad.queue_capacity + 1;  // batch wider than the queue
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  bad = test_config();
+  bad.max_points = 1;  // empty size window
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  const verify::Report report = verify::verify_service_config(
+      verify::ServiceLimits{0, 1 << 13, -1, 1, 0});
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.diagnostics.size(), 4u);
+}
+
+// Eight producers hammer one service with mixed kinds, directions, sizes,
+// and deadlines while the pool runs multi-threaded. Run under TSan by the
+// `tsan` preset (label: concurrency). Every future must resolve with a
+// terminal status and every ok-result must be bitwise correct.
+TEST(Svc, EightProducerStressResolvesEveryFuture) {
+  const ThreadGuard guard(4);
+  svc::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 128;
+  cfg.max_batch = 8;
+  cfg.batch_delay_ns = 100'000;
+  svc::TransformService service(cfg);
+
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 40;
+  const std::array<index_t, 3> sizes{64, 256, 1024};
+
+  // Expected spectra per (producer, request) computed up front with direct
+  // executors so the worker threads only compare — the direct executors'
+  // scratch arenas are not shareable across threads.
+  std::array<fft::FftExecutor, 3> execs{
+      fft::FftExecutor(*svc::default_tree(svc::Kind::fft, sizes[0])),
+      fft::FftExecutor(*svc::default_tree(svc::Kind::fft, sizes[1])),
+      fft::FftExecutor(*svc::default_tree(svc::Kind::fft, sizes[2]))};
+  std::vector<std::vector<cplx>> expected(
+      static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      const int which = (t + i) % 3;
+      const index_t n = sizes[static_cast<std::size_t>(which)];
+      std::vector<cplx> spectrum =
+          random_signal(n, static_cast<std::uint64_t>(t * 1000 + i));
+      execs[static_cast<std::size_t>(which)].forward(spectrum);
+      expected[static_cast<std::size_t>(t * kPerProducer + i)] =
+          std::move(spectrum);
+    }
+  }
+
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int which = (t + i) % 3;
+        const index_t n = sizes[static_cast<std::size_t>(which)];
+        const auto seed = static_cast<std::uint64_t>(t * 1000 + i);
+        std::vector<cplx> data = random_signal(n, seed);
+        // Every 5th request carries a tight deadline so expiry races the
+        // batcher; the rest must complete.
+        const std::uint64_t deadline =
+            i % 5 == 4 ? obs::now_ns() + 50'000 : 0;
+        const svc::Result r = service.submit_fft(data, svc::Direction::forward,
+                                                 deadline).get();
+        if (r.status == svc::Status::ok) {
+          const std::vector<cplx>& expect =
+              expected[static_cast<std::size_t>(t * kPerProducer + i)];
+          for (index_t k = 0; k < n; ++k) {
+            if (data[static_cast<std::size_t>(k)] != expect[static_cast<std::size_t>(k)]) {
+              mismatches.fetch_add(1);
+              break;
+            }
+          }
+          ok.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  service.drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ok.load() + shed.load(), kProducers * kPerProducer);
+  EXPECT_GE(ok.load(), 1);
+  const svc::TransformService::Stats stats = service.stats();
+  EXPECT_EQ(stats.backlog, 0u);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(ok.load()));
+}
+
+}  // namespace
+}  // namespace ddl

@@ -35,6 +35,13 @@ flagged line or the line above; waivers should be rare and justified):
                     (different clocks, different resolutions), and the obs
                     exporters assume every timestamp shares one epoch.
 
+  raw-thread        No raw std::thread construction outside the two layers
+                    that own threads: ddl::svc (the batcher thread) and
+                    ddl/common (the parallel thread pool). Everything else
+                    submits work through ddl::parallel or ddl::svc — ad-hoc
+                    threads bypass the pool's scratch arenas, obs per-thread
+                    rings, and the TSan-audited join discipline.
+
 Exit status: 0 when clean, 1 when any finding remains, 2 on usage error.
 """
 
@@ -82,6 +89,18 @@ CLOCK_ALLOWED = (
 )
 
 RAW_CLOCK = re.compile(r"\bstd\s*::\s*chrono\b|#\s*include\s*<chrono>")
+
+# Layers that own threads: the svc batcher and the common thread pool.
+THREAD_ALLOWED = (
+    "src/svc/",
+    "include/ddl/svc/",
+    "src/common/",
+    "include/ddl/common/",
+)
+
+# std::thread mentions; `std::this_thread` is fine (no word boundary before
+# `thread` inside `this_thread`, so it never matches).
+RAW_THREAD = re.compile(r"\bstd\s*::\s*thread\b")
 
 WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
 
@@ -140,6 +159,9 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
     check_clock = rel.startswith(("src/", "include/", "apps/", "bench/")) and not rel.startswith(
         CLOCK_ALLOWED
     )
+    check_thread = rel.startswith(("src/", "include/", "apps/")) and not rel.startswith(
+        THREAD_ALLOWED
+    )
 
     in_block = False
     for idx, raw in enumerate(lines):
@@ -173,6 +195,13 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
             findings.append(
                 f"{rel}:{idx + 1}: raw-clock: use WallTimer/time_adaptive or"
                 f" obs::now_ns(), not std::chrono directly: {raw.strip()}"
+            )
+        if check_thread and RAW_THREAD.search(code) and not waived(
+            "raw-thread", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: raw-thread: submit work through"
+                f" ddl::parallel or ddl::svc, not raw std::thread: {raw.strip()}"
             )
 
     if ENTRY_POINT.search(rel) and "DDL_REQUIRE" not in text:

@@ -3,18 +3,22 @@
 #
 #   1. tools/ddl_lint.py           project-specific lint (stride-arith,
 #                                  reinterpret-cast, naked-new, require-entry,
-#                                  raw-clock)
+#                                  raw-clock, raw-thread)
 #   2. clang-tidy                  .clang-tidy profile over src/ and apps/
 #                                  (skipped with a note if not installed)
 #   3. default preset              warning-free -Werror build + full ctest
 #   4. profile smoke               `ddlfft profile` must emit valid
 #                                  chrome-trace JSON (the obs exporter gate)
-#   5. asan preset (Debug)         full suite under AddressSanitizer with the
+#   5. svc loadgen smoke           short closed+open-loop run of the ddl::svc
+#                                  load generator: must resolve every future
+#                                  (no hangs) and emit valid BENCH_svc.json
+#   6. asan preset (Debug)         full suite under AddressSanitizer with the
 #                                  ddl::verify admission gate live
-#   6. ubsan preset (Debug)        full suite under UBSanitizer, gate live
-#   7. tsan preset                 concurrency-labelled tests (thread pool,
-#                                  obs per-thread rings) under ThreadSanitizer
-#   8. nosimd preset               full suite with DDL_SIMD=OFF — the scalar
+#   7. ubsan preset (Debug)        full suite under UBSanitizer, gate live
+#   8. tsan preset                 concurrency-labelled tests (thread pool,
+#                                  obs per-thread rings, test_svc's 8-producer
+#                                  stress) under ThreadSanitizer
+#   9. nosimd preset               full suite with DDL_SIMD=OFF — the scalar
 #                                  fallback build every non-x86/ARM target
 #                                  gets must stay green on its own
 #
@@ -79,7 +83,21 @@ profile_smoke() {
 }
 check "ddlfft profile smoke (chrome-trace JSON)" profile_smoke
 
-# 5/6/7. sanitizer suites -----------------------------------------------------
+# 5. service smoke: the load generator must resolve every future and write a
+#    valid BENCH JSON row. Exit 2 (open loop too slow to shed on this host)
+#    is acceptable here — the smoke gates hangs and output shape, not
+#    saturation; the full saturation run is a bench-trajectory concern.
+svc_smoke() {
+  DDL_BENCH_JSON=build/BENCH_svc_smoke.json \
+    ./build/bench/svc_loadgen --n 2^10 --requests 64 --producers 4 \
+      --open-ms 150 >/dev/null
+  local rc=$?
+  [[ "$rc" == 0 || "$rc" == 2 ]] &&
+    python3 -c "import json; json.load(open('build/BENCH_svc_smoke.json'))"
+}
+check "svc_loadgen smoke (BENCH_svc JSON, no hangs)" svc_smoke
+
+# 6/7/8. sanitizer suites -----------------------------------------------------
 if [[ "$FAST" == "0" ]]; then
   check "asan build+test" run_preset asan
   check "ubsan build+test" run_preset ubsan
@@ -89,7 +107,7 @@ else
   echo "-- asan/ubsan/tsan: skipped (--fast)"
 fi
 
-# 8. scalar-only build: DDL_SIMD=OFF must pass the whole suite ----------------
+# 9. scalar-only build: DDL_SIMD=OFF must pass the whole suite ----------------
 if [[ "$FAST" == "0" ]]; then
   check "nosimd build+test (DDL_SIMD=OFF)" run_preset nosimd
 else
