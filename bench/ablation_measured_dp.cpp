@@ -33,21 +33,41 @@ int main() {
   opts.measure_floor = 2e-3;
   fft::FftPlanner planner(opts);
 
+  benchutil::BenchJsonWriter bench_json("ablation_measured_dp");
   TableWriter table({"n", "space", "model_tree", "fig8_tree", "model_ms", "fig8_ms",
-                     "model/fig8"});
+                     "model/fig8", "vs_rightmost"});
   for (const index_t n : {index_t{1} << 8, index_t{1} << 10, index_t{1} << 12}) {
+    // Shared per-size baseline: the planners are only worth their search
+    // cost when they don't lose to the stride-blind rightmost tree.
+    const auto rm_tree = fft::rightmost_tree(n, opts.max_leaf);
+    const double trm = remeasure(*rm_tree);
     for (const bool allow_ddl : {false, true}) {
       const auto model_tree =
           planner.plan(n, allow_ddl ? fft::Strategy::ddl_dp : fft::Strategy::sdl_dp);
       const auto fig8_tree = planner.plan_measured(n, allow_ddl, 2e-3);
       const double tm = remeasure(*model_tree);
       const double tf = remeasure(*fig8_tree);
+      const bool win = benchutil::fft_mflops(n, tm) >= benchutil::fft_mflops(n, trm);
       table.add_row({fmt_pow2(n), allow_ddl ? "ddl" : "sdl", plan::to_string(*model_tree),
                      plan::to_string(*fig8_tree), fmt_double(tm * 1e3, 4),
-                     fmt_double(tf * 1e3, 4), fmt_double(tm / tf, 2)});
+                     fmt_double(tf * 1e3, 4), fmt_double(tm / tf, 2), win ? "yes" : "NO"});
+
+      benchutil::BenchRecord rec;
+      rec.n = n;
+      rec.strategy = allow_ddl ? "ddl_dp" : "sdl_dp";
+      rec.tree = plan::to_string(*model_tree);
+      rec.seconds = tm;
+      rec.mflops = benchutil::fft_mflops(n, tm);
+      rec.planner_win = win ? 1 : 0;
+      rec.extra = {{"fig8_seconds", tf}, {"rightmost_seconds", trm}};
+      bench_json.add(std::move(rec));
     }
   }
   table.print(std::cout, "chosen trees and their re-measured times");
+  const auto bench_path = benchutil::BenchJsonWriter::resolve_path("BENCH_ablation_dp.json");
+  if (bench_json.write(bench_path)) {
+    std::cout << "\nmachine-readable results: " << bench_path.string() << "\n";
+  }
   std::cout << "\nshape check: the model-driven plan executes within noise of the\n"
                "Fig. 8 plan — the composed cost model ranks trees correctly, which is\n"
                "what lets planning stay offline and cheap.\n";

@@ -244,6 +244,19 @@ int main(int argc, char** argv) {
 
   benchutil::BenchJsonWriter writer("svc_loadgen");
 
+  // Pre-warm: pay first-touch planning and PlanCache executor construction
+  // outside the timed phases, then reset the obs log so the measured phases
+  // start clean. Without this, the first closed-loop latencies include a
+  // plan_build (executor construction) instead of service time.
+  {
+    svc::TransformService warm(cfg);
+    AlignedBuffer<cplx> signal(n);
+    fill_random(signal.span(), 1);
+    (void)warm.submit_fft(signal.span()).get();
+    warm.drain();
+  }
+  obs::reset();
+
   // --- closed loop --------------------------------------------------------
   PhaseOutcome closed;
   {
@@ -252,6 +265,24 @@ int main(int argc, char** argv) {
     service.drain();
     print_outcome("closed", closed);
     writer.add(make_record("closed", n, closed, service.stats()));
+  }
+
+  // The latency phase must never have timed a PlanCache miss: a plan_build
+  // stage in the closed loop means the pre-warm above stopped covering the
+  // grammar the service actually dispatches. (The open loop is exempt — its
+  // under-load fallback trees are first seen by design.)
+  {
+    const obs::Snapshot mid = obs::snapshot();
+    std::size_t plan_builds = 0;
+    for (const obs::Event& e : mid.events) {
+      if (e.stage == obs::Stage::plan_build) ++plan_builds;
+    }
+    if (plan_builds != 0) {
+      std::cerr << "ERROR: " << plan_builds
+                << " plan_build stage(s) inside the measured closed loop — the PlanCache "
+                   "was cold\n";
+      return 1;
+    }
   }
 
   // --- open loop at queue-saturating arrival rate -------------------------

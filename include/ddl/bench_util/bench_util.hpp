@@ -48,6 +48,11 @@ struct BenchRecord {
   int threads = 1;
   double seconds = 0.0;
   double mflops = 0.0;  ///< 0 when the metric does not apply (e.g. WHT)
+  /// Planner-vs-rightmost verdict for this size: 1 when the searched plan's
+  /// MFLOPS >= the rightmost baseline's, 0 when it lost, -1 when the row is
+  /// not a planner row (omitted from the JSON). The acceptance gate for
+  /// measured-cost planning scripts over these booleans.
+  int planner_win = -1;
   /// Per-stage share of total time in [0, 1], from a ddl::obs summary
   /// (empty when the run was not traced).
   std::vector<std::pair<std::string, double>> stage_share;

@@ -46,6 +46,16 @@ using DftBatchKernel = void (*)(cplx* x, index_t s, index_t dist, index_t count)
 /// Batched WHT kernel (same geometry over real data).
 using WhtBatchKernel = void (*)(real_t* x, index_t s, index_t dist, index_t count) noexcept;
 
+/// Fused twiddle+scatter kernel for a ctddlf node: one sweep writing
+/// data[(j + i*n2)*s] = scratch[j*n1 + i] * w[(i*j) mod n] for columns
+/// j in [j0, j1), with pure copies (no multiply) on the unit-twiddle i==0
+/// and j==0 lines so the result is bitwise identical to the two-pass
+/// twiddle-columns-then-scatter path. Callers parallelize over disjoint
+/// [j0, j1) column ranges; writes of distinct columns never alias.
+using TwiddleScatterKernel = void (*)(cplx* data, index_t s, const cplx* scratch,
+                                      const cplx* w, index_t n, index_t n1, index_t n2,
+                                      index_t j0, index_t j1) noexcept;
+
 /// Instruction-set levels a batched backend can be compiled for. Values are
 /// ordered by preference (higher = wider/faster); keep in sync with
 /// isa_name() and obs::isa_label().
@@ -93,8 +103,17 @@ WhtBatchKernel wht_batch_kernel(index_t n, Isa isa) noexcept;
 DftBatchKernel dft_batch_kernel(index_t n) noexcept;
 WhtBatchKernel wht_batch_kernel(index_t n) noexcept;
 
+/// Fused twiddle+scatter kernel for a specific ISA level; degrades to the
+/// scalar implementation (never nullptr) when the level is not supported.
+/// Unlike the codelets this kernel is size-generic, so there is no lookup
+/// by n.
+TwiddleScatterKernel twiddle_scatter_kernel(Isa isa) noexcept;
+
+/// Fused twiddle+scatter kernel at the active ISA level.
+TwiddleScatterKernel twiddle_scatter_kernel() noexcept;
+
 namespace detail {
-// Per-backend lookup tables, one pair per vec_*.cpp translation unit.
+// Per-backend lookup tables, one set per vec_*.cpp translation unit.
 // A backend that is not compiled into the binary returns nullptr.
 DftBatchKernel dft_batch_scalar(index_t n) noexcept;
 WhtBatchKernel wht_batch_scalar(index_t n) noexcept;
@@ -104,6 +123,10 @@ DftBatchKernel dft_batch_avx2(index_t n) noexcept;
 WhtBatchKernel wht_batch_avx2(index_t n) noexcept;
 DftBatchKernel dft_batch_neon(index_t n) noexcept;
 WhtBatchKernel wht_batch_neon(index_t n) noexcept;
+TwiddleScatterKernel twiddle_scatter_scalar() noexcept;
+TwiddleScatterKernel twiddle_scatter_sse2() noexcept;
+TwiddleScatterKernel twiddle_scatter_avx2() noexcept;
+TwiddleScatterKernel twiddle_scatter_neon() noexcept;
 }  // namespace detail
 
 // Generated kernels (see dft_codelets_gen.cpp / wht_codelets_gen.cpp).

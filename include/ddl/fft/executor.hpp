@@ -36,11 +36,13 @@
 /// are bitwise identical for every thread count because partitioning never
 /// changes the per-element operations. See docs/PARALLELISM.md.
 
+#include <map>
 #include <span>
 
 #include "ddl/common/aligned.hpp"
 #include "ddl/common/parallel.hpp"
 #include "ddl/common/types.hpp"
+#include "ddl/fft/stockham.hpp"
 #include "ddl/fft/twiddle.hpp"
 #include "ddl/plan/tree.hpp"
 
@@ -106,11 +108,20 @@ class FftExecutor {
   void inverse_finish(cplx* data);
   void twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1, index_t n2);
   void twiddle_cols(cplx* scratch, index_t n, index_t n1, index_t n2);
+  /// Fused twiddle+scatter pass of a ctddlf node (SIMD-dispatched single
+  /// sweep replacing twiddle_cols + transpose_scatter).
+  void twiddle_scatter(cplx* data, index_t stride, const cplx* scratch, index_t n, index_t n1,
+                       index_t n2);
+  /// One st(n) leaf: Stockham autosort FFT out of the node's arena region
+  /// (stride 1 runs in place; strided leaves pack/unpack around it).
+  void run_stockham(const plan::Node& node, cplx* data, index_t stride, cplx* arena,
+                    index_t arena_off);
   /// True when this node should fan its sub-transform loops across the pool.
   [[nodiscard]] static bool should_fan_out(index_t node_points);
 
   plan::TreePtr tree_;
   TwiddleCache twiddles_;
+  std::map<index_t, StockhamFft> stockham_;   // one instance per st(n) size
   AlignedBuffer<cplx> arena_;                 // serial-path arena (2n points)
   parallel::ScratchPool<cplx> lane_scratch_;  // per-lane arenas for fan-out
 };

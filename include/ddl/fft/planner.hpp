@@ -20,6 +20,7 @@
 /// by timing the real leaf codelets, twiddle passes, permutations, and
 /// reorganizations, and cached in a CostDb that can persist across runs.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -57,12 +58,29 @@ struct PlannerOptions {
   /// restricts DDL to regimes where it wins decisively (Sec. IV-B).
   double ddl_margin = 0.02;
 
+  /// Let the DP consider ctddlf splits (the fused twiddle+scatter pass in
+  /// place of the separate twiddle-columns and reorg-scatter stages).
+  bool enable_fused = true;
+
+  /// Let the DP consider st(n) Stockham autosort leaves for power-of-two
+  /// subproblems — the "reshape the computation" alternative to DDL's
+  /// "reshape the data", competing on measured cost like every other option.
+  bool enable_stockham = true;
+
   /// Optional cost oracle: when set, every primitive cost comes from this
   /// function instead of a wall-clock measurement (still memoized through
   /// the CostDb). Lets the same DP search plan for *modelled* hardware —
   /// e.g. sim::simulated_cost_oracle() plans for a 1999-style cache and
   /// reproduces the paper's Table V/VI tree shapes on any host.
   std::function<double(const plan::CostKey&)> cost_oracle;
+};
+
+/// Where the DP's primitive costs came from, per planner lifetime. The
+/// autotune flow asserts measured_hits > 0 after calibration: a DP that ran
+/// entirely on synthetic fallbacks never consulted the data it was tuned on.
+struct CostStats {
+  std::uint64_t measured_hits = 0;        ///< lookups answered by calibrated entries
+  std::uint64_t synthetic_fallbacks = 0;  ///< lookups served by probe/oracle costs
 };
 
 /// Planner with memoized (size, stride, layout) DP state.
@@ -108,6 +126,16 @@ class FftPlanner {
   /// The cost database in use (owned unless injected via options).
   plan::CostDb& cost_db() noexcept { return *cost_db_; }
 
+  /// Drop every memoized DP decision (model-driven and measured). Call after
+  /// new calibrated costs land in the CostDb — memo entries computed from
+  /// stale synthetic costs would otherwise shadow the measured ones forever.
+  void invalidate();
+
+  /// Provenance tally of every primitive cost lookup since construction (or
+  /// the last reset): calibrated CostDb hits vs synthetic fallbacks.
+  [[nodiscard]] CostStats cost_stats() const noexcept { return stats_; }
+  void reset_cost_stats() noexcept { stats_ = {}; }
+
  private:
   struct Best {
     double cost = 0.0;
@@ -118,11 +146,16 @@ class FftPlanner {
   const Best& measured_best(index_t n, index_t stride, bool allow_ddl, double floor);
   double measure_subtree(const plan::Node& tree, index_t stride, double floor);
 
-  // Primitive cost probes (memoized through the CostDb).
+  // Primitive cost probes (memoized through the CostDb). All flow through
+  // probe(), which tallies calibrated-vs-synthetic provenance into stats_.
+  double probe(const plan::CostKey& key, const std::function<double()>& measure);
   double leaf_cost(index_t n, index_t stride);
   double twiddle_cost(index_t n, index_t n2, index_t stride);
   double perm_cost(index_t n, index_t n2, index_t stride);
   double reorg_cost(index_t n1, index_t n2, index_t stride);
+  double reorg_gather_cost(index_t n1, index_t n2, index_t stride);
+  double fused_cost(index_t n1, index_t n2, index_t stride);
+  double stockham_cost(index_t n, index_t stride);
 
   void ensure_buffers(index_t points);
   std::vector<index_t> candidate_leaves(index_t n) const;
@@ -133,6 +166,7 @@ class FftPlanner {
   plan::CostDb* cost_db_;
   std::map<std::tuple<index_t, index_t, bool>, Best> memo_;
   std::map<std::tuple<index_t, index_t, bool>, Best> measured_memo_;
+  CostStats stats_;
 
   struct Buffers;                  // measurement arrays (defined in .cpp)
   std::unique_ptr<Buffers> bufs_;

@@ -34,9 +34,15 @@ class StockhamFft {
   /// In-place inverse DFT with 1/n scaling.
   void inverse(std::span<cplx> data);
 
- private:
-  void run(cplx* data);
+  /// Forward DFT using a caller-provided n-element ping-pong buffer
+  /// instead of the private one. `const` and thread-safe: the twiddle
+  /// table is immutable after construction, so one StockhamFft instance
+  /// can serve concurrent executor lanes, each with its own `work`
+  /// (FftExecutor runs st(n) leaves out of its scratch arenas this way).
+  /// `work` must not alias `data`.
+  void run_with(cplx* data, cplx* work) const;
 
+ private:
   index_t n_;
   AlignedBuffer<cplx> work_;
   AlignedBuffer<cplx> twiddle_;  ///< W_n^p for p in [0, n/2)

@@ -70,7 +70,15 @@ enum class Stage : std::uint16_t {
                   ///< (a = points per request, b = occupancy)
   svc_scatter,    ///< service staging scatter back to tenant buffers
                   ///< (a = points per request, b = occupancy)
-  count_          ///< sentinel
+  twiddle_scatter,  ///< fused twiddle+scatter pass of a ctddlf node
+                    ///< (a = n1, b = n2; one sweep replacing twiddle_cols
+                    ///< + reorg_scatter)
+  stockham_leaf,  ///< one Stockham autosort-FFT leaf (a = n, b = stride)
+  plan_build,     ///< PlanCache miss: executor construction (a = n).
+                  ///< Appears inside a measured region only when a bench
+                  ///< forgot to pre-warm the cache — benches assert zero.
+  count_          ///< sentinel (append stages above; numbering is
+                  ///< trace-format-stable)
 };
 
 inline constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::count_);
@@ -94,6 +102,8 @@ enum class Counter : std::uint16_t {
   svc_batched_requests,  ///< requests those dispatches carried (occupancy =
                          ///< svc_batched_requests / svc_batches)
   svc_fallback_plans,    ///< sizes planned with the default tree under load
+  calib_unmapped_events, ///< traced stage events ingest_stage_costs could
+                         ///< not map to any CostKey (calibration gaps)
   count_                 ///< sentinel
 };
 

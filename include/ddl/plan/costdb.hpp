@@ -15,6 +15,7 @@
 /// coexist in one table so the DP re-decides the tree per backend. Non-leaf
 /// primitives (reorg, twiddle, perm) are scalar loops and leave it empty.
 
+#include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -36,36 +37,55 @@ struct CostKey {
   auto operator<=>(const CostKey&) const = default;
 };
 
+/// Where a cost entry came from. The DP treats both the same numerically,
+/// but the autotuning loop needs the distinction to tell "the planner
+/// consulted host-calibrated measurements" from "the planner fell back to
+/// the synthetic probe model" (see fft::FftPlanner::cost_stats()).
+enum class CostSource : std::uint8_t {
+  probe,       ///< synthetic model: planner microbenchmark / simulator oracle
+  calibrated,  ///< measured in situ: ingested from traced whole-transform runs
+};
+
 /// Memoizing cost store. Not thread-safe (planning is single-threaded).
 class CostDb {
  public:
-  /// Return the cached cost for `key`, or run `measure`, cache, and return.
+  /// Return the cached cost for `key`, or run `measure`, cache (as a probe
+  /// entry), and return.
   double get_or_measure(const CostKey& key, const std::function<double()>& measure);
 
   /// True iff the key is already cached.
   [[nodiscard]] bool contains(const CostKey& key) const;
 
+  /// True iff the key is cached AND carries a calibrated (in-situ measured)
+  /// cost rather than a synthetic probe value.
+  [[nodiscard]] bool is_calibrated(const CostKey& key) const;
+
   /// Insert/overwrite a cost directly. Enforces the same invariant as
   /// get_or_measure: `seconds` must be finite and non-negative (a clock
   /// anomaly fed through ingest_stage_costs must not plant a negative cost
-  /// the DP would then preferentially select).
-  void put(const CostKey& key, double seconds);
+  /// the DP would then preferentially select). `source` tags provenance;
+  /// ingest_stage_costs writes CostSource::calibrated.
+  void put(const CostKey& key, double seconds, CostSource source = CostSource::probe);
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
   void clear() { table_.clear(); }
 
   /// Persist all entries as "kind a b c isa seconds" lines (isa written as
-  /// "-" when empty, keeping the line a fixed six tokens). Returns false on
-  /// I/O failure (callers treat persistence as best-effort).
+  /// "-" when empty, keeping the line a fixed six tokens). Calibrated
+  /// entries append a seventh "calib" token; probe entries keep the legacy
+  /// six-token form, so databases without calibration round-trip
+  /// byte-identically against older readers. Returns false on I/O failure
+  /// (callers treat persistence as best-effort).
   bool save(const std::filesystem::path& file) const;
 
   /// Merge entries from a previously saved file. The whole file is parsed
   /// and validated first — costs must be finite and non-negative — and
   /// nothing is committed unless every line passes, so a truncated or
   /// corrupted file cannot poison the DP with a partial table. Legacy
-  /// five-token lines (no isa column) load with isa = "". Returns false if
-  /// the file cannot be opened or fails validation; load_error() then
-  /// reports the offending line.
+  /// five-token lines (no isa column) load with isa = ""; a seventh token
+  /// must be exactly "calib" (provenance tag). Returns false if the file
+  /// cannot be opened or fails validation; load_error() then reports the
+  /// offending line.
   bool load(const std::filesystem::path& file);
 
   /// Human-readable reason the last load() returned false ("" if it
@@ -73,7 +93,11 @@ class CostDb {
   [[nodiscard]] const std::string& load_error() const noexcept { return load_error_; }
 
  private:
-  std::map<std::tuple<std::string, index_t, index_t, index_t, std::string>, double> table_;
+  struct Entry {
+    double seconds = 0.0;
+    CostSource source = CostSource::probe;
+  };
+  std::map<std::tuple<std::string, index_t, index_t, index_t, std::string>, Entry> table_;
   std::string load_error_;
 };
 

@@ -8,13 +8,16 @@
 /// paper's Tables I/V/VI:
 ///
 ///   tree   := leaf | split
-///   leaf   := integer                      (e.g. "16")
-///   split  := ("ct" | "ctddl") "(" tree "," tree ")"
+///   leaf   := integer | "st" "(" integer ")"  (e.g. "16", "st(1024)")
+///   split  := ("ct" | "ctddl" | "ctddlf") "(" tree "," tree ")"
 ///
 /// "ct(a,b)" is a static-layout Cooley–Tukey split; "ctddl(a,b)" is a split
 /// whose left stage is executed through a dynamic data layout
-/// (reorganize -> unit-stride -> restore). Whitespace is ignored.
-/// Examples from the paper: "ct(16,ct(16,4))", "ctddl(1024,ctddl(32,32))".
+/// (reorganize -> unit-stride -> restore); "ctddlf(a,b)" is a ddl split
+/// whose twiddle pass is fused into the restoring scatter (one sweep).
+/// "st(n)" is a Stockham autosort-FFT leaf (power-of-two n; FFT plans
+/// only). Whitespace is ignored. Examples from the paper:
+/// "ct(16,ct(16,4))", "ctddl(1024,ctddl(32,32))".
 
 #include <string>
 #include <string_view>

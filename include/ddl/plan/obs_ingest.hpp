@@ -7,19 +7,26 @@
 /// buffers — a best case the real executor does not always see. This ingest
 /// closes the loop: it aggregates the stage events a traced run recorded
 /// (ddl::obs) into the same CostKey space the planner probes, so subsequent
-/// planning uses costs measured *in situ*, cache pressure and all.
+/// planning uses costs measured *in situ*, cache pressure and all. Entries
+/// land with CostSource::calibrated, which the planner's provenance stats
+/// (fft::CostStats) and the CostDb's "calib" save tag distinguish from
+/// synthetic probe values.
 ///
 /// Mapping (matching src/fft/planner.cpp's probe keys):
-///   leaf_cols(a=n1, b=n2)      -> {"dft_leaf", n1, 1, 0, isa}, seconds / n2
-///   twiddle_cols(a=n, b=n2)    -> {"tw_cols",  n,  n2, 0}
-///   twiddle_rows(a=n, b=n2)    -> {"tw_rows",  n,  n2, 1}
-///   stride_perm(a=n, b=n2)     -> {"perm",     n,  n2, 1}
+///   leaf_cols(a=n1, b=n2)      -> {"dft_leaf",  n1, 1, 0, isa}, seconds / n2
+///   twiddle_cols(a=n, b=n2)    -> {"tw_cols",   n,  n2, 0}
+///   twiddle_rows(a=n, b=n2)    -> {"tw_rows",   n,  n2, 1}
+///   stride_perm(a=n, b=n2)     -> {"perm",      n,  n2, 1}
+///   reorg_gather(a=n1, b=n2)   -> {"reorg_g",   n1, n2, 1}
 ///   reorg_gather + reorg_scatter(a=n1, b=n2)
-///                              -> {"reorg",    n1, n2, 1} (pair summed)
+///                              -> {"reorg",     n1, n2, 1} (pair summed)
+///   twiddle_scatter(a=n1, b=n2)-> {"fused_tws", n1, n2, 1, isa}
+///   stockham_leaf(a=n, b=s)    -> {"stockham",  n,  s,  0}
 ///
-/// The leaf key's isa component comes from the event's dispatched-ISA tag
-/// ("" for scalar / unbatched execution), so calibrated vector leaf costs
-/// land under the same keys the planner reads when that backend is active.
+/// The leaf and fused keys' isa component comes from the event's
+/// dispatched-ISA tag ("" for scalar / unbatched execution), so calibrated
+/// vector costs land under the same keys the planner reads when that
+/// backend is active.
 ///
 /// Strided variants (b != 1 for dft_leaf, c != 1 for the rest) are left to
 /// the planner's own probes: the executor's DDL path runs these stages at
@@ -36,11 +43,29 @@ struct Snapshot;
 
 namespace ddl::plan {
 
-/// Fold the stage events of `snap` into `db` (put(), overwriting existing
-/// entries: in-situ timings supersede synthetic probes). Each key's cost is
-/// the mean over all matching events — for dft_leaf, the mean per leaf
-/// *call* (events cover b calls each). Returns the number of distinct keys
-/// written. Events from stages with no cost-key mapping are ignored.
-std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap);
+/// What happened to the snapshot's events during one ingest. Nothing is
+/// dropped silently: every event lands in exactly one of used / composite /
+/// unmapped, and unmapped events additionally bump the
+/// obs::Counter::calib_unmapped_events tally (when tracing is enabled) so
+/// calibration gaps are visible in exported counter sets too.
+struct IngestStats {
+  std::size_t events_total = 0;      ///< stage events inspected
+  std::size_t events_used = 0;       ///< events folded into some cost key
+  std::size_t events_composite = 0;  ///< container stages (transform, batch,
+                                     ///< sub-transform loops, dispatch/plan
+                                     ///< scaffolding) that aggregate other
+                                     ///< events and never calibrate directly
+  std::size_t events_unmapped = 0;   ///< work events with no cost-key mapping
+                                     ///< (including reorg halves whose pair
+                                     ///< partner never appeared)
+  std::size_t keys_written = 0;      ///< distinct CostDb entries written
+};
+
+/// Fold the stage events of `snap` into `db` (put() with
+/// CostSource::calibrated, overwriting existing entries: in-situ timings
+/// supersede synthetic probes). Each key's cost is the mean over all
+/// matching events — for dft_leaf, the mean per leaf *call* (events cover b
+/// calls each).
+IngestStats ingest_stage_costs(CostDb& db, const obs::Snapshot& snap);
 
 }  // namespace ddl::plan

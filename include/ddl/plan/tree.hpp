@@ -31,6 +31,10 @@ using TreePtr = std::unique_ptr<Node>;
 struct Node {
   index_t n = 0;       ///< transform size at this node
   bool ddl = false;    ///< split only: left stage runs via data reorganization
+  bool fused = false;  ///< ddl split only: twiddle applied during the scatter
+                       ///< (one sweep instead of twiddle-cols + scatter)
+  bool stockham = false;  ///< leaf only: computed by the autosort (Stockham)
+                          ///< FFT instead of a codelet; power-of-two sizes
   TreePtr left;        ///< left factor (size n1), computed at stride s*n2
   TreePtr right;       ///< right factor (size n2), computed at stride s
 
@@ -40,10 +44,15 @@ struct Node {
 /// Make a leaf of size n (n >= 1).
 TreePtr make_leaf(index_t n);
 
+/// Make a Stockham (autosort FFT) leaf of size n (a power of two >= 2).
+/// FFT-only: WHT plans reject these in ddl::verify.
+TreePtr make_stockham_leaf(index_t n);
+
 /// Make a split node; requires both children non-null. Degenerate splits
 /// are rejected (std::invalid_argument): a ddl flag on a size-1 left or
-/// right factor, and splits of two size-1 children.
-TreePtr make_split(TreePtr left, TreePtr right, bool ddl = false);
+/// right factor, and splits of two size-1 children. `fused` marks a ddl
+/// split whose twiddle pass rides the reorg scatter (requires ddl).
+TreePtr make_split(TreePtr left, TreePtr right, bool ddl = false, bool fused = false);
 
 /// Deep copy.
 TreePtr clone(const Node& node);
@@ -68,6 +77,7 @@ void for_each_node(const Node& node, index_t root_stride,
                    const std::function<void(const Node&, index_t stride)>& visit);
 
 /// Render in the grammar of grammar.hpp, e.g. "ct(16,ctddl(32,64))".
+/// Fused ddl splits render as "ctddlf(...)", Stockham leaves as "st(n)".
 std::string to_string(const Node& node);
 
 /// Convenience: fully right-expanded tree over the given leaf sizes,

@@ -44,8 +44,11 @@ class FftTracer {
  private:
   void node(const plan::Node& nd, std::uint64_t base, index_t stride, std::uint64_t arena);
   void leaf(index_t n, std::uint64_t base, index_t stride);
+  void stockham_leaf(index_t n, std::uint64_t base, index_t stride, std::uint64_t arena);
   void twiddle_rows(index_t n, index_t n1, index_t n2, std::uint64_t base, index_t stride);
   void twiddle_cols(index_t n, index_t n1, index_t n2, std::uint64_t scratch);
+  void twiddle_scatter(std::uint64_t data, index_t stride, index_t n1, index_t n2,
+                       std::uint64_t scratch);
   void transpose_gather(std::uint64_t data, index_t stride, index_t n1, index_t n2,
                         std::uint64_t scratch);
   void transpose_scatter(std::uint64_t data, index_t stride, index_t n1, index_t n2,
@@ -97,7 +100,8 @@ struct OracleOptions {
 /// *simulates* each DP primitive on the modelled cache instead of timing it
 /// on the host: cost = accesses + miss_penalty * misses, per primitive
 /// invocation. Handles every key kind both planners emit ("dft_leaf",
-/// "tw_rows", "tw_cols", "perm", "reorg", "wht_leaf", "wht_reorg").
+/// "tw_rows", "tw_cols", "perm", "reorg", "reorg_g", "fused_tws",
+/// "stockham", "wht_leaf", "wht_reorg").
 ///
 /// Planning with this oracle reproduces the paper's platform-specific tree
 /// choices (Tables V/VI) on any host: on a simulated direct-mapped cache

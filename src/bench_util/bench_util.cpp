@@ -81,8 +81,11 @@ bool BenchJsonWriter::write(const std::filesystem::path& file) const {
     first = false;
     os << "  {\"n\": " << r.n << ", \"strategy\": \"" << obs::json_escape(r.strategy)
        << "\", \"tree\": \"" << obs::json_escape(r.tree) << "\", \"threads\": " << r.threads
-       << ", \"seconds\": " << r.seconds << ", \"mflops\": " << r.mflops
-       << ", \"stage_share\": {";
+       << ", \"seconds\": " << r.seconds << ", \"mflops\": " << r.mflops;
+    if (r.planner_win >= 0) {
+      os << ", \"planner_win\": " << (r.planner_win > 0 ? "true" : "false");
+    }
+    os << ", \"stage_share\": {";
     bool first_stage = true;
     for (const auto& [stage, share] : r.stage_share) {
       if (!first_stage) os << ", ";

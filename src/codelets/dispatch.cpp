@@ -169,4 +169,28 @@ WhtBatchKernel wht_batch_kernel(index_t n) noexcept {
   return wht_batch_kernel(n, active_isa());
 }
 
+TwiddleScatterKernel twiddle_scatter_kernel(Isa isa) noexcept {
+  if (isa_supported(isa)) {
+    switch (isa) {
+      case Isa::scalar: break;
+      case Isa::sse2:
+        if (auto k = detail::twiddle_scatter_sse2()) return k;
+        break;
+      case Isa::avx2:
+        if (auto k = detail::twiddle_scatter_avx2()) return k;
+        break;
+      case Isa::neon:
+        if (auto k = detail::twiddle_scatter_neon()) return k;
+        break;
+    }
+  }
+  // The scalar body is always compiled; the fused pass never fails to
+  // resolve (unlike the size-keyed codelet lookups).
+  return detail::twiddle_scatter_scalar();
+}
+
+TwiddleScatterKernel twiddle_scatter_kernel() noexcept {
+  return twiddle_scatter_kernel(active_isa());
+}
+
 }  // namespace ddl::codelets

@@ -19,6 +19,7 @@ namespace ddl::codelets {
 namespace {
 namespace vx = ddl::DDL_VX_NS;
 #include "codelets_vec_gen.inc"
+#include "twiddle_scatter_vec.inc"
 }  // namespace
 
 DftBatchKernel detail::dft_batch_avx2(index_t n) noexcept {
@@ -29,6 +30,10 @@ WhtBatchKernel detail::wht_batch_avx2(index_t n) noexcept {
   return vec_wht_lookup(n);
 }
 
+TwiddleScatterKernel detail::twiddle_scatter_avx2() noexcept {
+  return &twiddle_scatter_impl;
+}
+
 }  // namespace ddl::codelets
 
 #else  // !__AVX2__ || DDL_SIMD_DISABLED
@@ -37,6 +42,7 @@ namespace ddl::codelets {
 
 DftBatchKernel detail::dft_batch_avx2(index_t) noexcept { return nullptr; }
 WhtBatchKernel detail::wht_batch_avx2(index_t) noexcept { return nullptr; }
+TwiddleScatterKernel detail::twiddle_scatter_avx2() noexcept { return nullptr; }
 
 }  // namespace ddl::codelets
 

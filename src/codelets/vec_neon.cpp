@@ -16,6 +16,7 @@ namespace ddl::codelets {
 namespace {
 namespace vx = ddl::DDL_VX_NS;
 #include "codelets_vec_gen.inc"
+#include "twiddle_scatter_vec.inc"
 }  // namespace
 
 DftBatchKernel detail::dft_batch_neon(index_t n) noexcept {
@@ -26,6 +27,10 @@ WhtBatchKernel detail::wht_batch_neon(index_t n) noexcept {
   return vec_wht_lookup(n);
 }
 
+TwiddleScatterKernel detail::twiddle_scatter_neon() noexcept {
+  return &twiddle_scatter_impl;
+}
+
 }  // namespace ddl::codelets
 
 #else  // !__aarch64__ || DDL_SIMD_DISABLED
@@ -34,6 +39,7 @@ namespace ddl::codelets {
 
 DftBatchKernel detail::dft_batch_neon(index_t) noexcept { return nullptr; }
 WhtBatchKernel detail::wht_batch_neon(index_t) noexcept { return nullptr; }
+TwiddleScatterKernel detail::twiddle_scatter_neon() noexcept { return nullptr; }
 
 }  // namespace ddl::codelets
 

@@ -15,6 +15,7 @@ namespace ddl::codelets {
 namespace {
 namespace vx = ddl::DDL_VX_NS;
 #include "codelets_vec_gen.inc"
+#include "twiddle_scatter_vec.inc"
 }  // namespace
 
 DftBatchKernel detail::dft_batch_scalar(index_t n) noexcept {
@@ -23,6 +24,10 @@ DftBatchKernel detail::dft_batch_scalar(index_t n) noexcept {
 
 WhtBatchKernel detail::wht_batch_scalar(index_t n) noexcept {
   return vec_wht_lookup(n);
+}
+
+TwiddleScatterKernel detail::twiddle_scatter_scalar() noexcept {
+  return &twiddle_scatter_impl;
 }
 
 }  // namespace ddl::codelets

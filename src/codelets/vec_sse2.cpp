@@ -17,6 +17,7 @@ namespace ddl::codelets {
 namespace {
 namespace vx = ddl::DDL_VX_NS;
 #include "codelets_vec_gen.inc"
+#include "twiddle_scatter_vec.inc"
 }  // namespace
 
 DftBatchKernel detail::dft_batch_sse2(index_t n) noexcept {
@@ -27,6 +28,10 @@ WhtBatchKernel detail::wht_batch_sse2(index_t n) noexcept {
   return vec_wht_lookup(n);
 }
 
+TwiddleScatterKernel detail::twiddle_scatter_sse2() noexcept {
+  return &twiddle_scatter_impl;
+}
+
 }  // namespace ddl::codelets
 
 #else  // !__SSE2__ || DDL_SIMD_DISABLED
@@ -35,6 +40,7 @@ namespace ddl::codelets {
 
 DftBatchKernel detail::dft_batch_sse2(index_t) noexcept { return nullptr; }
 WhtBatchKernel detail::wht_batch_sse2(index_t) noexcept { return nullptr; }
+TwiddleScatterKernel detail::twiddle_scatter_sse2() noexcept { return nullptr; }
 
 }  // namespace ddl::codelets
 

@@ -28,11 +28,23 @@ const plan::Node& admitted(const plan::Node& tree) {
   return tree;
 }
 
+// One StockhamFft per distinct st(n) size in the tree; instances are const
+// after construction, so leaves of equal size (and concurrent lanes) share.
+void collect_stockham(const plan::Node& node, std::map<index_t, StockhamFft>& out) {
+  if (node.is_leaf()) {
+    if (node.stockham) out.try_emplace(node.n, node.n);
+    return;
+  }
+  collect_stockham(*node.left, out);
+  collect_stockham(*node.right, out);
+}
+
 }  // namespace
 
 FftExecutor::FftExecutor(const plan::Node& tree)
     : tree_(plan::clone(admitted(tree))), arena_(2 * tree.n) {
   twiddles_.build_for(*tree_);
+  collect_stockham(*tree_, stockham_);
 }
 
 void FftExecutor::forward(std::span<cplx> data) {
@@ -130,6 +142,10 @@ bool FftExecutor::should_fan_out(index_t node_points) {
 void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* arena,
                       index_t arena_off) {
   if (node.is_leaf()) {
+    if (node.stockham) {
+      run_stockham(node, data, stride, arena, arena_off);
+      return;
+    }
     if (const auto kernel = codelets::dft_kernel(node.n)) {
       kernel(data, stride);
     } else {
@@ -187,13 +203,20 @@ void FftExecutor::run(const plan::Node& node, cplx* data, index_t stride, cplx* 
         }
       }
     }
-    {
-      const obs::ScopedStage st(obs::Stage::twiddle_cols, n, n2);
-      twiddle_cols(scratch, n, n1, n2);
-    }
-    {
-      const obs::ScopedStage st(obs::Stage::reorg_scatter, n1, n2);
-      layout::transpose_scatter(data, stride, n1, n2, scratch);
+    if (node.fused) {
+      // ctddlf: one fused sweep twiddles each scratch column while
+      // scattering it back to its strided home — bitwise-identical to the
+      // two-pass path below by the twiddle_scatter kernel contract.
+      twiddle_scatter(data, stride, scratch, n, n1, n2);
+    } else {
+      {
+        const obs::ScopedStage st(obs::Stage::twiddle_cols, n, n2);
+        twiddle_cols(scratch, n, n1, n2);  // ddl-lint: allow(fused-twiddle)
+      }
+      {
+        const obs::ScopedStage st(obs::Stage::reorg_scatter, n1, n2);
+        layout::transpose_scatter(data, stride, n1, n2, scratch);
+      }
     }
   } else {
     // Static layout: column DFTs walk the original strided storage. The
@@ -279,6 +302,43 @@ void FftExecutor::twiddle_rows(cplx* data, index_t stride, index_t n, index_t n1
 
 void FftExecutor::twiddle_cols(cplx* scratch, index_t n, index_t n1, index_t n2) {
   detail::twiddle_pass_cols(scratch, n, n1, n2, twiddles_.get(n));
+}
+
+void FftExecutor::twiddle_scatter(cplx* data, index_t stride, const cplx* scratch, index_t n,
+                                  index_t n1, index_t n2) {
+  // Columns are independent (column j touches only scratch[j*n1..] and the
+  // write comb data[(i*n2+j)*stride]), so the pass fans across the pool
+  // exactly like transpose_scatter; parallel_for refuses nested regions, so
+  // no fan_out gate is needed here.
+  const codelets::Isa isa = codelets::active_isa();
+  const auto kernel = codelets::twiddle_scatter_kernel(isa);
+  const cplx* w = twiddles_.get(n);
+  const obs::ScopedStage st(obs::Stage::twiddle_scatter, n1, n2,
+                            static_cast<std::uint8_t>(isa));
+  const index_t grain =
+      std::max<index_t>(1, parallel::kMinParallelReorg / std::max<index_t>(1, n1));
+  parallel::parallel_for(0, n2, grain, [&](index_t j0, index_t j1, int) {
+    kernel(data, stride, scratch, w, n, n1, n2, j0, j1);
+  });
+}
+
+void FftExecutor::run_stockham(const plan::Node& node, cplx* data, index_t stride, cplx* arena,
+                               index_t arena_off) {
+  const index_t n = node.n;
+  const StockhamFft& fft = stockham_.at(n);
+  const obs::ScopedStage st(obs::Stage::stockham_leaf, n, stride);
+  cplx* scratch = arena + arena_off;
+  if (stride == 1) {
+    // In place with the arena as ping-pong buffer (needs n elements).
+    fft.run_with(data, scratch);
+  } else {
+    // Strided embedding: pack to unit stride, transform, unpack. Uses 2n
+    // scratch (packed signal + ping-pong), which verify::scratch_requirement
+    // reserves for every st(n) leaf.
+    layout::pack(data, stride, n, scratch);
+    fft.run_with(scratch, scratch + n);
+    layout::unpack(data, stride, n, scratch);
+  }
 }
 
 namespace detail {

@@ -36,11 +36,14 @@ PlanCache::Entry PlanCache::get_keyed(const std::string& key, const plan::Node* 
   // Entry per key (pinned by a test in tests/test_parallel.cpp).
   lock.unlock();
   Entry entry;
-  if (tree != nullptr) {
-    entry.exec = std::make_shared<FftExecutor>(*tree);
-  } else {
-    const plan::TreePtr parsed = plan::parse_tree(key);
-    entry.exec = std::make_shared<FftExecutor>(*parsed);
+  {
+    const plan::TreePtr parsed = tree == nullptr ? plan::parse_tree(key) : nullptr;
+    const plan::Node& shape = tree != nullptr ? *tree : *parsed;
+    // Stage-tag the build so traces expose re-planning inside regions that
+    // should have been pre-warmed (bench harnesses assert zero plan_build
+    // events inside their measured iterations).
+    const obs::ScopedStage st(obs::Stage::plan_build, shape.n);
+    entry.exec = std::make_shared<FftExecutor>(shape);
   }
   entry.guard = std::make_shared<std::mutex>();
 

@@ -11,6 +11,7 @@
 #include "ddl/common/parallel.hpp"
 #include "ddl/common/timer.hpp"
 #include "ddl/fft/executor.hpp"
+#include "ddl/fft/stockham.hpp"
 #include "ddl/fft/twiddle.hpp"
 #include "ddl/layout/reorg.hpp"
 #include "ddl/layout/stride_perm.hpp"
@@ -68,6 +69,19 @@ std::vector<std::pair<index_t, index_t>> FftPlanner::candidate_splits(index_t n)
 // Primitive cost probes ("initial values" of the DP, Sec. IV-B).
 // ---------------------------------------------------------------------------
 
+double FftPlanner::probe(const plan::CostKey& key, const std::function<double()>& measure) {
+  // Provenance tally: a calibrated entry (ingested from traced executions
+  // by the autotune flow) answers the lookup with measured data; anything
+  // else — a prior synthetic probe or a fresh measurement/oracle call — is
+  // a synthetic fallback. The autotune round trip asserts on these counts.
+  if (cost_db_->is_calibrated(key)) {
+    ++stats_.measured_hits;
+  } else {
+    ++stats_.synthetic_fallbacks;
+  }
+  return cost_db_->get_or_measure(key, measure);
+}
+
 double FftPlanner::leaf_cost(index_t n, index_t stride) {
   // Vectorized leaves shift the optimal split points, so their measured
   // costs live under an ISA-tagged key and coexist with the scalar ones
@@ -78,9 +92,9 @@ double FftPlanner::leaf_cost(index_t n, index_t stride) {
   const plan::CostKey key{"dft_leaf", n, stride, 0,
                           batch != nullptr ? codelets::isa_name(isa) : ""};
   if (opts_.cost_oracle) {
-    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+    return probe(key, [&] { return opts_.cost_oracle(key); });
   }
-  return cost_db_->get_or_measure(key, [&] {
+  return probe(key, [&] {
     const index_t extent = std::max(n * stride, opts_.stream_points);
     ensure_buffers(extent);
     cplx* x = bufs_->data.data();
@@ -123,9 +137,9 @@ double FftPlanner::twiddle_cost(index_t n, index_t n2, index_t stride) {
   const char* kind = stride == 0 ? "tw_cols" : "tw_rows";
   const plan::CostKey key{kind, n, n2, stride};
   if (opts_.cost_oracle) {
-    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+    return probe(key, [&] { return opts_.cost_oracle(key); });
   }
-  return cost_db_->get_or_measure(key, [&] {
+  return probe(key, [&] {
     const index_t n1 = n / n2;
     const cplx* w = bufs_->twiddles.ensure(n);
     const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 2};
@@ -143,9 +157,9 @@ double FftPlanner::twiddle_cost(index_t n, index_t n2, index_t stride) {
 double FftPlanner::perm_cost(index_t n, index_t n2, index_t stride) {
   const plan::CostKey key{"perm", n, n2, stride};
   if (opts_.cost_oracle) {
-    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+    return probe(key, [&] { return opts_.cost_oracle(key); });
   }
-  return cost_db_->get_or_measure(key, [&] {
+  return probe(key, [&] {
     ensure_buffers(std::max(n * stride, n));
     cplx* x = bufs_->data.data();
     cplx* s = bufs_->scratch.data();
@@ -157,9 +171,9 @@ double FftPlanner::perm_cost(index_t n, index_t n2, index_t stride) {
 double FftPlanner::reorg_cost(index_t n1, index_t n2, index_t stride) {
   const plan::CostKey key{"reorg", n1, n2, stride};
   if (opts_.cost_oracle) {
-    return cost_db_->get_or_measure(key, [&] { return opts_.cost_oracle(key); });
+    return probe(key, [&] { return opts_.cost_oracle(key); });
   }
-  return cost_db_->get_or_measure(key, [&] {
+  return probe(key, [&] {
     const index_t n = n1 * n2;
     ensure_buffers(std::max(n * stride, n));
     cplx* x = bufs_->data.data();
@@ -169,6 +183,72 @@ double FftPlanner::reorg_cost(index_t n1, index_t n2, index_t stride) {
         [&] {
           layout::transpose_gather(x, stride, n1, n2, s);
           layout::transpose_scatter(x, stride, n1, n2, s);
+        },
+        2, topts);
+  });
+}
+
+double FftPlanner::reorg_gather_cost(index_t n1, index_t n2, index_t stride) {
+  // Gather half of the reorganization alone: a fused ctddlf split pays this
+  // plus fused_cost instead of the reorg round trip plus tw_cols.
+  const plan::CostKey key{"reorg_g", n1, n2, stride};
+  if (opts_.cost_oracle) {
+    return probe(key, [&] { return opts_.cost_oracle(key); });
+  }
+  return probe(key, [&] {
+    const index_t n = n1 * n2;
+    ensure_buffers(std::max(n * stride, n));
+    cplx* x = bufs_->data.data();
+    cplx* s = bufs_->scratch.data();
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 2};
+    return time_best_of([&] { layout::transpose_gather(x, stride, n1, n2, s); }, 2, topts);
+  });
+}
+
+double FftPlanner::fused_cost(index_t n1, index_t n2, index_t stride) {
+  // The fused twiddle+scatter sweep runs through the dispatched SIMD
+  // kernel, so its cost is ISA-dependent and keyed like dft_leaf (empty
+  // isa = scalar backend).
+  const codelets::Isa isa = codelets::active_isa();
+  const plan::CostKey key{"fused_tws", n1, n2, stride,
+                          isa != codelets::Isa::scalar ? codelets::isa_name(isa) : ""};
+  if (opts_.cost_oracle) {
+    return probe(key, [&] { return opts_.cost_oracle(key); });
+  }
+  return probe(key, [&] {
+    const index_t n = n1 * n2;
+    ensure_buffers(std::max(n * stride, n));
+    cplx* x = bufs_->data.data();
+    const cplx* s = bufs_->scratch.data();
+    const cplx* w = bufs_->twiddles.ensure(n);
+    const auto kernel = codelets::twiddle_scatter_kernel(isa);
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 2};
+    // Zeros stay zeros through the twiddle multiply, so the buffers remain
+    // stable under repeated sweeps.
+    return time_best_of([&] { kernel(x, stride, s, w, n, n1, n2, 0, n2); }, 2, topts);
+  });
+}
+
+double FftPlanner::stockham_cost(index_t n, index_t stride) {
+  const plan::CostKey key{"stockham", n, stride, 0};
+  if (opts_.cost_oracle) {
+    return probe(key, [&] { return opts_.cost_oracle(key); });
+  }
+  return probe(key, [&] {
+    ensure_buffers(std::max(n * stride, 2 * n));
+    cplx* x = bufs_->data.data();
+    cplx* s = bufs_->scratch.data();
+    const StockhamFft fft(n);
+    const TimeOptions topts{.min_total_seconds = opts_.measure_floor, .min_reps = 2};
+    if (stride == 1) {
+      return time_best_of([&] { fft.run_with(x, s); }, 2, topts);
+    }
+    // Strided embedding pays the pack/unpack the executor performs.
+    return time_best_of(
+        [&] {
+          layout::pack(x, stride, n, s);
+          fft.run_with(s, s + n);
+          layout::unpack(x, stride, n, s);
         },
         2, topts);
   });
@@ -220,6 +300,17 @@ const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_d
     winner.tree = plan::make_leaf(n);
   }
 
+  // Option 1b: a Stockham autosort leaf for power-of-two subproblems — the
+  // "reshape the computation" alternative, competing on measured cost.
+  // Strided contexts pay the pack/unpack embedding inside the probe.
+  if (opts_.enable_stockham && n >= 2 && is_pow2(n)) {
+    const double cost = stockham_cost(n, stride);
+    if (cost < winner.cost) {
+      winner.cost = cost;
+      winner.tree = plan::make_stockham_leaf(n);
+    }
+  }
+
   // Option 2: split n = n1 * n2 (left x right), static or dynamic layout.
   for (const auto& [n1, n2] : candidate_splits(n)) {
     const Best& right = best(n2, stride, allow_ddl);
@@ -238,12 +329,24 @@ const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_d
 
     if (allow_ddl && stride * n2 > 1) {
       const Best& left = best(n1, 1, allow_ddl);
-      const double cost = reorg_cost(n1, n2, stride) +
-                          static_cast<double>(n2) * left.cost / fanout_workers(n, n2) +
-                          twiddle_cost(n, n2, 0) + shared;
+      const double left_term = static_cast<double>(n2) * left.cost / fanout_workers(n, n2);
+      // Two-pass ddl: reorg round trip plus a separate scratch twiddle pass.
+      double cost = reorg_cost(n1, n2, stride) + left_term + twiddle_cost(n, n2, 0) + shared;
+      bool fused = false;
+      if (opts_.enable_fused) {
+        // Fused ddl (ctddlf): gather only, then one twiddle+scatter sweep
+        // replaces the tw_cols pass and the scatter half of the reorg.
+        const double fcost = reorg_gather_cost(n1, n2, stride) + left_term +
+                             fused_cost(n1, n2, stride) + shared;
+        if (fcost < cost) {
+          cost = fcost;
+          fused = true;
+        }
+      }
       if (cost * (1.0 + opts_.ddl_margin) < winner.cost) {
         winner.cost = cost;
-        winner.tree = plan::make_split(plan::clone(*left.tree), plan::clone(*right.tree), true);
+        winner.tree =
+            plan::make_split(plan::clone(*left.tree), plan::clone(*right.tree), true, fused);
       }
     }
   }
@@ -290,6 +393,13 @@ plan::TreePtr FftPlanner::plan(index_t n, Strategy strategy) {
   return tree;
 }
 
+void FftPlanner::invalidate() {
+  // Memo entries computed from stale synthetic costs must not shadow newly
+  // ingested calibrated ones; the CostDb itself is left intact.
+  memo_.clear();
+  measured_memo_.clear();
+}
+
 double FftPlanner::planned_cost(index_t n, Strategy strategy) {
   switch (strategy) {
     case Strategy::sdl_dp: return best(n, 1, false).cost;
@@ -302,7 +412,9 @@ double FftPlanner::planned_cost(index_t n, Strategy strategy) {
 }
 
 double FftPlanner::estimate_tree_seconds(const plan::Node& tree, index_t root_stride) {
-  if (tree.is_leaf()) return leaf_cost(tree.n, root_stride);
+  if (tree.is_leaf()) {
+    return tree.stockham ? stockham_cost(tree.n, root_stride) : leaf_cost(tree.n, root_stride);
+  }
   const index_t n = tree.n;
   const index_t n1 = tree.left->n;
   const index_t n2 = tree.right->n;
@@ -312,9 +424,13 @@ double FftPlanner::estimate_tree_seconds(const plan::Node& tree, index_t root_st
                        fanout_workers(n, n1);
   const double perm = perm_cost(n, n2, root_stride);
   if (tree.ddl) {
-    return reorg_cost(n1, n2, root_stride) +
-           static_cast<double>(n2) * estimate_tree_seconds(*tree.left, 1) / fanout_workers(n, n2) +
-           twiddle_cost(n, n2, 0) + right + perm;
+    const double left = static_cast<double>(n2) * estimate_tree_seconds(*tree.left, 1) /
+                        fanout_workers(n, n2);
+    if (tree.fused) {
+      return reorg_gather_cost(n1, n2, root_stride) + left + fused_cost(n1, n2, root_stride) +
+             right + perm;
+    }
+    return reorg_cost(n1, n2, root_stride) + left + twiddle_cost(n, n2, 0) + right + perm;
   }
   return static_cast<double>(n2) * estimate_tree_seconds(*tree.left, root_stride * n2) /
              fanout_workers(n, n2) +
@@ -356,6 +472,17 @@ const FftPlanner::Best& FftPlanner::measured_best(index_t n, index_t stride, boo
     winner.cost = measure_subtree(*winner.tree, stride, floor);
   }
 
+  // Stockham autosort leaf, timed in its embedded strided context like
+  // every other candidate (Get_Time makes no modeling assumptions).
+  if (opts_.enable_stockham && n >= 2 && is_pow2(n)) {
+    auto tree = plan::make_stockham_leaf(n);
+    const double cost = measure_subtree(*tree, stride, floor);
+    if (cost < winner.cost) {
+      winner.cost = cost;
+      winner.tree = std::move(tree);
+    }
+  }
+
   for (const auto& [n1, n2] : candidate_splits(n)) {
     const Best& right = measured_best(n2, stride, allow_ddl, floor);
     {
@@ -374,6 +501,15 @@ const FftPlanner::Best& FftPlanner::measured_best(index_t n, index_t stride, boo
       if (cost < winner.cost) {
         winner.cost = cost;
         winner.tree = std::move(tree);
+      }
+      if (opts_.enable_fused) {
+        auto fused = plan::make_split(plan::clone(*left.tree), plan::clone(*right.tree), true,
+                                      true);
+        const double fcost = measure_subtree(*fused, stride, floor);
+        if (fcost < winner.cost) {
+          winner.cost = fcost;
+          winner.tree = std::move(fused);
+        }
       }
     }
   }

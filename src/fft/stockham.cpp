@@ -20,23 +20,25 @@ StockhamFft::StockhamFft(index_t n) : n_(n), work_(n), twiddle_(n / 2) {
 
 void StockhamFft::forward(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
-  run(data.data());
+  run_with(data.data(), work_.data());
 }
 
 void StockhamFft::inverse(std::span<cplx> data) {
   DDL_REQUIRE(static_cast<index_t>(data.size()) == n_, "data size != plan size");
   for (auto& v : data) v = std::conj(v);
-  run(data.data());
+  run_with(data.data(), work_.data());
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& v : data) v = std::conj(v) * scale;
 }
 
-void StockhamFft::run(cplx* data) {
+void StockhamFft::run_with(cplx* data, cplx* work) const {
+  DDL_REQUIRE(data != nullptr && work != nullptr && data != work,
+              "run_with needs distinct data and work buffers");
   // Decimation-in-frequency Stockham: at each stage the half-length
   // butterflies write in self-sorting order; src/dst swap every stage and
   // every access in both buffers is unit-stride.
   cplx* src = data;
-  cplx* dst = work_.data();
+  cplx* dst = work;
   index_t half = n_ / 2;  // butterflies per group
   index_t s = 1;          // group width (duplication factor)
   index_t tstep = 1;      // twiddle table stride for the current stage

@@ -121,6 +121,9 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::svc_batch: return "svc_batch";
     case Stage::svc_gather: return "svc_gather";
     case Stage::svc_scatter: return "svc_scatter";
+    case Stage::twiddle_scatter: return "twiddle_scatter";
+    case Stage::stockham_leaf: return "stockham_leaf";
+    case Stage::plan_build: return "plan_build";
     case Stage::count_: break;
   }
   return "unknown";
@@ -152,6 +155,7 @@ const char* counter_name(Counter counter) noexcept {
     case Counter::svc_batches: return "svc_batches";
     case Counter::svc_batched_requests: return "svc_batched_requests";
     case Counter::svc_fallback_plans: return "svc_fallback_plans";
+    case Counter::calib_unmapped_events: return "calib_unmapped_events";
     case Counter::count_: break;
   }
   return "unknown";

@@ -46,19 +46,24 @@ bool parse_double(const std::string& token, double& out) {
 
 double CostDb::get_or_measure(const CostKey& key, const std::function<double()>& measure) {
   const auto k = to_tuple(key);
-  if (auto it = table_.find(k); it != table_.end()) return it->second;
+  if (auto it = table_.find(k); it != table_.end()) return it->second.seconds;
   const double seconds = measure();
   DDL_CHECK(seconds >= 0.0, "measured cost must be non-negative");
-  table_.emplace(k, seconds);
+  table_.emplace(k, Entry{seconds, CostSource::probe});
   return seconds;
 }
 
 bool CostDb::contains(const CostKey& key) const { return table_.count(to_tuple(key)) != 0; }
 
-void CostDb::put(const CostKey& key, double seconds) {
+bool CostDb::is_calibrated(const CostKey& key) const {
+  const auto it = table_.find(to_tuple(key));
+  return it != table_.end() && it->second.source == CostSource::calibrated;
+}
+
+void CostDb::put(const CostKey& key, double seconds, CostSource source) {
   DDL_CHECK(std::isfinite(seconds) && seconds >= 0.0,
             "cost must be finite and non-negative");
-  table_[to_tuple(key)] = seconds;
+  table_[to_tuple(key)] = Entry{seconds, source};
 }
 
 bool CostDb::save(const std::filesystem::path& file) const {
@@ -67,7 +72,9 @@ bool CostDb::save(const std::filesystem::path& file) const {
   os.precision(17);
   for (const auto& [k, v] : table_) {
     os << std::get<0>(k) << ' ' << std::get<1>(k) << ' ' << std::get<2>(k) << ' '
-       << std::get<3>(k) << ' ' << isa_token(std::get<4>(k)) << ' ' << v << '\n';
+       << std::get<3>(k) << ' ' << isa_token(std::get<4>(k)) << ' ' << v.seconds;
+    if (v.source == CostSource::calibrated) os << " calib";
+    os << '\n';
   }
   return static_cast<bool>(os);
 }
@@ -94,10 +101,17 @@ bool CostDb::load(const std::filesystem::path& file) {
     ++line_no;
     const std::vector<std::string> tokens = split_tokens(line);
     if (tokens.empty()) continue;  // blank line
-    // "kind a b c isa seconds"; legacy files predate the isa column and
-    // carry five tokens, loading with isa = "".
-    if (tokens.size() != 5 && tokens.size() != 6) {
-      return fail("expected 'kind a b c [isa] seconds'");
+    // "kind a b c isa seconds [calib]"; legacy files predate the isa column
+    // and carry five tokens, loading with isa = "". A seventh token is the
+    // provenance tag and must be exactly "calib" — anything else is a
+    // malformed line, not silently-ignored trailing garbage.
+    if (tokens.size() < 5 || tokens.size() > 7) {
+      return fail("expected 'kind a b c [isa] seconds [calib]'");
+    }
+    CostSource source = CostSource::probe;
+    if (tokens.size() == 7) {
+      if (tokens[6] != "calib") return fail("unknown provenance tag (expected 'calib')");
+      source = CostSource::calibrated;
     }
     long long a = 0;
     long long b = 0;
@@ -107,13 +121,14 @@ bool CostDb::load(const std::filesystem::path& file) {
       return fail("malformed key parameter");
     }
     std::string isa;
-    if (tokens.size() == 6 && tokens[4] != "-") isa = tokens[4];
+    if (tokens.size() >= 6 && tokens[4] != "-") isa = tokens[4];
     double seconds = 0.0;
-    if (!parse_double(tokens.back(), seconds)) return fail("malformed cost");
+    const std::string& cost_token = tokens.size() == 5 ? tokens[4] : tokens[5];
+    if (!parse_double(cost_token, seconds)) return fail("malformed cost");
     if (!std::isfinite(seconds) || seconds < 0.0) {
       return fail("cost must be finite and non-negative");
     }
-    staged[{tokens[0], a, b, c, std::move(isa)}] = seconds;
+    staged[{tokens[0], a, b, c, std::move(isa)}] = Entry{seconds, source};
   }
   for (auto& [k, v] : staged) table_[k] = v;
   return true;

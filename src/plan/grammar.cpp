@@ -24,10 +24,11 @@ class Parser {
     skip_ws();
     if (pos_ >= text_.size()) fail("unexpected end of input");
     if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) return parse_leaf();
+    if (text_[pos_] == 's') return parse_stockham();  // only "st(...)" starts with 's'
     return parse_split();
   }
 
-  TreePtr parse_leaf() {
+  index_t parse_integer() {
     index_t value = 0;
     bool any = false;
     while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
@@ -37,19 +38,38 @@ class Parser {
       if (value > (index_t{1} << 40)) fail("leaf size out of range");
     }
     if (!any || value < 1) fail("expected a positive integer leaf");
-    return make_leaf(value);
+    return value;
+  }
+
+  TreePtr parse_leaf() { return make_leaf(parse_integer()); }
+
+  TreePtr parse_stockham() {
+    const std::size_t at = pos_;
+    if (!consume("st")) fail("expected 'st'");
+    expect('(');
+    skip_ws();
+    const index_t value = parse_integer();
+    expect(')');
+    // Positioned rejection, mirroring the degenerate-split checks below.
+    if (value < 2 || (value & (value - 1)) != 0) {
+      fail_at(at, "Stockham leaf size must be a power of two >= 2");
+    }
+    return make_stockham_leaf(value);
   }
 
   TreePtr parse_split() {
     skip_ws();
     const std::size_t at = pos_;  // position of the split keyword for diagnostics
     bool ddl = false;
-    if (consume("ctddl")) {
+    bool fused = false;
+    if (consume("ctddlf")) {
+      ddl = fused = true;
+    } else if (consume("ctddl")) {
       ddl = true;
     } else if (consume("ct")) {
       ddl = false;
     } else {
-      fail("expected 'ct' or 'ctddl'");
+      fail("expected 'ct', 'ctddl', or 'ctddlf'");
     }
     expect('(');
     TreePtr left = parse_tree();
@@ -61,14 +81,16 @@ class Parser {
     if (ddl && left->n == 1) fail_at(at, "ddl flag on a size-1 left factor");
     if (ddl && right->n == 1) fail_at(at, "ddl flag on a size-1 right factor");
     if (left->n == 1 && right->n == 1) fail_at(at, "split of two size-1 factors");
-    return make_split(std::move(left), std::move(right), ddl);
+    return make_split(std::move(left), std::move(right), ddl, fused);
   }
 
   bool consume(std::string_view word) {
     skip_ws();
     if (text_.substr(pos_, word.size()) != word) return false;
-    // "ct" must not be the prefix of "ctddl".
+    // No keyword may match as a prefix of a longer one: "ct" is a prefix of
+    // "ctddl", which is itself a prefix of "ctddlf".
     if (word == "ct" && text_.substr(pos_, 5) == "ctddl") return false;
+    if (word == "ctddl" && text_.substr(pos_, 6) == "ctddlf") return false;
     pos_ += word.size();
     return true;
   }

@@ -13,95 +13,187 @@ namespace {
 struct Acc {
   double seconds = 0.0;
   std::uint64_t weight = 0;  // divisor: events, or leaf calls for dft_leaf
+  std::size_t events = 0;    // raw event count folded in (for stats)
 };
 
 double event_seconds(const obs::Event& e) {
   return static_cast<double>(e.t1_ns - e.t0_ns) * 1e-9;
 }
 
-/// Cost-key isa component for a leaf event: the planner files scalar /
-/// unbatched leaf costs under an empty isa, so only the wide backends get
-/// a tag (isa_label maps 0 and unknown values to "scalar").
+/// Cost-key isa component for a leaf/fused event: the planner files scalar /
+/// unbatched costs under an empty isa, so only the wide backends get a tag
+/// (isa_label maps 0 and unknown values to "scalar").
 std::string event_isa(const obs::Event& e) {
   return e.isa == obs::kIsaScalar ? std::string{} : obs::isa_label(e.isa);
 }
 
+/// Container stages aggregate other events (whole transforms, sub-transform
+/// loops, pool dispatch, executor construction). They carry no primitive
+/// cost of their own, so not mapping them is intentional — they are counted
+/// separately from genuinely unmapped work events.
+bool is_composite(obs::Stage stage) {
+  switch (stage) {
+    case obs::Stage::transform:
+    case obs::Stage::batch:
+    case obs::Stage::fft_cols:
+    case obs::Stage::fft_rows:
+    case obs::Stage::wht_cols:
+    case obs::Stage::wht_rows:
+    case obs::Stage::par_dispatch:
+    case obs::Stage::par_chunk:
+    case obs::Stage::svc_batch:
+    case obs::Stage::plan_build:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
-std::size_t ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
+IngestStats ingest_stage_costs(CostDb& db, const obs::Snapshot& snap) {
+  IngestStats stats;
   using KeyTuple = std::tuple<std::string, index_t, index_t, index_t, std::string>;
   std::map<KeyTuple, Acc> acc;
 
   // reorg is probed as a gather+scatter *pair*; accumulate the two stages
-  // separately, then sum their per-event means under one key.
+  // separately, then sum their per-event means under one key. The gather
+  // half additionally calibrates the standalone "reorg_g" key a fused
+  // ctddlf split is charged.
   std::map<std::pair<index_t, index_t>, Acc> gather;
   std::map<std::pair<index_t, index_t>, Acc> scatter;
 
   for (const obs::Event& e : snap.events) {
+    ++stats.events_total;
     const double s = event_seconds(e);
     switch (e.stage) {
       case obs::Stage::leaf_cols: {
-        if (e.b <= 0) break;
+        if (e.b <= 0) {
+          ++stats.events_unmapped;
+          obs::count(obs::Counter::calib_unmapped_events);
+          break;
+        }
         Acc& a = acc[{"dft_leaf", static_cast<index_t>(e.a), 1, 0, event_isa(e)}];
         a.seconds += s;
         a.weight += static_cast<std::uint64_t>(e.b);
+        ++a.events;
+        ++stats.events_used;
         break;
       }
       case obs::Stage::twiddle_cols: {
         Acc& a = acc[{"tw_cols", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 0, {}}];
         a.seconds += s;
         a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
         break;
       }
       case obs::Stage::twiddle_rows: {
         Acc& a = acc[{"tw_rows", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1, {}}];
         a.seconds += s;
         a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
         break;
       }
       case obs::Stage::stride_perm: {
         Acc& a = acc[{"perm", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1, {}}];
         a.seconds += s;
         a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
+        break;
+      }
+      case obs::Stage::twiddle_scatter: {
+        Acc& a = acc[{"fused_tws", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 1,
+                      event_isa(e)}];
+        a.seconds += s;
+        a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
+        break;
+      }
+      case obs::Stage::stockham_leaf: {
+        Acc& a = acc[{"stockham", static_cast<index_t>(e.a), static_cast<index_t>(e.b), 0, {}}];
+        a.seconds += s;
+        a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
         break;
       }
       case obs::Stage::reorg_gather: {
         Acc& a = gather[{static_cast<index_t>(e.a), static_cast<index_t>(e.b)}];
         a.seconds += s;
         a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
         break;
       }
       case obs::Stage::reorg_scatter: {
         Acc& a = scatter[{static_cast<index_t>(e.a), static_cast<index_t>(e.b)}];
         a.seconds += s;
         a.weight += 1;
+        ++a.events;
+        ++stats.events_used;
         break;
       }
-      default:
-        break;  // no cost-key mapping for this stage
+      default: {
+        if (is_composite(e.stage)) {
+          ++stats.events_composite;
+        } else {
+          // A work stage with no cost-key mapping: a calibration gap, not a
+          // structural aggregate. Counted here AND in the obs counter so
+          // both the ingest caller and counter exports can surface it.
+          ++stats.events_unmapped;
+          obs::count(obs::Counter::calib_unmapped_events);
+        }
+        break;
+      }
     }
   }
 
   for (const auto& [dims, g] : gather) {
+    // The gather half alone calibrates reorg_g (what a fused split pays).
+    Acc& gk = acc[{"reorg_g", dims.first, dims.second, 1, {}}];
+    gk.seconds = g.seconds / static_cast<double>(g.weight);
+    gk.weight = 1;
+    gk.events = g.events;
+
     const auto it = scatter.find(dims);
-    if (it == scatter.end()) continue;  // need both halves of the pair
+    if (it == scatter.end()) {
+      // Unpaired gather: its events cannot calibrate the round-trip key.
+      // They already fed reorg_g above, so this is informational only.
+      continue;
+    }
     Acc& a = acc[{"reorg", dims.first, dims.second, 1, {}}];
     a.seconds = g.seconds / static_cast<double>(g.weight) +
                 it->second.seconds / static_cast<double>(it->second.weight);
     a.weight = 1;
+    a.events = g.events + it->second.events;
+  }
+  // Unpaired scatter halves never reach any key: count them as unmapped so
+  // the drop is visible (a fused run produces no scatter events at all, so
+  // this stays zero on healthy traces).
+  for (const auto& [dims, sc] : scatter) {
+    if (gather.find(dims) == gather.end()) {
+      stats.events_used -= sc.events;
+      stats.events_unmapped += sc.events;
+      for (std::size_t i = 0; i < sc.events; ++i) {
+        obs::count(obs::Counter::calib_unmapped_events);
+      }
+    }
   }
 
-  std::size_t written = 0;
   for (const auto& [key, a] : acc) {
     if (a.weight == 0) continue;
     const double cost = a.seconds / static_cast<double>(a.weight);
     if (cost <= 0.0) continue;  // sub-resolution event; keep the probe value
     db.put(CostKey{std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key),
                    std::get<4>(key)},
-           cost);
-    ++written;
+           cost, CostSource::calibrated);
+    ++stats.keys_written;
   }
-  return written;
+  return stats;
 }
 
 }  // namespace ddl::plan

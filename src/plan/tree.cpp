@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ddl/common/check.hpp"
+#include "ddl/common/mathutil.hpp"
 
 namespace ddl::plan {
 
@@ -13,7 +14,17 @@ TreePtr make_leaf(index_t n) {
   return node;
 }
 
-TreePtr make_split(TreePtr left, TreePtr right, bool ddl) {
+TreePtr make_stockham_leaf(index_t n) {
+  // The autosort FFT only exists for power-of-two sizes; size 1 is a no-op
+  // a plain leaf already covers.
+  DDL_REQUIRE(n >= 2 && is_pow2(n), "Stockham leaf size must be a power of two >= 2");
+  auto node = std::make_unique<Node>();
+  node->n = n;
+  node->stockham = true;
+  return node;
+}
+
+TreePtr make_split(TreePtr left, TreePtr right, bool ddl, bool fused) {
   DDL_REQUIRE(left != nullptr && right != nullptr, "split needs two children");
   // Degenerate splits are rejected at construction: reorganizing a matrix
   // with a size-1 dimension is a pure pack/unpack (the "dynamic layout" can
@@ -22,23 +33,28 @@ TreePtr make_split(TreePtr left, TreePtr right, bool ddl) {
   DDL_REQUIRE(!(ddl && left->n == 1), "ddl flag on a size-1 left factor");
   DDL_REQUIRE(!(ddl && right->n == 1), "ddl flag on a size-1 right factor");
   DDL_REQUIRE(left->n > 1 || right->n > 1, "split of two size-1 factors");
+  // The fused pass is the ddl scatter with twiddles applied in flight; it
+  // has no meaning on a static split (there is no scatter to ride).
+  DDL_REQUIRE(!fused || ddl, "fused twiddle+scatter requires a ddl split");
   auto node = std::make_unique<Node>();
   node->n = left->n * right->n;
   node->ddl = ddl;
+  node->fused = fused;
   node->left = std::move(left);
   node->right = std::move(right);
   return node;
 }
 
 TreePtr clone(const Node& node) {
-  if (node.is_leaf()) return make_leaf(node.n);
-  return make_split(clone(*node.left), clone(*node.right), node.ddl);
+  if (node.is_leaf()) return node.stockham ? make_stockham_leaf(node.n) : make_leaf(node.n);
+  return make_split(clone(*node.left), clone(*node.right), node.ddl, node.fused);
 }
 
 bool equal(const Node& a, const Node& b) {
   if (a.n != b.n || a.is_leaf() != b.is_leaf()) return false;
-  if (a.is_leaf()) return true;
-  return a.ddl == b.ddl && equal(*a.left, *b.left) && equal(*a.right, *b.right);
+  if (a.is_leaf()) return a.stockham == b.stockham;
+  return a.ddl == b.ddl && a.fused == b.fused && equal(*a.left, *b.left) &&
+         equal(*a.right, *b.right);
 }
 
 index_t leaf_count(const Node& node) {
@@ -72,8 +88,11 @@ void for_each_node(const Node& node, index_t root_stride,
 }
 
 std::string to_string(const Node& node) {
-  if (node.is_leaf()) return std::to_string(node.n);
-  std::string out = node.ddl ? "ctddl(" : "ct(";
+  if (node.is_leaf()) {
+    if (node.stockham) return "st(" + std::to_string(node.n) + ")";
+    return std::to_string(node.n);
+  }
+  std::string out = node.ddl ? (node.fused ? "ctddlf(" : "ctddl(") : "ct(";
   out += to_string(*node.left);
   out += ',';
   out += to_string(*node.right);
@@ -87,7 +106,8 @@ namespace {
 int dot_node(const Node& node, index_t stride, int& next_id, std::string& out) {
   const int id = next_id++;
   std::string label = std::to_string(node.n) + " @ " + std::to_string(stride);
-  if (!node.is_leaf() && node.ddl) label += "\\nddl";
+  if (!node.is_leaf() && node.ddl) label += node.fused ? "\\nddl fused" : "\\nddl";
+  if (node.is_leaf() && node.stockham) label += "\\nstockham";
   out += "  n" + std::to_string(id) + " [label=\"" + label + "\"";
   if (node.is_leaf()) {
     out += ", shape=box";

@@ -42,7 +42,11 @@ std::uint64_t FftTracer::twiddle_base(index_t n) {
 void FftTracer::node(const plan::Node& nd, std::uint64_t base, index_t stride,
                      std::uint64_t arena) {
   if (nd.is_leaf()) {
-    leaf(nd.n, base, stride);
+    if (nd.stockham) {
+      stockham_leaf(nd.n, base, stride, arena);
+    } else {
+      leaf(nd.n, base, stride);
+    }
     return;
   }
   const index_t n = nd.n;
@@ -56,8 +60,12 @@ void FftTracer::node(const plan::Node& nd, std::uint64_t base, index_t stride,
     for (index_t j = 0; j < n2; ++j) {
       node(*nd.left, arena + static_cast<std::uint64_t>(j) * n1 * eb, 1, child_arena);
     }
-    twiddle_cols(n, n1, n2, arena);
-    transpose_scatter(base, stride, n1, n2, arena);
+    if (nd.fused) {
+      twiddle_scatter(base, stride, n1, n2, arena);
+    } else {
+      twiddle_cols(n, n1, n2, arena);
+      transpose_scatter(base, stride, n1, n2, arena);
+    }
   } else {
     for (index_t j = 0; j < n2; ++j) {
       node(*nd.left, base + static_cast<std::uint64_t>(j) * stride * eb, stride * n2, arena);
@@ -80,6 +88,59 @@ void FftTracer::leaf(index_t n, std::uint64_t base, index_t stride) {
   }
   for (index_t i = 0; i < n; ++i) {
     cache_.access(base + static_cast<std::uint64_t>(i) * stride * eb, /*is_write=*/true);
+  }
+}
+
+void FftTracer::stockham_leaf(index_t n, std::uint64_t base, index_t stride,
+                              std::uint64_t arena) {
+  // Mirrors FftExecutor::run_stockham: strided leaves pack into the arena
+  // and ping-pong within it; unit-stride leaves ping-pong data <-> arena.
+  const std::uint64_t eb = opts_.elem_bytes;
+  const std::uint64_t tw = opts_.include_twiddles ? twiddle_base(n) : 0;
+  std::uint64_t src, dst;
+  if (stride > 1) {
+    for (index_t i = 0; i < n; ++i) {
+      cache_.access(base + static_cast<std::uint64_t>(i) * stride * eb, false);
+      cache_.access(arena + static_cast<std::uint64_t>(i) * eb, true);
+    }
+    src = arena;
+    dst = arena + static_cast<std::uint64_t>(n) * eb;
+  } else {
+    src = base;
+    dst = arena;
+  }
+  const std::uint64_t home = src;
+  index_t half = n / 2;
+  index_t s = 1;
+  index_t tstep = 1;
+  while (half >= 1) {
+    for (index_t p = 0; p < half; ++p) {
+      if (opts_.include_twiddles) {
+        cache_.access(tw + static_cast<std::uint64_t>(p * tstep) * eb, false);
+      }
+      for (index_t q = 0; q < s; ++q) {
+        cache_.access(src + static_cast<std::uint64_t>(s * p + q) * eb, false);
+        cache_.access(src + static_cast<std::uint64_t>(s * (p + half) + q) * eb, false);
+        cache_.access(dst + static_cast<std::uint64_t>(2 * s * p + q) * eb, true);
+        cache_.access(dst + static_cast<std::uint64_t>(s * (2 * p + 1) + q) * eb, true);
+      }
+    }
+    std::swap(src, dst);
+    half /= 2;
+    s *= 2;
+    tstep *= 2;
+  }
+  if (src != home) {
+    for (index_t i = 0; i < n; ++i) {
+      cache_.access(src + static_cast<std::uint64_t>(i) * eb, false);
+      cache_.access(home + static_cast<std::uint64_t>(i) * eb, true);
+    }
+  }
+  if (stride > 1) {
+    for (index_t i = 0; i < n; ++i) {
+      cache_.access(arena + static_cast<std::uint64_t>(i) * eb, false);
+      cache_.access(base + static_cast<std::uint64_t>(i) * stride * eb, true);
+    }
   }
 }
 
@@ -119,6 +180,31 @@ void FftTracer::twiddle_cols(index_t n, index_t n1, index_t n2, std::uint64_t sc
       const std::uint64_t addr = col + static_cast<std::uint64_t>(i) * eb;
       cache_.access(addr, /*is_write=*/false);
       cache_.access(addr, /*is_write=*/true);
+    }
+  }
+}
+
+void FftTracer::twiddle_scatter(std::uint64_t data, index_t stride, index_t n1, index_t n2,
+                                std::uint64_t scratch) {
+  // One sweep per column: unit-stride scratch reads, twiddle-table reads,
+  // strided comb writes — the fused ctddlf pass's access order.
+  const index_t n = n1 * n2;
+  const std::uint64_t eb = opts_.elem_bytes;
+  const std::uint64_t tw = opts_.include_twiddles ? twiddle_base(n) : 0;
+  for (index_t j = 0; j < n2; ++j) {
+    const std::uint64_t col = scratch + static_cast<std::uint64_t>(j) * n1 * eb;
+    const std::uint64_t dst = data + static_cast<std::uint64_t>(j) * stride * eb;
+    index_t idx = 0;
+    for (index_t i = 0; i < n1; ++i) {
+      cache_.access(col + static_cast<std::uint64_t>(i) * eb, false);
+      if (j > 0 && i > 0) {
+        idx += j;
+        if (idx >= n) idx -= n;
+        if (opts_.include_twiddles) {
+          cache_.access(tw + static_cast<std::uint64_t>(idx) * eb, false);
+        }
+      }
+      cache_.access(dst + static_cast<std::uint64_t>(i) * n2 * stride * eb, true);
     }
   }
 }
@@ -341,13 +427,14 @@ double tw_cols_cost_sim(const OracleOptions& opts, index_t n, index_t n2) {
   return cost_of(cache, opts.miss_penalty);
 }
 
-/// Blocked transpose pair (gather + scatter) on a strided n1 x n2 node.
+/// Blocked transpose (gather alone with passes == 1, gather + scatter pair
+/// with passes == 2) on a strided n1 x n2 node.
 double reorg_cost_sim(const OracleOptions& opts, index_t n1, index_t n2, index_t stride,
-                      std::size_t elem_bytes) {
+                      std::size_t elem_bytes, int passes = 2) {
   cache::Cache cache(opts.cache);
   const std::uint64_t eb = elem_bytes;
   const std::uint64_t scratch = static_cast<std::uint64_t>(n1 * n2 * stride) * eb;
-  for (int pass = 0; pass < 2; ++pass) {
+  for (int pass = 0; pass < passes; ++pass) {
     for (index_t jb = 0; jb < n2; jb += kTile) {
       const index_t je = std::min(jb + kTile, n2);
       for (index_t ib = 0; ib < n1; ib += kTile) {
@@ -362,6 +449,85 @@ double reorg_cost_sim(const OracleOptions& opts, index_t n1, index_t n2, index_t
           }
         }
       }
+    }
+  }
+  return cost_of(cache, opts.miss_penalty);
+}
+
+/// Fused twiddle+scatter sweep of a ctddlf node: per column, unit-stride
+/// scratch reads, twiddle reads and strided comb writes (see
+/// FftTracer::twiddle_scatter for the executor-side mirror).
+double fused_tws_cost_sim(const OracleOptions& opts, index_t n1, index_t n2, index_t stride) {
+  cache::Cache cache(opts.cache);
+  const std::uint64_t eb = sizeof(cplx);
+  const index_t n = n1 * n2;
+  const std::uint64_t scratch = static_cast<std::uint64_t>(n * stride) * eb;
+  const std::uint64_t tw = scratch + static_cast<std::uint64_t>(n) * eb;
+  for (index_t j = 0; j < n2; ++j) {
+    const std::uint64_t col = scratch + static_cast<std::uint64_t>(j * n1) * eb;
+    const std::uint64_t dst = static_cast<std::uint64_t>(j * stride) * eb;
+    index_t idx = 0;
+    for (index_t i = 0; i < n1; ++i) {
+      cache.access(col + static_cast<std::uint64_t>(i) * eb, false);
+      if (j > 0 && i > 0) {
+        idx += j;
+        if (idx >= n) idx -= n;
+        cache.access(tw + static_cast<std::uint64_t>(idx) * eb, false);
+      }
+      cache.access(dst + static_cast<std::uint64_t>(i * n2 * stride) * eb, true);
+    }
+  }
+  return cost_of(cache, opts.miss_penalty);
+}
+
+/// Stockham autosort leaf: strided pack/unpack around log2(n) unit-stride
+/// ping-pong butterfly stages (see FftTracer::stockham_leaf).
+double stockham_cost_sim(const OracleOptions& opts, index_t n, index_t stride) {
+  cache::Cache cache(opts.cache);
+  const std::uint64_t eb = sizeof(cplx);
+  const std::uint64_t buf0 = static_cast<std::uint64_t>(n * stride) * eb;
+  const std::uint64_t buf1 = buf0 + static_cast<std::uint64_t>(n) * eb;
+  const std::uint64_t tw = buf1 + static_cast<std::uint64_t>(n) * eb;
+  std::uint64_t src = buf0;
+  std::uint64_t dst = buf1;
+  if (stride > 1) {
+    for (index_t i = 0; i < n; ++i) {
+      cache.access(static_cast<std::uint64_t>(i * stride) * eb, false);
+      cache.access(buf0 + static_cast<std::uint64_t>(i) * eb, true);
+    }
+  } else {
+    src = 0;  // unit stride runs directly on the data array
+    dst = buf0;
+  }
+  const std::uint64_t home = src;
+  index_t half = n / 2;
+  index_t s = 1;
+  index_t tstep = 1;
+  while (half >= 1) {
+    for (index_t p = 0; p < half; ++p) {
+      cache.access(tw + static_cast<std::uint64_t>(p * tstep) * eb, false);
+      for (index_t q = 0; q < s; ++q) {
+        cache.access(src + static_cast<std::uint64_t>(s * p + q) * eb, false);
+        cache.access(src + static_cast<std::uint64_t>(s * (p + half) + q) * eb, false);
+        cache.access(dst + static_cast<std::uint64_t>(2 * s * p + q) * eb, true);
+        cache.access(dst + static_cast<std::uint64_t>(s * (2 * p + 1) + q) * eb, true);
+      }
+    }
+    std::swap(src, dst);
+    half /= 2;
+    s *= 2;
+    tstep *= 2;
+  }
+  if (src != home) {
+    for (index_t i = 0; i < n; ++i) {
+      cache.access(src + static_cast<std::uint64_t>(i) * eb, false);
+      cache.access(home + static_cast<std::uint64_t>(i) * eb, true);
+    }
+  }
+  if (stride > 1) {
+    for (index_t i = 0; i < n; ++i) {
+      cache.access(buf0 + static_cast<std::uint64_t>(i) * eb, false);
+      cache.access(static_cast<std::uint64_t>(i * stride) * eb, true);
     }
   }
   return cost_of(cache, opts.miss_penalty);
@@ -402,6 +568,9 @@ std::function<double(const plan::CostKey&)> simulated_cost_oracle(OracleOptions 
     if (key.kind == "tw_cols") return tw_cols_cost_sim(opts, key.a, key.b);
     if (key.kind == "perm") return perm_cost_sim(opts, key.a, key.b, key.c);
     if (key.kind == "reorg") return reorg_cost_sim(opts, key.a, key.b, key.c, sizeof(cplx));
+    if (key.kind == "reorg_g") return reorg_cost_sim(opts, key.a, key.b, key.c, sizeof(cplx), 1);
+    if (key.kind == "fused_tws") return fused_tws_cost_sim(opts, key.a, key.b, key.c);
+    if (key.kind == "stockham") return stockham_cost_sim(opts, key.a, key.b);
     if (key.kind == "wht_reorg") return reorg_cost_sim(opts, key.a, key.b, key.c, sizeof(real_t));
     throw std::invalid_argument("simulated_cost_oracle: unknown primitive kind '" + key.kind +
                                 "'");

@@ -86,10 +86,17 @@ void node_stages(const plan::Node& node, Transform kind, const std::string& path
           {Space::scratch, 0, n1, n2, 1, n1});  // column j -> scratch[j*n1 ..)
     stage("left columns (scratch)", {Space::scratch, 0, n1, n2, 1, left_ext},
           leaf_lanes(*node.left, wht));
-    if (kind == Transform::fft) {
-      stage("twiddle columns (scratch)", {Space::scratch, n1, n1, n2 - 1, 1, n1});
+    if (node.fused && kind == Transform::fft) {
+      // ctddlf: one pass reads scratch column j and writes the data comb
+      // j + i*n2 — same write family as the scatter it replaces, with the
+      // twiddle multiply folded in (no separate scratch-space twiddle stage).
+      stage("twiddle scatter (fused)", {Space::data, 0, 1, n2, n2, n1});
+    } else {
+      if (kind == Transform::fft) {
+        stage("twiddle columns (scratch)", {Space::scratch, n1, n1, n2 - 1, 1, n1});
+      }
+      stage("reorg scatter", {Space::data, 0, 1, n2, n2, n1});  // comb j + i*n2
     }
-    stage("reorg scatter", {Space::data, 0, 1, n2, n2, n1});  // comb j + i*n2
   } else {
     stage("left columns", {Space::data, 0, 1, n2, n2, left_ext},
           leaf_lanes(*node.left, wht));

@@ -14,7 +14,10 @@
 namespace ddl::verify {
 
 index_t scratch_requirement(const plan::Node& tree, Transform kind) {
-  if (tree.is_leaf()) return 0;
+  // A Stockham leaf needs a full 2n region: n for the strided pack plus n
+  // for the ping-pong buffer (stride-1 leaves use only n of it, but the
+  // symbolic demand is the worst embedding). Codelet leaves run in place.
+  if (tree.is_leaf()) return tree.stockham ? 2 * tree.n : 0;
   const index_t left = scratch_requirement(*tree.left, kind);
   const index_t right = scratch_requirement(*tree.right, kind);
   // A ddl node parks its n-element reorganization region while the left
@@ -37,6 +40,19 @@ void check_leaf(const plan::Node& node, const std::string& path, const VerifyOpt
                 Report& report) {
   if (node.n < 1) {
     diag(report, Rule::size_product, path, "leaf size must be >= 1", 1, node.n);
+    return;
+  }
+  if (node.stockham) {
+    // st(n) is a DFT algorithm; the WHT executor has no kernel for it. Size
+    // legality (pow2 >= 2) is enforced at construction by make_stockham_leaf,
+    // but a verifier must not trust constructors it didn't run.
+    if (opts.transform == Transform::wht) {
+      diag(report, Rule::codelet_coverage, path,
+           "Stockham autosort leaf is FFT-only (no WHT kernel exists for it)", 0, node.n);
+    } else if (node.n < 2 || !is_pow2(node.n)) {
+      diag(report, Rule::codelet_coverage, path,
+           "Stockham leaf size must be a power of two >= 2", 2, node.n);
+    }
     return;
   }
   if (opts.transform == Transform::wht) {
@@ -82,6 +98,17 @@ void check_node(const plan::Node& node, const std::string& path, const VerifyOpt
          "ddl flag on a degenerate split (size-1 factor): reorganization cannot change any "
          "stride here",
          2, n1 == 1 ? n1 : n2);
+  }
+  if (node.fused) {
+    if (!node.ddl) {
+      diag(report, Rule::ddl_legality, path,
+           "fused twiddle+scatter flag on a non-ddl split (there is no scatter to fuse into)", 1,
+           0);
+    }
+    if (opts.transform == Transform::wht) {
+      diag(report, Rule::ddl_legality, path,
+           "fused twiddle+scatter split is FFT-only (WHT has no twiddle pass)", 0, node.n);
+    }
   }
   if (opts.transform == Transform::fft) {
     // The incremental twiddle index walk (idx += i; if (idx >= n) idx -= n)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ddl/common/aligned.hpp"
+#include "ddl/common/parallel.hpp"
 #include "ddl/common/rng.hpp"
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
@@ -60,6 +61,76 @@ INSTANTIATE_TEST_SUITE_P(
     DirectFallbackLeaves, TreeVsReference,
     ::testing::Values("11", "13", "ct(11,4)", "ct(4,11)", "ctddl(13,8)", "ct(11,ct(13,2))"));
 
+INSTANTIATE_TEST_SUITE_P(
+    FusedTrees, TreeVsReference,
+    ::testing::Values("ctddlf(2,2)", "ctddlf(4,4)", "ctddlf(16,16)", "ctddlf(32,32)",
+                      "ctddlf(3,5)", "ctddlf(ct(4,4),ct(4,4))", "ctddlf(ctddlf(16,16),16)",
+                      "ctddl(ctddlf(8,8),ctddlf(8,8))", "ctddlf(12,ctddl(9,5))"));
+
+INSTANTIATE_TEST_SUITE_P(
+    StockhamLeaves, TreeVsReference,
+    ::testing::Values("st(2)", "st(8)", "st(64)", "st(1024)", "ct(st(32),32)",
+                      "ct(32,st(32))", "ctddl(st(16),st(64))", "ctddlf(st(32),st(32))"));
+
+// The fused twiddle+scatter pass must be BITWISE identical to the two-pass
+// (twiddle columns, then transpose-scatter) path it replaces — same products
+// in the same order, contraction off in both owning TUs. Exact equality, at
+// every thread count: the parallel column split may not change a single bit.
+TEST(TreeExecutor, FusedPathBitwiseIdenticalToTwoPass) {
+  struct Shape {
+    const char* two_pass;
+    const char* fused;
+  };
+  const Shape shapes[] = {
+      {"ctddl(32,32)", "ctddlf(32,32)"},
+      {"ctddl(16,64)", "ctddlf(16,64)"},
+      {"ctddl(12,ctddl(9,5))", "ctddlf(12,ctddl(9,5))"},
+      {"ctddl(ctddl(32,32),ctddl(32,32))", "ctddlf(ctddl(32,32),ctddl(32,32))"},
+  };
+  const int saved_threads = parallel::max_threads();
+  for (const int threads : {1, 2, 4}) {
+    parallel::set_threads(threads);
+    for (const Shape& s : shapes) {
+      const auto two = plan::parse_tree(s.two_pass);
+      const auto fused = plan::parse_tree(s.fused);
+      ASSERT_EQ(two->n, fused->n);
+      const index_t n = two->n;
+      AlignedBuffer<cplx> a(n);
+      AlignedBuffer<cplx> b(n);
+      fill_random(a.span(), 314);
+      for (index_t i = 0; i < n; ++i) b[i] = a[i];
+      FftExecutor(*two).forward(a.span());
+      FftExecutor(*fused).forward(b.span());
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(a[i].real(), b[i].real())
+            << s.fused << " threads=" << threads << " element " << i;
+        ASSERT_EQ(a[i].imag(), b[i].imag())
+            << s.fused << " threads=" << threads << " element " << i;
+      }
+    }
+  }
+  parallel::set_threads(saved_threads);
+}
+
+TEST(TreeExecutor, StockhamLeafLargeAgainstRadix2) {
+  // Strided and unit-stride Stockham embeddings at a size where the O(n^2)
+  // reference is too slow; radix-2 is the independent cross-check.
+  const index_t n = 1 << 16;
+  for (const char* grammar : {"st(65536)", "ctddl(st(256),256)", "ct(256,st(256))"}) {
+    auto tree = plan::parse_tree(grammar);
+    ASSERT_EQ(tree->n, n) << grammar;
+    AlignedBuffer<cplx> a(n);
+    AlignedBuffer<cplx> b(n);
+    fill_random(a.span(), 88);
+    for (index_t i = 0; i < n; ++i) b[i] = a[i];
+    execute_tree(*tree, a.span());
+    Radix2Fft r2(n);
+    r2.forward(b.span());
+    EXPECT_LT(max_abs_diff(a.span(), b.span()), 1e-8 * std::sqrt(static_cast<double>(n)))
+        << grammar;
+  }
+}
+
 TEST(TreeExecutor, SdlAndDdlFlagsGiveSameAnswer) {
   // Toggling ddl flags changes the memory access strategy, never the math.
   const index_t n = 4096;
@@ -105,7 +176,9 @@ TEST_P(RoundTripParam, InverseUndoesForward) {
 
 INSTANTIATE_TEST_SUITE_P(Trees, RoundTripParam,
                          ::testing::Values("8", "ct(16,16)", "ctddl(32,32)",
-                                           "ctddl(ct(16,16),ctddl(16,16))", "ct(7,ct(9,5))"));
+                                           "ctddl(ct(16,16),ctddl(16,16))", "ct(7,ct(9,5))",
+                                           "ctddlf(32,32)", "ctddlf(16,ctddlf(8,8))",
+                                           "st(256)", "ct(st(32),32)"));
 
 TEST(TreeExecutor, SizeMismatchThrows) {
   FftExecutor exec(*plan::parse_tree("ct(4,4)"));

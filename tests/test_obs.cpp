@@ -562,15 +562,23 @@ TEST(ObsIngest, SyntheticSnapshotWritesPlannerKeys) {
       ev(obs::Stage::par_dispatch, 0, 100, 4, 2),
   };
   plan::CostDb db;
-  const std::size_t written = plan::ingest_stage_costs(db, snap);
-  EXPECT_EQ(written, 5u);
+  const plan::IngestStats stats = plan::ingest_stage_costs(db, snap);
+  EXPECT_EQ(stats.keys_written, 6u);  // the gather half also calibrates reorg_g
+  EXPECT_EQ(stats.events_total, 7u);
+  EXPECT_EQ(stats.events_used, 6u);
+  EXPECT_EQ(stats.events_composite, 1u);  // par_dispatch is scaffolding, not a gap
+  EXPECT_EQ(stats.events_unmapped, 0u);
   const auto probe = [] { return -1.0; };  // must never be called
   EXPECT_DOUBLE_EQ(db.get_or_measure({"dft_leaf", 32, 1, 0}, probe), 100e-9);
   EXPECT_DOUBLE_EQ(db.get_or_measure({"reorg", 32, 64, 1}, probe), 4000e-9);
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"reorg_g", 32, 64, 1}, probe), 1000e-9);
   EXPECT_DOUBLE_EQ(db.get_or_measure({"tw_cols", 2048, 64, 0}, probe), 2000e-9);
   EXPECT_DOUBLE_EQ(db.get_or_measure({"tw_rows", 2048, 64, 1}, probe), 2500e-9);
   EXPECT_DOUBLE_EQ(db.get_or_measure({"perm", 2048, 64, 1}, probe), 1000e-9);
   EXPECT_FALSE(db.contains({"reorg", 32, 64, 0}));  // stride-0 left to probes
+  // Every calibrated entry carries provenance.
+  EXPECT_TRUE(db.is_calibrated({"dft_leaf", 32, 1, 0}));
+  EXPECT_TRUE(db.is_calibrated({"reorg_g", 32, 64, 1}));
 }
 
 TEST(ObsIngest, AveragesRepeatedEventsPerKey) {
@@ -581,16 +589,63 @@ TEST(ObsIngest, AveragesRepeatedEventsPerKey) {
       ev(obs::Stage::twiddle_cols, 2000, 5000, 256, 16),
   };
   plan::CostDb db;
-  EXPECT_EQ(plan::ingest_stage_costs(db, snap), 1u);
+  EXPECT_EQ(plan::ingest_stage_costs(db, snap).keys_written, 1u);
   EXPECT_DOUBLE_EQ(db.get_or_measure({"tw_cols", 256, 16, 0}, [] { return -1.0; }), 2000e-9);
 }
 
-TEST(ObsIngest, GatherWithoutScatterWritesNoReorgKey) {
+TEST(ObsIngest, GatherWithoutScatterWritesOnlyReorgGKey) {
   obs::Snapshot snap;
   snap.threads = 1;
   snap.events = {ev(obs::Stage::reorg_gather, 0, 1000, 32, 64)};
   plan::CostDb db;
-  EXPECT_EQ(plan::ingest_stage_costs(db, snap), 0u);
+  // A lone gather cannot calibrate the round-trip "reorg" key, but it is
+  // exactly what a fused ctddlf split pays, so reorg_g is still written.
+  EXPECT_EQ(plan::ingest_stage_costs(db, snap).keys_written, 1u);
+  EXPECT_TRUE(db.contains({"reorg_g", 32, 64, 1}));
+  EXPECT_FALSE(db.contains({"reorg", 32, 64, 1}));
+}
+
+TEST(ObsIngest, FusedAndStockhamEventsCalibrateTheirKeys) {
+  obs::Snapshot snap;
+  snap.threads = 1;
+  snap.events = {
+      ev(obs::Stage::twiddle_scatter, 0, 2000, 32, 64),
+      ev(obs::Stage::stockham_leaf, 3000, 4000, 1024, 1),
+  };
+  plan::CostDb db;
+  const plan::IngestStats stats = plan::ingest_stage_costs(db, snap);
+  EXPECT_EQ(stats.keys_written, 2u);
+  EXPECT_EQ(stats.events_used, 2u);
+  const auto probe = [] { return -1.0; };
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"fused_tws", 32, 64, 1}, probe), 2000e-9);
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"stockham", 1024, 1, 0}, probe), 1000e-9);
+  EXPECT_TRUE(db.is_calibrated({"fused_tws", 32, 64, 1}));
+}
+
+TEST(ObsIngest, UnmappedWorkEventsAreCountedNotSilentlyDropped) {
+  const TraceGuard trace;  // counters only tally while tracing is enabled
+  obs::Snapshot snap;
+  snap.threads = 1;
+  snap.events = {
+      // Work stages with no cost-key mapping: calibration gaps.
+      ev(obs::Stage::svc_gather, 0, 100, 8, 2),
+      ev(obs::Stage::svc_scatter, 200, 300, 8, 2),
+      // An unpaired scatter half also cannot reach any key.
+      ev(obs::Stage::reorg_scatter, 400, 500, 32, 64),
+      // Composite scaffolding must NOT count as a gap.
+      ev(obs::Stage::transform, 0, 1000, 2048),
+      ev(obs::Stage::plan_build, 0, 50, 2048),
+      // One mappable event so used > 0.
+      ev(obs::Stage::stride_perm, 600, 700, 2048, 64),
+  };
+  plan::CostDb db;
+  const plan::IngestStats stats = plan::ingest_stage_costs(db, snap);
+  EXPECT_EQ(stats.events_total, 6u);
+  EXPECT_EQ(stats.events_used, 1u);
+  EXPECT_EQ(stats.events_composite, 2u);
+  EXPECT_EQ(stats.events_unmapped, 3u);
+  EXPECT_EQ(stats.keys_written, 1u);
+  EXPECT_EQ(obs::snapshot().counter(obs::Counter::calib_unmapped_events), 3u);
 }
 
 TEST(ObsIngest, TracedDdlRunCalibratesLeafAndReorgCosts) {
@@ -603,8 +658,9 @@ TEST(ObsIngest, TracedDdlRunCalibratesLeafAndReorgCosts) {
   const auto [snap, wall] = traced_fft(*tree, 2);
   (void)wall;
   plan::CostDb db;
-  const std::size_t written = plan::ingest_stage_costs(db, snap);
-  EXPECT_GT(written, 0u);
+  const plan::IngestStats stats = plan::ingest_stage_costs(db, snap);
+  EXPECT_GT(stats.keys_written, 0u);
+  EXPECT_GT(stats.events_used, 0u);
   // The leaf loop dispatched to the active batched backend, so its cost
   // lands under the matching ISA tag ("" when running scalar / unbatched).
   const codelets::Isa isa = codelets::active_isa();

@@ -133,7 +133,36 @@ INSTANTIATE_TEST_SUITE_P(Forms, GrammarRoundTrip,
                          ::testing::Values("16", "ct(4,4)", "ctddl(16,16)",
                                            "ct(ctddl(32,32),ct(32,2))",
                                            "ctddl(ctddl(2,ct(3,5)),ctddl(7,9))",
-                                           "ct(1048576,2)"));
+                                           "ct(1048576,2)", "ctddlf(16,16)", "st(1024)",
+                                           "ctddlf(st(32),ctddl(8,st(4)))",
+                                           "ct(st(2),ctddlf(16,ctddlf(8,8)))"));
+
+TEST(Grammar, FusedAndStockhamFlagsSurviveCloneAndEqual) {
+  const auto t = parse_tree("ctddlf(st(32),ctddl(8,4))");
+  EXPECT_TRUE(t->ddl);
+  EXPECT_TRUE(t->fused);
+  EXPECT_TRUE(t->left->stockham);
+  const auto c = clone(*t);
+  EXPECT_TRUE(equal(*t, *c));
+  // The flags are part of tree identity: dropping either breaks equality.
+  c->fused = false;
+  EXPECT_FALSE(equal(*t, *c));
+  c->fused = true;
+  c->left->stockham = false;
+  EXPECT_FALSE(equal(*t, *c));
+  // And a plain leaf never equals a Stockham leaf of the same size.
+  EXPECT_FALSE(equal(*make_leaf(32), *parse_tree("st(32)")));
+}
+
+TEST(Grammar, FusedAndStockhamErrors) {
+  // ctddlf is the only fused spelling — there is no "ctf" (fused requires
+  // the ddl reorganization to fuse into) — and st() takes one pow2 size.
+  EXPECT_THROW(parse_tree("ctf(4,4)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("st(12)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("st(0)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("st(4,4)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("st(ct(2,2))"), std::invalid_argument);
+}
 
 TEST(Grammar, WhitespaceTolerated) {
   auto t = parse_tree("  ct ( 4 , ctddl( 8 , 2 ) ) ");
@@ -320,6 +349,52 @@ TEST(CostDb, SaveLoadSaveIsByteIdentical) {
   EXPECT_EQ(read_bytes(first), read_bytes(second));
   std::filesystem::remove(first);
   std::filesystem::remove(second);
+}
+
+// Calibrated provenance: entries ingested from traced runs carry a seventh
+// "calib" token and survive save/load as calibrated; probe entries keep the
+// legacy six-token form so uncalibrated databases stay byte-identical.
+TEST(CostDb, CalibratedProvenanceSurvivesSaveLoad) {
+  const auto file = temp_file("costdb_calib");
+  CostDb db;
+  db.put({"dft_leaf", 16, 1, 0}, 1e-7);  // probe (default source)
+  db.put({"reorg_g", 32, 64, 1}, 2e-6, CostSource::calibrated);
+  db.put({"fused_tws", 32, 64, 1, "avx2"}, 1.5e-6, CostSource::calibrated);
+  EXPECT_FALSE(db.is_calibrated({"dft_leaf", 16, 1, 0}));
+  EXPECT_TRUE(db.is_calibrated({"reorg_g", 32, 64, 1}));
+  EXPECT_FALSE(db.is_calibrated({"missing", 1, 1, 0}));
+  EXPECT_TRUE(db.save(file));
+
+  const std::string text = read_bytes(file);
+  EXPECT_NE(text.find("calib"), std::string::npos);
+  EXPECT_EQ(text.find("dft_leaf 16 1 0 - 1e-07 calib"), std::string::npos)
+      << "probe entry must not gain the provenance token";
+
+  CostDb loaded;
+  ASSERT_TRUE(loaded.load(file)) << loaded.load_error();
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_FALSE(loaded.is_calibrated({"dft_leaf", 16, 1, 0}));
+  EXPECT_TRUE(loaded.is_calibrated({"reorg_g", 32, 64, 1}));
+  EXPECT_TRUE(loaded.is_calibrated({"fused_tws", 32, 64, 1, "avx2"}));
+
+  // A garbage seventh token is a corrupt file, not a silently ignored tag.
+  write_text(file, "dft_leaf 16 1 0 - 1e-07 tuned\n");
+  CostDb strict;
+  EXPECT_FALSE(strict.load(file));
+  std::filesystem::remove(file);
+}
+
+// put() is last-writer-wins for both value and provenance: recalibration
+// refreshes a stale measurement, and a deliberate probe overwrite visibly
+// clears the calibrated mark rather than keeping it on a synthetic value.
+TEST(CostDb, PutOverwritesValueAndProvenance) {
+  CostDb db;
+  db.put({"stockham", 1024, 1, 0}, 5e-6, CostSource::calibrated);
+  db.put({"stockham", 1024, 1, 0}, 4e-6, CostSource::calibrated);
+  EXPECT_DOUBLE_EQ(db.get_or_measure({"stockham", 1024, 1, 0}, [] { return 0.0; }), 4e-6);
+  EXPECT_TRUE(db.is_calibrated({"stockham", 1024, 1, 0}));
+  db.put({"stockham", 1024, 1, 0}, 6e-6);  // probe source
+  EXPECT_FALSE(db.is_calibrated({"stockham", 1024, 1, 0}));
 }
 
 // ---------------------------------------------------------------------------

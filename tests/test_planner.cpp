@@ -20,7 +20,9 @@
 #include "ddl/fft/radix2.hpp"
 #include "ddl/fft/reference.hpp"
 #include "ddl/fft/executor.hpp"
+#include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
+#include "ddl/plan/obs_ingest.hpp"
 #include "ddl/sim/trace.hpp"
 #include "ddl/wht/planner.hpp"
 #include "ddl/wht/wht.hpp"
@@ -154,6 +156,106 @@ TEST(FftPlanner, PlanningRecordsWisdom) {
   const auto hit = wisdom.recall("fft", "sdl_dp", 1 << 10);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->tree, plan::to_string(*tree));
+}
+
+// ---------------------------------------------------------------------------
+// Measured-cost autotuning round-trip (the `ddlfft autotune` loop)
+// ---------------------------------------------------------------------------
+
+TEST(FftPlanner, AutotuneRoundTripConsultsMeasuredCosts) {
+  const index_t n = 1 << 10;
+  plan::CostDb db;
+  PlannerOptions opts = fast_opts();
+  opts.cost_db = &db;
+  FftPlanner planner(opts);
+
+  // Before calibration every primitive lookup is a synthetic fallback.
+  planner.reset_cost_stats();
+  const auto seed = planner.plan(n, Strategy::ddl_dp);
+  const CostStats before = planner.cost_stats();
+  EXPECT_EQ(before.measured_hits, 0u);
+  EXPECT_GT(before.synthetic_fallbacks, 0u);
+
+  // Calibrate from traced executions of the seed and the baseline tree.
+  const auto base = rightmost_tree(n, opts.max_leaf);
+  obs::enable(true);
+  obs::reset();
+  for (const plan::Node* t : {seed.get(), base.get()}) {
+    FftExecutor exec(*t);
+    AlignedBuffer<cplx> buf(n);
+    fill_random(buf.span(), 7);
+    exec.forward(buf.span());
+    exec.forward(buf.span());
+  }
+  obs::enable(false);
+  const plan::IngestStats ing = plan::ingest_stage_costs(db, obs::snapshot());
+  ASSERT_GT(ing.keys_written, 0u);
+  ASSERT_GT(ing.events_used, 0u);
+
+  // Re-plan over the calibrated entries: stale memo decisions must go, the
+  // fresh DP must actually consult measured costs (fail on pure synthetic
+  // fallback), and the tuned tree must still execute correctly.
+  planner.invalidate();
+  planner.reset_cost_stats();
+  const auto tuned = planner.plan(n, Strategy::ddl_dp);
+  const CostStats after = planner.cost_stats();
+  EXPECT_GT(after.measured_hits, 0u)
+      << "DP never consulted a calibrated cost (" << after.synthetic_fallbacks
+      << " synthetic fallbacks)";
+  expect_valid_fft_plan(*tuned, n);
+}
+
+TEST(FftPlanner, EstimateHandlesFusedAndStockhamTrees) {
+  FftPlanner planner(fast_opts());
+  EXPECT_GT(planner.estimate_tree_seconds(*plan::parse_tree("st(1024)")), 0.0);
+  EXPECT_GT(planner.estimate_tree_seconds(*plan::parse_tree("ctddlf(st(32),32)")), 0.0);
+  // The fused estimate must price the one-sweep pass, not the two-pass pair.
+  const double fused = planner.estimate_tree_seconds(*plan::parse_tree("ctddlf(32,32)"));
+  const double two_pass = planner.estimate_tree_seconds(*plan::parse_tree("ctddl(32,32)"));
+  EXPECT_GT(fused, 0.0);
+  EXPECT_GT(two_pass, 0.0);
+  EXPECT_NE(fused, two_pass);
+}
+
+TEST(FftPlanner, FusedSplitWinsWhenOracleMakesTwoPassExpensive) {
+  PlannerOptions opts = fast_opts();
+  opts.enable_stockham = false;  // isolate the fused-vs-two-pass choice
+  opts.cost_oracle = [](const plan::CostKey& k) {
+    // Two-pass twiddle/permute primitives are priced out; the fused sweep,
+    // the gather half, and the leaves are nearly free.
+    if (k.kind == "tw_rows" || k.kind == "tw_cols" || k.kind == "reorg" ||
+        k.kind == "perm") {
+      return 1.0;
+    }
+    return 1e-7;
+  };
+  FftPlanner planner(opts);
+  const auto tree = planner.plan(1 << 10, Strategy::ddl_dp);
+  struct {
+    bool found = false;
+    void walk(const plan::Node& nd) {
+      if (nd.fused) found = true;
+      if (!nd.is_leaf()) {
+        walk(*nd.left);
+        walk(*nd.right);
+      }
+    }
+  } fused;
+  fused.walk(*tree);
+  EXPECT_TRUE(fused.found) << plan::to_string(*tree);
+  expect_valid_fft_plan(*tree, 1 << 10);
+}
+
+TEST(FftPlanner, StockhamLeafWinsWhenOracleFavorsIt) {
+  PlannerOptions opts = fast_opts();
+  opts.cost_oracle = [](const plan::CostKey& k) {
+    return k.kind == "stockham" ? 1e-9 : 1.0;
+  };
+  FftPlanner planner(opts);
+  const auto tree = planner.plan(1 << 10, Strategy::ddl_dp);
+  ASSERT_TRUE(tree->is_leaf());
+  EXPECT_TRUE(tree->stockham) << plan::to_string(*tree);
+  expect_valid_fft_plan(*tree, 1 << 10);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include "ddl/common/types.hpp"
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
+#include "ddl/layout/twiddle_scatter.hpp"
 #include "ddl/plan/grammar.hpp"
 #include "ddl/wht/wht.hpp"
 
@@ -239,6 +240,80 @@ TEST(SimdKernels, WhtBatchMatchesScalarWithin2Ulp) {
                                       " " + g.name));
         }
       }
+    }
+  }
+}
+
+// Fused twiddle+scatter: every SIMD backend must agree with the serial
+// scalar reference (layout::twiddle_scatter_ref) within 2 ULP across
+// geometries — square/rectangular matrices, strided combs, and shapes
+// whose twiddle-index walk wraps mod n inside a vector group.
+TEST(SimdKernels, TwiddleScatterMatchesScalarRefWithin2Ulp) {
+  struct Geo {
+    index_t n1, n2, stride;
+  };
+  // 32x48 and 64x16 drive idx = (i*j) mod n through mid-group wraps; the
+  // odd shapes exercise the scalar remainder after the vector groups.
+  const Geo geos[] = {{4, 4, 1},   {8, 5, 1},   {5, 7, 2},  {16, 64, 1},
+                      {32, 32, 1}, {32, 48, 3}, {64, 16, 2}};
+  std::uint64_t seed = 11;
+  for (const auto isa : supported_isas()) {
+    const auto kernel = codelets::twiddle_scatter_kernel(isa);
+    ASSERT_NE(kernel, nullptr) << codelets::isa_name(isa);
+    for (const Geo& g : geos) {
+      const index_t n = g.n1 * g.n2;
+      std::vector<cplx> w(static_cast<std::size_t>(n));
+      for (index_t k = 0; k < n; ++k) {
+        const double ang = -2.0 * std::acos(-1.0) * static_cast<double>(k) /
+                           static_cast<double>(n);
+        w[static_cast<std::size_t>(k)] = std::polar(1.0, ang);
+      }
+      AlignedBuffer<cplx> scratch(n);
+      fill_random(scratch.span(), ++seed);
+      const index_t span = (n - 1) * g.stride + 1;
+      AlignedBuffer<cplx> got(span);
+      AlignedBuffer<cplx> want(span);
+      fill_random(got.span(), ++seed);
+      std::copy(got.data(), got.data() + span, want.data());
+      kernel(got.data(), g.stride, scratch.data(), w.data(), n, g.n1, g.n2, 0, g.n2);
+      layout::twiddle_scatter_ref(want.data(), g.stride, scratch.data(), w.data(), g.n1,
+                                  g.n2);
+      EXPECT_TRUE(within_2ulp(got.data(), want.data(), span,
+                              std::string("twiddle_scatter ") + codelets::isa_name(isa) +
+                                  " n1=" + std::to_string(g.n1) +
+                                  " n2=" + std::to_string(g.n2) +
+                                  " stride=" + std::to_string(g.stride)));
+    }
+  }
+}
+
+// Column-range decomposition: running the fused kernel over [0, mid) and
+// [mid, n2) must write exactly what one full-range call writes — the
+// property the executor's parallel_for split relies on.
+TEST(SimdKernels, TwiddleScatterColumnRangesCompose) {
+  const index_t n1 = 32;
+  const index_t n2 = 24;
+  const index_t n = n1 * n2;
+  std::vector<cplx> w(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    const double ang =
+        -2.0 * std::acos(-1.0) * static_cast<double>(k) / static_cast<double>(n);
+    w[static_cast<std::size_t>(k)] = std::polar(1.0, ang);
+  }
+  AlignedBuffer<cplx> scratch(n);
+  fill_random(scratch.span(), 23);
+  for (const auto isa : supported_isas()) {
+    const auto kernel = codelets::twiddle_scatter_kernel(isa);
+    ASSERT_NE(kernel, nullptr);
+    AlignedBuffer<cplx> whole(n);
+    AlignedBuffer<cplx> split(n);
+    fill_random(whole.span(), 29);
+    std::copy(whole.data(), whole.data() + n, split.data());
+    kernel(whole.data(), 1, scratch.data(), w.data(), n, n1, n2, 0, n2);
+    kernel(split.data(), 1, scratch.data(), w.data(), n, n1, n2, 0, 7);
+    kernel(split.data(), 1, scratch.data(), w.data(), n, n1, n2, 7, n2);
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(split[i], whole[i]) << codelets::isa_name(isa) << " element " << i;
     }
   }
 }

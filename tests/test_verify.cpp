@@ -45,7 +45,9 @@ struct EnforcementGuard {
 
 TEST(Verify, ValidTreesVerifyClean) {
   for (const char* grammar : {"16", "ct(16,16)", "ctddl(ct(32,32),1024)",
-                              "ct(ct(4,8),ctddl(16,32))", "ctddl(64,ctddl(32,16))"}) {
+                              "ct(ct(4,8),ctddl(16,32))", "ctddl(64,ctddl(32,16))",
+                              "ctddlf(32,32)", "ctddlf(16,ctddlf(8,8))", "st(64)",
+                              "ct(st(16),16)", "ctddlf(st(32),st(32))"}) {
     const auto tree = plan::parse_tree(grammar);
     const auto report = verify_fft(*tree);
     EXPECT_TRUE(report.ok()) << grammar << "\n" << report.to_string();
@@ -135,6 +137,39 @@ TEST(VerifyMutation, DdlFlagOnDegenerateSplitIsDdlLegality) {
   right_degenerate->ddl = true;
   const auto r2 = verify_fft(*right_degenerate);
   EXPECT_TRUE(r2.has(Rule::ddl_legality)) << r2.to_string();
+}
+
+TEST(VerifyMutation, FusedFlagOnNonDdlSplitIsDdlLegality) {
+  // make_split refuses fused-without-ddl at construction; the mutation sets
+  // the public field directly. Without a gather/scatter pair there is no
+  // permutation for the twiddle multiply to fuse into.
+  const auto tree = plan::parse_tree("ct(16,16)");
+  tree->fused = true;
+  const auto report = verify_fft(*tree);
+  EXPECT_TRUE(report.has(Rule::ddl_legality)) << report.to_string();
+}
+
+TEST(VerifyMutation, FusedSplitIsFftOnly) {
+  // The WHT has no twiddle pass, so a fused twiddle+scatter split can never
+  // be executed by the WHT executor — the verifier must refuse it up front.
+  const auto tree = plan::parse_tree("ctddlf(16,16)");
+  EXPECT_TRUE(verify_fft(*tree).ok());
+  const auto report = verify_wht(*tree);
+  EXPECT_TRUE(report.has(Rule::ddl_legality)) << report.to_string();
+}
+
+TEST(VerifyMutation, StockhamLeafRules) {
+  // Non-pow2 Stockham leaf: make_stockham_leaf rejects it, so corrupt the
+  // field post-construction. The autosort network only exists for 2^k.
+  const auto bad = plan::parse_tree("st(16)");
+  bad->n = 12;
+  const auto report = verify_fft(*bad);
+  EXPECT_TRUE(report.has(Rule::codelet_coverage)) << report.to_string();
+
+  // st(n) is a DFT algorithm; the WHT executor has no kernel for it.
+  const auto st = plan::parse_tree("st(16)");
+  EXPECT_TRUE(verify_fft(*st).ok());
+  EXPECT_TRUE(verify_wht(*st).has(Rule::codelet_coverage));
 }
 
 TEST(VerifyMutation, ShrunkNodeSizeIsTwiddleBounds) {
@@ -270,6 +305,11 @@ TEST(Footprint, ScratchRequirementWithinExecutorArena) {
   const auto tree = plan::parse_tree("ctddl(ctddl(16,16),16)");
   EXPECT_EQ(verify::scratch_requirement(*tree, Transform::fft), 4096 + 256);
   EXPECT_EQ(verify::scratch_requirement(*plan::parse_tree("ct(8,8)"), Transform::wht), 0);
+  // A Stockham leaf demands a full 2n region: n for the strided pack plus n
+  // for the ping-pong buffer — exactly the arena a lane provisions.
+  EXPECT_EQ(verify::scratch_requirement(*plan::parse_tree("st(256)"), Transform::fft), 512);
+  EXPECT_LE(verify::scratch_requirement(*plan::parse_tree("ct(st(16),16)"), Transform::fft),
+            2 * 256);
 }
 
 TEST(Footprint, StageEnumerationMirrorsExecutor) {
@@ -285,6 +325,28 @@ TEST(Footprint, StageEnumerationMirrorsExecutor) {
   const auto wht_stages = verify::enumerate_stages(*tree, Transform::wht);
   ASSERT_EQ(wht_stages.size(), 4u);
   for (const auto& s : wht_stages) EXPECT_EQ(s.op.find("twiddle"), std::string::npos);
+}
+
+TEST(Footprint, FusedSplitCollapsesTwiddleAndScatterIntoOneStage) {
+  // ctddlf: the separate scratch-space twiddle stage and the data-space
+  // scatter of the two-pass path become a single data-space write stage with
+  // the same chunk family — one fewer sweep, identical race structure.
+  const auto fused = plan::parse_tree("ctddlf(16,16)");
+  const auto stages = verify::enumerate_stages(*fused, Transform::fft);
+  ASSERT_EQ(stages.size(), 6u);  // two-pass ctddl emits 7
+  EXPECT_EQ(stages[2].op, "twiddle scatter (fused)");
+  EXPECT_EQ(stages[2].writes.space, verify::Space::data);
+
+  const auto two_pass = plan::parse_tree("ctddl(16,16)");
+  const auto tp = verify::enumerate_stages(*two_pass, Transform::fft);
+  ASSERT_EQ(tp.size(), 7u);
+  // The fused write family equals the scatter's family: same comb, no new
+  // overlap surface for the race check.
+  EXPECT_EQ(tp[3].op, "reorg scatter");
+  EXPECT_EQ(stages[2].writes.jump, tp[3].writes.jump);
+  EXPECT_EQ(stages[2].writes.chunks, tp[3].writes.chunks);
+  EXPECT_EQ(stages[2].writes.stride, tp[3].writes.stride);
+  EXPECT_EQ(stages[2].writes.count, tp[3].writes.count);
 }
 
 // ---------------------------------------------------------------------------

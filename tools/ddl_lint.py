@@ -42,6 +42,14 @@ flagged line or the line above; waivers should be rare and justified):
                     threads bypass the pool's scratch arenas, obs per-thread
                     rings, and the TSan-audited join discipline.
 
+  fused-twiddle     In executor translation units (src/**/executor*), a
+                    twiddle-columns pass immediately followed by a separate
+                    transpose-scatter permutation is the two-pass sweep the
+                    fused twiddle_scatter stage replaces (one read/write
+                    sweep instead of two). New code must dispatch the fused
+                    kernel; the retained two-pass reference path carries a
+                    waiver.
+
 Exit status: 0 when clean, 1 when any finding remains, 2 on usage error.
 """
 
@@ -101,6 +109,14 @@ THREAD_ALLOWED = (
 # std::thread mentions; `std::this_thread` is fine (no word boundary before
 # `thread` inside `this_thread`, so it never matches).
 RAW_THREAD = re.compile(r"\bstd\s*::\s*thread\b")
+
+# Two-pass twiddle-then-permute shape in executor code: a twiddle-columns
+# call with a transpose-scatter call within the next few lines. (The
+# obs::Stage::twiddle_cols tag never matches — it is followed by a comma,
+# not an open paren.)
+FUSED_TWIDDLE_CALL = re.compile(r"\btwiddle_cols\s*\(")
+FUSED_SCATTER_CALL = re.compile(r"\btranspose_scatter\s*\(")
+FUSED_WINDOW = 8
 
 WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
 
@@ -164,8 +180,10 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
     )
 
     in_block = False
+    cleaned: list[str] = []
     for idx, raw in enumerate(lines):
         code, in_block = strip_comments_and_strings(raw, in_block)
+        cleaned.append(code)
         if not code.strip():
             continue
         if check_stride and STRIDE_ARITH.search(code) and not waived(
@@ -203,6 +221,20 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                 f"{rel}:{idx + 1}: raw-thread: submit work through"
                 f" ddl::parallel or ddl::svc, not raw std::thread: {raw.strip()}"
             )
+
+    if rel.startswith("src/") and "executor" in rel:
+        for idx, code in enumerate(cleaned):
+            if not FUSED_TWIDDLE_CALL.search(code):
+                continue
+            if waived("fused-twiddle", lines, idx):
+                continue
+            window = cleaned[idx + 1 : idx + 1 + FUSED_WINDOW]
+            if any(FUSED_SCATTER_CALL.search(later) for later in window):
+                findings.append(
+                    f"{rel}:{idx + 1}: fused-twiddle: separate twiddle pass followed"
+                    f" by a scatter permutation — dispatch the fused twiddle_scatter"
+                    f" stage instead: {lines[idx].strip()}"
+                )
 
     if ENTRY_POINT.search(rel) and "DDL_REQUIRE" not in text:
         findings.append(

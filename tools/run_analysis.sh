@@ -12,13 +12,18 @@
 #   5. svc loadgen smoke           short closed+open-loop run of the ddl::svc
 #                                  load generator: must resolve every future
 #                                  (no hangs) and emit valid BENCH_svc.json
-#   6. asan preset (Debug)         full suite under AddressSanitizer with the
+#   6. autotune smoke              `ddlfft autotune` on tiny sizes: calibrate
+#                                  from traced runs, re-plan over measured
+#                                  costs (fails if the DP never consulted
+#                                  them), persist costdb+wisdom, and verify
+#                                  a corrupt costdb is rejected fail-closed
+#   7. asan preset (Debug)         full suite under AddressSanitizer with the
 #                                  ddl::verify admission gate live
-#   7. ubsan preset (Debug)        full suite under UBSanitizer, gate live
-#   8. tsan preset                 concurrency-labelled tests (thread pool,
+#   8. ubsan preset (Debug)        full suite under UBSanitizer, gate live
+#   9. tsan preset                 concurrency-labelled tests (thread pool,
 #                                  obs per-thread rings, test_svc's 8-producer
 #                                  stress) under ThreadSanitizer
-#   9. nosimd preset               full suite with DDL_SIMD=OFF — the scalar
+#  10. nosimd preset               full suite with DDL_SIMD=OFF — the scalar
 #                                  fallback build every non-x86/ARM target
 #                                  gets must stay green on its own
 #
@@ -97,7 +102,28 @@ svc_smoke() {
 }
 check "svc_loadgen smoke (BENCH_svc JSON, no hangs)" svc_smoke
 
-# 6/7/8. sanitizer suites -----------------------------------------------------
+# 6. autotune smoke: tiny-size calibrate + re-plan must work end to end, the
+#    stores must persist, and a corrupt cost database must be rejected
+#    (fail-closed) rather than silently tuned over.
+autotune_smoke() {
+  rm -f build/autotune_costdb.txt build/autotune_wisdom.txt
+  ./build/apps/ddlfft autotune --sizes 256,1024 --reps 2 \
+    --costdb build/autotune_costdb.txt --wisdom build/autotune_wisdom.txt \
+    >/dev/null &&
+    [[ -s build/autotune_costdb.txt && -s build/autotune_wisdom.txt ]] &&
+    grep -q 'calib' build/autotune_costdb.txt || return 1
+  # Fail-closed check: a garbage costdb must abort the run, not be ignored.
+  printf 'not a cost database\n' > build/autotune_corrupt.txt
+  if ./build/apps/ddlfft autotune --n 256 --reps 1 \
+      --costdb build/autotune_corrupt.txt >/dev/null 2>&1; then
+    echo "autotune accepted a corrupt cost database"
+    return 1
+  fi
+  return 0
+}
+check "ddlfft autotune smoke (calibrate + re-plan, fail-closed stores)" autotune_smoke
+
+# 7/8/9. sanitizer suites -----------------------------------------------------
 if [[ "$FAST" == "0" ]]; then
   check "asan build+test" run_preset asan
   check "ubsan build+test" run_preset ubsan
@@ -107,7 +133,7 @@ else
   echo "-- asan/ubsan/tsan: skipped (--fast)"
 fi
 
-# 9. scalar-only build: DDL_SIMD=OFF must pass the whole suite ----------------
+# 10. scalar-only build: DDL_SIMD=OFF must pass the whole suite ---------------
 if [[ "$FAST" == "0" ]]; then
   check "nosimd build+test (DDL_SIMD=OFF)" run_preset nosimd
 else
