@@ -5,6 +5,7 @@
 //   run          execute a tree (or a freshly planned one) and report timing
 //   profile      traced execution: per-stage breakdown + chrome-trace JSON
 //   simulate     replay a tree's address trace through the cache model
+//   analyze-plan symbolic per-stage cache-miss prediction (no trace, no run)
 //   compare      plan + time every strategy side by side
 //   verify       statically verify a tree (ddl::verify rule catalogue)
 //   explain-plan per-node strides, scratch, codelets, and parallel stages
@@ -46,6 +47,7 @@
 #include "ddl/plan/obs_ingest.hpp"
 #include "ddl/sim/trace.hpp"
 #include "ddl/svc/service.hpp"
+#include "ddl/verify/cachepred.hpp"
 #include "ddl/verify/plan_verify.hpp"
 #include "ddl/wht/planner.hpp"
 #include "ddl/wht/wht_api.hpp"
@@ -71,6 +73,11 @@ int usage() {
       "            --calibrate feeds stage timings into --costdb\n"
       "  simulate  (--tree GRAMMAR | --n SIZE) [--cache 512K] [--line 64]\n"
       "            [--assoc 1] [--prefetch none|next|stream] [--wht]\n"
+      "            [--split-remiss]  classify re-misses as capacity vs conflict\n"
+      "  analyze-plan  (--tree GRAMMAR | --n SIZE) [--wht]\n"
+      "            [--cache SPEC[,SPEC]]  SPEC = SIZE[:ASSOC[:LINE]], L1 then L2\n"
+      "            (default 32K:8,512K:1); symbolic per-stage miss prediction —\n"
+      "            no trace generation, no execution\n"
       "  compare   --transform fft|wht --n SIZE\n"
       "  verify    (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--wht] [--strict] [--stride S] [--scratch N]\n"
@@ -354,6 +361,7 @@ int cmd_simulate(const cli::Args& args) {
   const std::string pf = args.get_or("prefetch", "none");
   if (pf == "next") cfg.prefetch = cache::Prefetch::next_line;
   if (pf == "stream") cfg.prefetch = cache::Prefetch::stream;
+  cfg.split_remiss = args.has("split-remiss");
 
   cache::Cache sim_cache(cfg);
   if (is_wht) {
@@ -368,12 +376,124 @@ int cmd_simulate(const cli::Args& args) {
             << "-way, " << cfg.line_bytes << "B lines, prefetch=" << pf << "\n"
             << "accesses:   " << s.accesses << "\n"
             << "misses:     " << s.misses << "  (" << fmt_double(s.miss_rate() * 100, 2)
-            << "%)\n"
-            << "  compulsory " << s.compulsory_misses << ", conflict/capacity "
-            << s.conflict_misses << "\n"
-            << "prefetch:   " << s.prefetch_fills << " fills, " << s.prefetch_hits
+            << "%)\n";
+  if (cfg.split_remiss) {
+    std::cout << "  compulsory " << s.compulsory_misses << ", capacity " << s.capacity_misses
+              << ", conflict " << s.conflict_misses << "\n";
+  } else {
+    // Legacy lumped line — byte-identical to pre-split output.
+    std::cout << "  compulsory " << s.compulsory_misses << ", conflict/capacity "
+              << s.conflict_misses << "\n";
+  }
+  std::cout << "prefetch:   " << s.prefetch_fills << " fills, " << s.prefetch_hits
             << " useful\n";
   return 0;
+}
+
+/// Parse one "--cache" level spec: SIZE[:ASSOC[:LINE]], e.g. "32K:8:64".
+/// ASSOC 0 means fully associative, matching CacheConfig::associativity.
+cache::CacheConfig parse_cache_spec(const std::string& spec) {
+  cache::CacheConfig cfg;
+  cfg.associativity = 1;
+  std::size_t start = 0;
+  int field = 0;
+  while (start <= spec.size()) {
+    const std::size_t colon = spec.find(':', start);
+    const std::string tok =
+        spec.substr(start, colon == std::string::npos ? std::string::npos : colon - start);
+    if (tok.empty()) throw std::invalid_argument("empty field in cache spec '" + spec + "'");
+    switch (field++) {
+      case 0: cfg.size_bytes = static_cast<std::size_t>(cli::parse_size(tok)); break;
+      case 1: cfg.associativity = static_cast<int>(cli::parse_size(tok)); break;
+      case 2: cfg.line_bytes = static_cast<std::size_t>(cli::parse_size(tok)); break;
+      default:
+        throw std::invalid_argument("cache spec '" + spec + "' has more than 3 fields");
+    }
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  cfg.validate();  // line-numbered geometry errors before any analysis runs
+  return cfg;
+}
+
+// analyze-plan: the symbolic cache-miss analyzer as a CLI surface. Prints a
+// per-stage prediction table, the footprint-coverage cross-check, and the
+// whole-plan totals. Pure static analysis — deterministic output, suitable
+// for golden-file diffs (tools/run_analysis.sh does exactly that).
+int cmd_analyze(const cli::Args& args) {
+  const bool is_wht = args.has("wht");
+  plan::TreePtr tree;
+  if (const auto grammar = args.get("tree")) {
+    tree = plan::parse_tree(*grammar);
+  } else {
+    const index_t n = args.size_or("n", 0);
+    if (n < 2) {
+      std::cerr << "analyze-plan: need --tree or --n\n";
+      return 2;
+    }
+    tree = is_wht ? wht::balanced_wht_tree(n, 64) : fft::balanced_tree(n, 32);
+  }
+
+  verify::cachepred::AnalyzeOptions opts;
+  opts.transform = is_wht ? verify::Transform::wht : verify::Transform::fft;
+  const std::string spec = args.get_or("cache", "32K:8,512K:1");
+  const std::size_t comma = spec.find(',');
+  opts.l1 = parse_cache_spec(spec.substr(0, comma));
+  if (comma != std::string::npos) {
+    opts.l2 = parse_cache_spec(spec.substr(comma + 1));
+  } else {
+    opts.l2.size_bytes = 0;  // single-level analysis
+  }
+  opts.align_bytes = std::max(opts.l1.line_bytes,
+                              opts.l2.size_bytes != 0 ? opts.l2.line_bytes : 0);
+
+  const verify::cachepred::CacheReport report = verify::cachepred::analyze_plan(*tree, opts);
+  const bool two_level = opts.l2.size_bytes != 0;
+
+  std::cout << "tree: " << plan::to_string(*tree) << "  (n = " << tree->n << ", "
+            << (is_wht ? "wht" : "fft") << ")\n"
+            << "L1: " << fmt_bytes(opts.l1.size_bytes) << " " << opts.l1.associativity
+            << "-way, " << opts.l1.line_bytes << "B lines";
+  if (two_level) {
+    std::cout << "  L2: " << fmt_bytes(opts.l2.size_bytes) << " " << opts.l2.associativity
+              << "-way, " << opts.l2.line_bytes << "B lines";
+  }
+  std::cout << "\n\n";
+
+  TableWriter stages({"node", "op", "accesses", "l1_miss", "l1_comp", "l1_cap", "l1_conf",
+                      "l2_miss", "bytes", "closed"});
+  for (const auto& st : report.stages) {
+    const auto& p = st.predict;
+    stages.add_row({st.pass.node_path, st.pass.op, std::to_string(p.l1.accesses),
+                    std::to_string(p.l1.misses), std::to_string(p.l1.compulsory),
+                    std::to_string(p.l1.capacity), std::to_string(p.l1.conflict),
+                    two_level ? std::to_string(p.l2.misses) : "-",
+                    std::to_string(p.bytes_moved), p.closed_form ? "yes" : "no"});
+  }
+  stages.print(std::cout, "predicted per-stage misses (each stage cold)");
+
+  std::cout << "\n";
+  TableWriter cover({"node", "op", "status", "detail"});
+  for (const auto& c : report.coverage) {
+    const char* status = "uncovered";
+    switch (c.status) {
+      case verify::cachepred::Coverage::modeled: status = "modeled"; break;
+      case verify::cachepred::Coverage::expanded: status = "expanded"; break;
+      case verify::cachepred::Coverage::waived: status = "waived"; break;
+      case verify::cachepred::Coverage::uncovered: status = "uncovered"; break;
+    }
+    cover.add_row({c.node_path, c.op, status, c.detail});
+  }
+  cover.print(std::cout, "footprint-stage coverage cross-check");
+
+  std::cout << "\ntotals: " << report.total_l1.accesses << " accesses, "
+            << report.total_l1.misses << " L1 misses (" << report.total_l1.compulsory
+            << " compulsory, " << report.total_l1.capacity << " capacity, "
+            << report.total_l1.conflict << " conflict)";
+  if (two_level) std::cout << ", " << report.total_l2.misses << " L2 misses";
+  std::cout << ", " << report.bytes_moved << " bytes moved\n"
+            << "coverage: " << (report.covered() ? "complete" : "INCOMPLETE") << "\n";
+  return report.covered() ? 0 : 1;
 }
 
 /// Tree from --tree GRAMMAR, or planned from --transform/--n/--strategy.
@@ -642,7 +762,14 @@ int cmd_autotune(const cli::Args& args) {
   std::cout << "autotune: host ISA " << codelets::isa_name(codelets::active_isa())
             << ", threads " << parallel::max_threads() << "\n\n";
 
-  TableWriter table({"n", "keys", "measured", "dp_ms", "rm_ms", "winner", "tree"});
+  // Predicted-vs-measured agreement: the symbolic cache model, with
+  // coefficients fit from this run's calibrated entries, estimates the
+  // tuned tree's seconds; "agree" is predicted/measured. A wildly-off ratio
+  // flags either a model gap or a calibration artifact — both worth seeing
+  // in the tuning log.
+  const fft::CacheModelOptions cache_model;
+  TableWriter table({"n", "keys", "measured", "dp_ms", "rm_ms", "pred_ms", "agree", "winner",
+                     "tree"});
   bool all_ok = true;
   for (const index_t n : sizes) {
     // Phase 1 — calibrate: trace executions of the seed trees so every
@@ -701,10 +828,29 @@ int cmd_autotune(const cli::Args& args) {
     const plan::Node& champion = dp_wins ? *tuned : *rightmost;
     wisdom.remember("fft", "ddl_dp", n,
                     {plan::to_string(champion), std::min(dp_s, rm_s)});
+
+    // Phase 4 — model agreement: estimate the tuned tree's time from
+    // symbolic miss predictions alone (coefficients fit from the calibrated
+    // database, every primitive answered by model_cost through a fresh
+    // planner) and compare against the wall clock.
+    const auto coeffs = verify::cachepred::fit_coefficients(cost_db, cache_model.l1,
+                                                            cache_model.l2);
+    fft::PlannerOptions model_opts;
+    plan::CostDb model_db;
+    model_opts.cost_db = &model_db;
+    model_opts.max_leaf = popts.max_leaf;
+    model_opts.cost_oracle = [&coeffs, &cache_model](const plan::CostKey& k) {
+      return verify::cachepred::model_cost(k, coeffs, cache_model.l1, cache_model.l2);
+    };
+    fft::FftPlanner model_planner(model_opts);
+    const double pred_s = model_planner.estimate_tree_seconds(*tuned);
+    const double agree = dp_s > 0.0 ? pred_s / dp_s : 0.0;
+
     table.add_row({fmt_pow2(n), std::to_string(ing.keys_written),
                    std::to_string(cs.measured_hits) + "/" +
                        std::to_string(cs.measured_hits + cs.synthetic_fallbacks),
                    fmt_double(dp_s * 1e3, 3), fmt_double(rm_s * 1e3, 3),
+                   fmt_double(pred_s * 1e3, 3), fmt_double(agree, 2) + "x",
                    dp_wins ? "dp" : "rightmost", plan::to_string(champion)});
   }
   table.print(std::cout, "autotune (champion remembered as ddl_dp)");
@@ -737,6 +883,8 @@ int main(int argc, char** argv) {
       rc = cmd_profile(args);
     } else if (args.command() == "simulate") {
       rc = cmd_simulate(args);
+    } else if (args.command() == "analyze-plan") {
+      rc = cmd_analyze(args);
     } else if (args.command() == "compare") {
       rc = cmd_compare(args);
     } else if (args.command() == "verify" || args.has("verify")) {

@@ -13,6 +13,8 @@
 /// synthetic addresses derived from element indices.
 
 #include <cstdint>
+#include <list>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -47,11 +49,29 @@ struct CacheConfig {
                             ///< real prefetchers do not follow arbitrarily
                             ///< large strides, so streams are keyed by region
 
+  /// Split the lumped re-miss class into true capacity vs. conflict misses
+  /// using a fully-associative LRU shadow of the same total line count: a
+  /// re-miss that would also miss fully-associatively is a capacity miss,
+  /// anything else is a conflict the set mapping manufactured. Off by
+  /// default — the shadow costs memory and the legacy `conflict_misses`
+  /// field then keeps its historical lumped meaning, so default output is
+  /// byte-identical.
+  bool split_remiss = false;
+
   [[nodiscard]] std::size_t lines() const { return size_bytes / line_bytes; }
   [[nodiscard]] std::size_t ways() const {
     return associativity == 0 ? lines() : static_cast<std::size_t>(associativity);
   }
   [[nodiscard]] std::size_t sets() const { return lines() / ways(); }
+
+  /// Validate the geometry before any `sets()` arithmetic runs on it:
+  /// power-of-two line size, sizes non-zero and line-aligned, ways dividing
+  /// the line count, power-of-two set count, non-empty stream table. Throws
+  /// std::invalid_argument with the offending value and the file:line of
+  /// the failed check. Cache's constructor calls this; call it directly
+  /// when a config travels a long way (CLI flags, analyze options) before
+  /// a Cache is ever built.
+  void validate() const;
 };
 
 /// Running counters.
@@ -61,7 +81,12 @@ struct CacheStats {
   std::uint64_t writes = 0;
   std::uint64_t misses = 0;
   std::uint64_t compulsory_misses = 0;  ///< first-ever touch of the line
-  std::uint64_t conflict_misses = 0;    ///< re-miss (conflict or capacity)
+  std::uint64_t conflict_misses = 0;    ///< re-miss: conflict + capacity lumped
+                                        ///< by default; true conflicts only
+                                        ///< under CacheConfig::split_remiss
+  std::uint64_t capacity_misses = 0;    ///< re-miss the fully-associative
+                                        ///< shadow would also take (0 unless
+                                        ///< CacheConfig::split_remiss)
   std::uint64_t evictions = 0;
   std::uint64_t prefetch_fills = 0;     ///< lines brought in by the prefetcher
   std::uint64_t prefetch_hits = 0;      ///< first demand hit on a prefetched line
@@ -113,6 +138,11 @@ class Cache {
 
   void train_streams(std::uint64_t line_addr);
 
+  /// Touch the fully-associative LRU shadow (split_remiss only). Returns
+  /// true iff the line was already resident there — i.e. a concurrent
+  /// fully-associative cache of the same capacity would have hit.
+  bool shadow_touch(std::uint64_t line_addr);
+
   CacheConfig config_;
   std::size_t sets_;
   std::size_t ways_;
@@ -122,6 +152,11 @@ class Cache {
   std::uint64_t tick_ = 0;
   CacheStats stats_;
   std::unordered_set<std::uint64_t> touched_;  ///< lines ever seen (compulsory)
+
+  // Fully-associative LRU shadow (split_remiss only): list is LRU -> MRU
+  // order, map is line -> list position for O(1) touch.
+  std::list<std::uint64_t> shadow_lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> shadow_pos_;
 };
 
 /// Two-level hierarchy: an access that misses L1 is forwarded to L2.

@@ -25,10 +25,12 @@
 #include <map>
 #include <memory>
 
+#include "ddl/cachesim/cache.hpp"
 #include "ddl/common/types.hpp"
 #include "ddl/plan/costdb.hpp"
 #include "ddl/plan/tree.hpp"
 #include "ddl/plan/wisdom.hpp"
+#include "ddl/verify/cachepred.hpp"
 
 namespace ddl::fft {
 
@@ -42,6 +44,39 @@ enum class Strategy {
 
 /// Human-readable strategy name (used in wisdom keys and bench tables).
 const char* strategy_name(Strategy s) noexcept;
+
+/// Cache-model-guided planning: the symbolic miss analyzer
+/// (verify::cachepred) promoted from post-hoc validator to planning oracle.
+struct CacheModelOptions {
+  /// Serve cost lookups that have neither a probe nor a calibrated CostDb
+  /// entry from the symbolic model (alpha * predicted_misses + beta * flops)
+  /// instead of running a wall-clock microbenchmark. Coefficients are fit
+  /// once per planner from whatever calibrated/probed entries the CostDb
+  /// already holds (defaults when it is empty), so a cold start plans in
+  /// milliseconds with zero measurements. Ignored when a cost_oracle is set
+  /// — an explicit oracle outranks the model.
+  bool cold_start_model = false;
+
+  /// Prune candidate splits whose predicted node-local L2 traffic exceeds
+  /// the best candidate's by more than prune_factor before any probing or
+  /// recursion. Only splits with NO node-level CostDb entry are eligible, so
+  /// planning for already-tuned sizes is bit-for-bit unchanged; the savings
+  /// show up as skipped probes on cold starts. Tallied in
+  /// CostStats::pruned_splits.
+  bool prefilter = false;
+
+  /// A split survives the prefilter iff its predicted node-local L2 misses
+  /// are <= prune_factor * (best candidate's). Loose by design: the model
+  /// gates only clearly hopeless layouts, the DP still decides among the
+  /// plausible ones.
+  double prune_factor = 3.0;
+
+  /// Cache geometry the model plans against (defaults: 32 KB 8-way L1,
+  /// 512 KB direct-mapped L2, 64 B lines — the shape the rest of the repo's
+  /// simulation defaults to).
+  cache::CacheConfig l1{.size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8};
+  cache::CacheConfig l2{.size_bytes = 512 * 1024, .line_bytes = 64, .associativity = 1};
+};
 
 /// Planner configuration.
 struct PlannerOptions {
@@ -73,6 +108,9 @@ struct PlannerOptions {
   /// e.g. sim::simulated_cost_oracle() plans for a 1999-style cache and
   /// reproduces the paper's Table V/VI tree shapes on any host.
   std::function<double(const plan::CostKey&)> cost_oracle;
+
+  /// Symbolic cache-model integration (cold-start costs, split prefilter).
+  CacheModelOptions cache_model;
 };
 
 /// Where the DP's primitive costs came from, per planner lifetime. The
@@ -81,6 +119,8 @@ struct PlannerOptions {
 struct CostStats {
   std::uint64_t measured_hits = 0;        ///< lookups answered by calibrated entries
   std::uint64_t synthetic_fallbacks = 0;  ///< lookups served by probe/oracle costs
+  std::uint64_t model_fallbacks = 0;      ///< lookups served by the symbolic cache model
+  std::uint64_t pruned_splits = 0;        ///< candidate splits rejected by the prefilter
 };
 
 /// Planner with memoized (size, stride, layout) DP state.
@@ -157,6 +197,16 @@ class FftPlanner {
   double fused_cost(index_t n1, index_t n2, index_t stride);
   double stockham_cost(index_t n, index_t stride);
 
+  // Symbolic cache-model hooks (CacheModelOptions). model_cost_for serves a
+  // cost lookup from alpha * predicted_misses + beta * flops; predicted_l2
+  // memoizes per-primitive L2 miss predictions for the split prefilter;
+  // prefilter_splits returns the candidate splits that survive it.
+  double model_cost_for(const plan::CostKey& key);
+  double predicted_l2(const plan::CostKey& key);
+  std::vector<std::pair<index_t, index_t>> prefilter_splits(
+      index_t n, index_t stride, bool allow_ddl,
+      const std::vector<std::pair<index_t, index_t>>& splits);
+
   void ensure_buffers(index_t points);
   std::vector<index_t> candidate_leaves(index_t n) const;
   std::vector<std::pair<index_t, index_t>> candidate_splits(index_t n) const;
@@ -167,6 +217,13 @@ class FftPlanner {
   std::map<std::tuple<index_t, index_t, bool>, Best> memo_;
   std::map<std::tuple<index_t, index_t, bool>, Best> measured_memo_;
   CostStats stats_;
+
+  // Lazily fit cost-model coefficients and memoized per-key L2 predictions.
+  // Both reset in invalidate(): newly calibrated CostDb entries should
+  // refit the regression, and predictions are cheap to rebuild.
+  verify::cachepred::CostCoefficients coeffs_;
+  bool coeffs_ready_ = false;
+  std::map<plan::CostKey, double> l2_pred_;
 
   struct Buffers;                  // measurement arrays (defined in .cpp)
   std::unique_ptr<Buffers> bufs_;

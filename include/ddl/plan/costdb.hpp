@@ -70,6 +70,16 @@ class CostDb {
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
   void clear() { table_.clear(); }
 
+  /// Visit every entry in key order. The cache-model coefficient fit
+  /// (verify::cachepred::fit_coefficients) regresses stored seconds against
+  /// predicted misses through this.
+  void for_each(const std::function<void(const CostKey&, double, CostSource)>& fn) const {
+    for (const auto& [k, e] : table_) {
+      fn(CostKey{std::get<0>(k), std::get<1>(k), std::get<2>(k), std::get<3>(k), std::get<4>(k)},
+         e.seconds, e.source);
+    }
+  }
+
   /// Persist all entries as "kind a b c isa seconds" lines (isa written as
   /// "-" when empty, keeping the line a fixed six tokens). Calibrated
   /// entries append a seventh "calib" token; probe entries keep the legacy

@@ -24,6 +24,7 @@
 #include "ddl/common/types.hpp"
 #include "ddl/plan/costdb.hpp"
 #include "ddl/plan/tree.hpp"
+#include "ddl/verify/cachepred.hpp"
 
 namespace ddl::sim {
 
@@ -82,6 +83,13 @@ class WhtTracer {
   std::uint64_t data_base_ = 0;
   std::uint64_t arena_base_ = 0;
 };
+
+/// Replay one symbolic access pass (verify::cachepred) through real caches —
+/// the ground truth the property suite holds predict_pass exactly equal to,
+/// transition function against transition function. When `l2` is given it
+/// sees exactly the accesses that miss in `l1`, as in Hierarchy.
+void replay_pass(const verify::cachepred::AccessPass& pass, cache::Cache& l1,
+                 cache::Cache* l2 = nullptr);
 
 /// Simulate `count` successive leaf DFTs of size n at the given stride and
 /// consecutive base offsets — the Sec. III-B / Fig. 3 experiment. Returns

@@ -1,0 +1,256 @@
+#pragma once
+/// \file cachepred.hpp
+/// \brief Symbolic per-stage cache-miss prediction — the static analogue of
+///        the paper's Sec. III-B analysis, promoted to a planning oracle.
+///
+/// The footprint analyzer (footprint.hpp) models every execution stage as a
+/// uniform chunk family; this module extends that write-set model to the
+/// full access structure of a stage — reads, writes and twiddle-table walks
+/// — and evaluates it against a configurable cache geometry *without
+/// generating a byte trace and without executing the plan*.
+///
+/// ## The pass model
+///
+/// Each stage becomes an `AccessPass`: an affine loop nest (outer loops for
+/// sub-transform instances and chunks, an inner element loop) over a fixed
+/// set of `StreamRef`s. A ref's byte address at outer indices i[] and inner
+/// element e is
+///
+///     base + sum_l i[l]*loop_step[l] + e*elem_step
+///          [+ ((mul(i)*e + off(i)) mod mod_n) * mod_scale]
+///
+/// where the optional modular term describes the executors' incremental
+/// `idx += i; if (idx >= n) idx -= n` twiddle-table walks exactly. Every
+/// pass the FFT/WHT executors run — tiled reorganization transposes,
+/// twiddle passes (row, column, fused scatter), leaf read/write sweeps,
+/// Stockham ping-pong butterfly stages, the closing stride permutation —
+/// is expressible in this form, at the same synthetic addresses the
+/// trace-driven simulator (sim/trace.hpp) uses.
+///
+/// ## Prediction = the simulator's transition function, run symbolically
+///
+/// `predict_pass` evaluates the loop nest against a line-granular model of
+/// cache::Cache (same set mapping, same LRU/FIFO stamping, same prefetch
+/// engines, plus the fully-associative shadow that splits capacity from
+/// conflict). When an outer loop's remaining iterations provably shift the
+/// access stream by a constant byte offset and the cache state reaches a
+/// shift-invariant fixed point, the evaluator *closes the loop in constant
+/// time* — the steady-state extrapolation is exact, not approximate (the
+/// shift is an automorphism of the cache's transition function), so typical
+/// instance loops cost O(cache) instead of O(iterations). Where the
+/// preconditions fail, it falls back to walking the nest line by line —
+/// still no byte trace, still no execution.
+///
+/// Exactness is enforced, never assumed: sim::replay_pass feeds the same
+/// pass description through the real cache::Cache, and the property suite
+/// (tests/test_cachepred.cpp) requires predict == replay for every tested
+/// geometry. docs/CACHEMODEL.md states the tolerance policy for the
+/// remaining comparison (per-stage-cold sums vs. a warm whole-plan trace).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ddl/cachesim/cache.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/plan/costdb.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/verify/footprint.hpp"
+
+namespace ddl::verify::cachepred {
+
+/// One memory stream of a pass (see the file comment for the address form).
+struct StreamRef {
+  bool write = false;
+  bool once = false;  ///< issued once per outer iteration (before element 0)
+  std::uint64_t base = 0;              ///< byte address at all indices zero
+  std::vector<std::int64_t> loop_step; ///< bytes per outer-loop increment
+  std::int64_t elem_step = 0;          ///< bytes per inner element
+  std::uint32_t width = 0;             ///< bytes touched per access (element size)
+
+  // Modular twiddle-table walk; inactive when mod_n == 0.
+  std::uint64_t mod_n = 0;             ///< table length in elements
+  std::uint64_t mod_scale = 0;         ///< bytes per table element
+  std::int64_t mul0 = 0;               ///< e-coefficient, constant part
+  std::vector<std::int64_t> mul_loop;  ///< e-coefficient, per outer index
+  std::int64_t off0 = 0;               ///< offset, constant part
+  std::vector<std::int64_t> off_loop;  ///< offset, per outer index
+
+  bool skip_first_outer = false;  ///< innermost outer index 0 skips this ref
+  bool skip_first_elem = false;   ///< inner element 0 skips this ref
+};
+
+/// One inner sweep: `count` elements, each issuing `refs` in order.
+struct Sweep {
+  index_t count = 0;
+  std::vector<StreamRef> refs;
+};
+
+/// One execution stage as an affine loop nest. Outer loops are listed
+/// outermost first; every full outer iteration runs the sweeps in order.
+struct AccessPass {
+  std::string node_path;            ///< footprint-style tree location
+  std::string op;                   ///< stage name, matching footprint ops
+  std::vector<index_t> loops;       ///< outer loop trip counts
+  std::vector<Sweep> sweeps;
+  bool exact_order = true;          ///< false when a non-uniform transpose
+                                    ///< tiling was flattened to column order
+
+  /// Demand accesses one full execution of the pass issues.
+  [[nodiscard]] std::uint64_t accesses() const;
+  /// accesses() weighted by each ref's element width, in bytes.
+  [[nodiscard]] std::uint64_t bytes_touched() const;
+};
+
+/// Per-level predicted counts; field-compatible with cache::CacheStats.
+struct LevelPrediction {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;   ///< re-miss the FA shadow also takes
+  std::uint64_t conflict = 0;   ///< re-miss manufactured by the set mapping
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetch_fills = 0;
+  std::uint64_t prefetch_hits = 0;
+};
+
+/// Prediction for one pass over a (possibly two-level) geometry.
+struct PassPrediction {
+  LevelPrediction l1;
+  LevelPrediction l2;               ///< all-zero when no L2 was configured
+  std::uint64_t bytes_moved = 0;    ///< bytes_touched() of the pass
+  bool closed_form = false;         ///< steady-state closure fired at least once
+};
+
+/// Evaluate one pass symbolically. `l2` may be null (single level). Both
+/// caches are cold at pass entry — the per-stage-cold semantics the
+/// property suite replays. Configs are validated. `enable_closure` toggles
+/// the steady-state loop closure; with it off the evaluator always walks
+/// the full nest (same counts, more time — the property suite runs both).
+PassPrediction predict_pass(const AccessPass& pass, const cache::CacheConfig& l1,
+                            const cache::CacheConfig* l2 = nullptr, bool enable_closure = true);
+
+/// Issue every demand access of the pass, in exact nest order, to `touch`.
+/// sim::replay_pass drives a real cache::Cache through this to hold the
+/// symbolic evaluator accountable.
+void walk_pass(const AccessPass& pass, const std::function<void(std::uint64_t, bool)>& touch);
+
+/// Options for pass enumeration and whole-plan analysis.
+struct AnalyzeOptions {
+  Transform transform = Transform::fft;
+  std::size_t elem_bytes = 0;       ///< 0 = by transform (16 FFT / 8 WHT)
+  bool include_twiddles = true;     ///< count twiddle-table traffic (FFT)
+  std::uint64_t align_bytes = 64;   ///< region alignment (use the simulated
+                                    ///< cache's line size to match sim/trace)
+  cache::CacheConfig l1{.size_bytes = 32 * 1024, .associativity = 8};
+  cache::CacheConfig l2{};          ///< paper default: 512 KB direct-mapped
+};
+
+/// Enumerate every pass of the plan in execution order, mirroring the
+/// executors' loop structure and the synthetic address space of
+/// sim::FftTracer / sim::WhtTracer (data at 0, line-aligned scratch arena
+/// after it, one twiddle region per composite size in first-use order).
+std::vector<AccessPass> enumerate_passes(const plan::Node& tree, const AnalyzeOptions& opts = {});
+
+/// How a footprint stage relates to the cachepred pass list.
+enum class Coverage {
+  modeled,    ///< a pass with the same (node, op) exists
+  expanded,   ///< subtree stage: covered by the child's own passes
+  waived,     ///< explicitly out of model scope (reason recorded)
+  uncovered,  ///< escaped the model — CacheReport::covered() fails
+};
+
+/// Cross-check entry: one footprint stage, its disposition, and the
+/// evidence (covering pass ops or the waiver reason).
+struct StageCoverage {
+  std::string node_path;
+  std::string op;
+  Coverage status = Coverage::modeled;
+  std::string detail;
+};
+
+/// One analyzed stage: the pass and its prediction.
+struct StagePrediction {
+  AccessPass pass;
+  PassPrediction predict;
+};
+
+/// Whole-plan cache report: per-stage predictions plus the structural
+/// cross-check against the footprint analyzer's stage list. `covered()` is
+/// false iff some footprint stage is neither modeled, expanded nor waived —
+/// the signal that a new executor stage escaped the static model.
+struct CacheReport {
+  std::vector<StagePrediction> stages;
+  std::vector<StageCoverage> coverage;
+  LevelPrediction total_l1;
+  LevelPrediction total_l2;
+  std::uint64_t bytes_moved = 0;
+  bool uncovered = false;
+
+  [[nodiscard]] bool covered() const noexcept { return !uncovered; }
+};
+
+/// Analyze a plan: enumerate passes, predict each against opts.l1/l2, and
+/// cross-check coverage against enumerate_stages(tree, opts.transform).
+CacheReport analyze_plan(const plan::Node& tree, const AnalyzeOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Planning oracle: per-CostKey predictions and the fitted time model
+// ---------------------------------------------------------------------------
+
+/// Build the pass list for one DP primitive (same key kinds as
+/// sim::simulated_cost_oracle, at the same synthetic addresses). Leaf kinds
+/// model `sweep_count` successive sub-transforms like the wall-clock probe.
+std::vector<AccessPass> primitive_passes(const plan::CostKey& key,
+                                         std::uint64_t align_bytes = 64,
+                                         index_t sweep_count = 64);
+
+/// Nominal floating-point work of one primitive invocation (5 n log2 n for
+/// transform leaves, per-point counts for twiddle/copy passes). Units are
+/// abstract; the fitted beta absorbs the scale.
+double primitive_flops(const plan::CostKey& key);
+
+/// Coefficients of the cold-start time model
+///     seconds = beta_flop * flops + alpha_l1 * L1_misses + alpha_l2 * L2_misses.
+struct CostCoefficients {
+  double beta_flop = 2.5e-10;  ///< ~4 GFLOP/s scalar baseline
+  double alpha_l1 = 4.0e-9;    ///< L1 miss ~= L2 hit latency
+  double alpha_l2 = 2.0e-8;    ///< L2 miss ~= memory latency (amortized)
+  bool fitted = false;         ///< least-squares fit succeeded
+  std::size_t samples = 0;     ///< CostDb entries the fit consumed
+};
+
+/// Fit the coefficients once per host by least squares over every CostDb
+/// entry whose kind primitive_passes understands. Falls back to the
+/// defaults (fitted = false) with fewer than four usable samples or a
+/// singular system; negative solutions are clamped to zero.
+CostCoefficients fit_coefficients(const plan::CostDb& db, const cache::CacheConfig& l1,
+                                  const cache::CacheConfig& l2);
+
+/// Predicted misses of one primitive at both levels (sum over its passes,
+/// divided by the leaf sweep count where the probe protocol averages).
+struct PrimitivePrediction {
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+};
+PrimitivePrediction predict_primitive(const plan::CostKey& key, const cache::CacheConfig& l1,
+                                      const cache::CacheConfig& l2);
+
+/// The cold-start cost model: alpha/beta-weighted predicted misses + flops.
+double model_cost(const plan::CostKey& key, const CostCoefficients& co,
+                  const cache::CacheConfig& l1, const cache::CacheConfig& l2);
+
+// ---------------------------------------------------------------------------
+// obs::Stage coverage (linted: tools/ddl_lint.py rule `stage-coverage`)
+// ---------------------------------------------------------------------------
+
+/// Static-analysis disposition of every runtime stage tag: either the
+/// footprint/cachepred op family that models it, or an explicit
+/// "waived: ..." reason. Total over the enum — a new obs::Stage value
+/// fails compilation here (-Wswitch) and the lint rule cross-checks that
+/// the mapping table names every enum value at the source level.
+const char* obs_stage_model(obs::Stage stage) noexcept;
+
+}  // namespace ddl::verify::cachepred

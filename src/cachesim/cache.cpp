@@ -5,17 +5,30 @@
 
 namespace ddl::cache {
 
+void CacheConfig::validate() const {
+  // Every check runs before the arithmetic it guards: a zero or non-pow2
+  // line size would otherwise flow silently into lines()/sets() division
+  // and produce a structurally broken (but constructible) cache.
+  DDL_REQUIRE(size_bytes > 0, "cache size is zero");
+  DDL_REQUIRE(line_bytes > 0 && is_pow2(static_cast<index_t>(line_bytes)),
+              "line size must be a non-zero power of two, got " + std::to_string(line_bytes));
+  DDL_REQUIRE(size_bytes >= line_bytes && size_bytes % line_bytes == 0,
+              "cache size must be a multiple of the line size, got " +
+                  std::to_string(size_bytes) + " / " + std::to_string(line_bytes));
+  DDL_REQUIRE(associativity >= 0, "associativity must be >= 0 (0 = fully associative), got " +
+                                      std::to_string(associativity));
+  DDL_REQUIRE(lines() % ways() == 0, "ways (" + std::to_string(ways()) +
+                                         ") must divide the line count (" +
+                                         std::to_string(lines()) + ")");
+  DDL_REQUIRE(is_pow2(static_cast<index_t>(sets())),
+              "set count must be a power of two, got " + std::to_string(sets()));
+  DDL_REQUIRE(stream_table >= 1, "stream table must hold at least one entry");
+}
+
 Cache::Cache(const CacheConfig& config) : config_(config) {
-  DDL_REQUIRE(config.line_bytes > 0 && is_pow2(static_cast<index_t>(config.line_bytes)),
-              "line size must be a power of two");
-  DDL_REQUIRE(config.size_bytes >= config.line_bytes && config.size_bytes % config.line_bytes == 0,
-              "cache size must be a multiple of the line size");
-  DDL_REQUIRE(config.associativity >= 0, "associativity must be >= 0 (0 = fully associative)");
+  config.validate();
   ways_ = config.ways();
-  DDL_REQUIRE(config.lines() % ways_ == 0, "line count must be a multiple of associativity");
   sets_ = config.sets();
-  DDL_REQUIRE(is_pow2(static_cast<index_t>(sets_)), "set count must be a power of two");
-  DDL_REQUIRE(config.stream_table >= 1, "stream table must hold at least one entry");
   lines_.assign(sets_ * ways_, Line{});
   if (config_.prefetch == Prefetch::stream) {
     streams_.assign(static_cast<std::size_t>(config_.stream_table), Stream{});
@@ -38,6 +51,10 @@ bool Cache::access(std::uint64_t addr, bool is_write) {
 
   if (config_.prefetch == Prefetch::stream) train_streams(line_addr);
 
+  // The shadow must see every demand access (hits included): it tracks what
+  // a fully-associative cache of the same capacity would hold.
+  const bool fa_hit = config_.split_remiss && shadow_touch(line_addr);
+
   // Hit path: scan the (small) set.
   for (std::size_t w = 0; w < ways_; ++w) {
     Line& line = set_base[w];
@@ -55,6 +72,9 @@ bool Cache::access(std::uint64_t addr, bool is_write) {
   ++stats_.misses;
   if (touched_.insert(line_addr).second) {
     ++stats_.compulsory_misses;
+  } else if (config_.split_remiss && !fa_hit) {
+    // The fully-associative shadow missed too: capacity, not mapping.
+    ++stats_.capacity_misses;
   } else {
     ++stats_.conflict_misses;
   }
@@ -75,6 +95,19 @@ bool Cache::access(std::uint64_t addr, bool is_write) {
   victim->prefetched = false;
 
   if (config_.prefetch == Prefetch::next_line) prefetch_fill(line_addr + 1);
+  return false;
+}
+
+bool Cache::shadow_touch(std::uint64_t line_addr) {
+  if (auto it = shadow_pos_.find(line_addr); it != shadow_pos_.end()) {
+    shadow_lru_.splice(shadow_lru_.end(), shadow_lru_, it->second);  // move to MRU
+    return true;
+  }
+  shadow_pos_.emplace(line_addr, shadow_lru_.insert(shadow_lru_.end(), line_addr));
+  if (shadow_lru_.size() > config_.lines()) {
+    shadow_pos_.erase(shadow_lru_.front());
+    shadow_lru_.pop_front();
+  }
   return false;
 }
 
@@ -100,6 +133,7 @@ bool Cache::prefetch_fill(std::uint64_t line_addr) {
   victim->stamp = tick_;
   victim->prefetched = true;
   touched_.insert(line_addr);  // a later demand hit is not a compulsory miss
+  if (config_.split_remiss) shadow_touch(line_addr);  // shadow mirrors residency
   ++stats_.prefetch_fills;
   return true;
 }
@@ -157,6 +191,8 @@ void Cache::reset() {
   tick_ = 0;
   stats_ = CacheStats{};
   touched_.clear();
+  shadow_lru_.clear();
+  shadow_pos_.clear();
 }
 
 Hierarchy::Hierarchy(const CacheConfig& l1, const CacheConfig& l2) : l1_(l1), l2_(l2) {}

@@ -79,7 +79,97 @@ double FftPlanner::probe(const plan::CostKey& key, const std::function<double()>
   } else {
     ++stats_.synthetic_fallbacks;
   }
+  // Cold-start model: a key with neither a probe nor a calibrated entry is
+  // answered by the symbolic cache model instead of a wall-clock
+  // microbenchmark. The model value is memoized through the CostDb like any
+  // probe, so one planner never mixes modelled and measured values for the
+  // same key within a session. An explicit cost_oracle outranks the model.
+  if (opts_.cache_model.cold_start_model && !opts_.cost_oracle && !cost_db_->contains(key)) {
+    ++stats_.model_fallbacks;
+    return cost_db_->get_or_measure(key, [&] { return model_cost_for(key); });
+  }
   return cost_db_->get_or_measure(key, measure);
+}
+
+double FftPlanner::model_cost_for(const plan::CostKey& key) {
+  if (!coeffs_ready_) {
+    // One regression per planner lifetime: seconds ~ beta*flops +
+    // alpha1*l1_misses + alpha2*l2_misses over whatever the CostDb already
+    // holds. An empty database keeps the documented default constants.
+    coeffs_ = verify::cachepred::fit_coefficients(*cost_db_, opts_.cache_model.l1,
+                                                  opts_.cache_model.l2);
+    coeffs_ready_ = true;
+  }
+  return verify::cachepred::model_cost(key, coeffs_, opts_.cache_model.l1,
+                                       opts_.cache_model.l2);
+}
+
+double FftPlanner::predicted_l2(const plan::CostKey& key) {
+  if (auto it = l2_pred_.find(key); it != l2_pred_.end()) return it->second;
+  const auto pred =
+      verify::cachepred::predict_primitive(key, opts_.cache_model.l1, opts_.cache_model.l2);
+  const double misses = static_cast<double>(pred.l2_misses);
+  l2_pred_.emplace(key, misses);
+  return misses;
+}
+
+std::vector<std::pair<index_t, index_t>> FftPlanner::prefilter_splits(
+    index_t n, index_t stride, bool allow_ddl,
+    const std::vector<std::pair<index_t, index_t>>& splits) {
+  if (!opts_.cache_model.prefilter || opts_.cost_oracle || splits.size() <= 1) return splits;
+
+  const codelets::Isa isa = codelets::active_isa();
+  const std::string isa_tag = isa != codelets::Isa::scalar ? codelets::isa_name(isa) : "";
+
+  // Score each candidate by the predicted L2 misses of its node-local
+  // passes, taking the cheapest layout variant the DP could pick for it
+  // (static, two-pass ddl, fused ddl) so a split is never condemned for the
+  // layout it would not use. A split is *eligible* for pruning only if none
+  // of those node-level keys is already in the CostDb: present keys mean
+  // the DP has (or was given) real data for this split, and the search must
+  // stay bit-identical to the unfiltered one.
+  struct Scored {
+    double score = 0.0;
+    bool prunable = false;
+  };
+  std::vector<Scored> scored(splits.size());
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const auto [n1, n2] = splits[i];
+    std::vector<plan::CostKey> keys;
+    keys.push_back({"tw_rows", n, n2, stride});
+    keys.push_back({"perm", n, n2, stride});
+    const double perm_l2 = predicted_l2(keys[1]);
+    double score = predicted_l2(keys[0]) + perm_l2;
+    if (allow_ddl && stride * n2 > 1) {
+      keys.push_back({"reorg", n1, n2, stride});
+      keys.push_back({"tw_cols", n, n2, 0});
+      score = std::min(score, predicted_l2(keys[2]) + predicted_l2(keys[3]) + perm_l2);
+      if (opts_.enable_fused) {
+        keys.push_back({"reorg_g", n1, n2, stride});
+        keys.push_back({"fused_tws", n1, n2, stride, isa_tag});
+        score = std::min(score, predicted_l2(keys[4]) + predicted_l2(keys[5]) + perm_l2);
+      }
+    }
+    bool known = false;
+    for (const auto& k : keys) known = known || cost_db_->contains(k);
+    scored[i] = {score, !known};
+    best_score = std::min(best_score, score);
+  }
+
+  std::vector<std::pair<index_t, index_t>> kept;
+  kept.reserve(splits.size());
+  const double threshold = opts_.cache_model.prune_factor * best_score;
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    if (scored[i].prunable && scored[i].score > threshold) {
+      ++stats_.pruned_splits;
+      continue;
+    }
+    kept.push_back(splits[i]);
+  }
+  // The scorer is a pre-filter, not the search: never prune down to nothing.
+  if (kept.empty()) return splits;
+  return kept;
 }
 
 double FftPlanner::leaf_cost(index_t n, index_t stride) {
@@ -312,7 +402,9 @@ const FftPlanner::Best& FftPlanner::best(index_t n, index_t stride, bool allow_d
   }
 
   // Option 2: split n = n1 * n2 (left x right), static or dynamic layout.
-  for (const auto& [n1, n2] : candidate_splits(n)) {
+  // The symbolic prefilter (when enabled) drops splits whose predicted
+  // node-local L2 traffic is hopeless before any probe or recursion runs.
+  for (const auto& [n1, n2] : prefilter_splits(n, stride, allow_ddl, candidate_splits(n))) {
     const Best& right = best(n2, stride, allow_ddl);
     const double shared = static_cast<double>(n1) * right.cost / fanout_workers(n, n1) +
                           perm_cost(n, n2, stride);
@@ -395,9 +487,13 @@ plan::TreePtr FftPlanner::plan(index_t n, Strategy strategy) {
 
 void FftPlanner::invalidate() {
   // Memo entries computed from stale synthetic costs must not shadow newly
-  // ingested calibrated ones; the CostDb itself is left intact.
+  // ingested calibrated ones; the CostDb itself is left intact. The cost
+  // model refits on next use — calibration is exactly when new regression
+  // samples appear — and prediction memos rebuild cheaply.
   memo_.clear();
   measured_memo_.clear();
+  coeffs_ready_ = false;
+  l2_pred_.clear();
 }
 
 double FftPlanner::planned_cost(index_t n, Strategy strategy) {

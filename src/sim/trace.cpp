@@ -342,6 +342,12 @@ void WhtTracer::leaf(index_t n, std::uint64_t base, index_t stride) {
 
 // ---------------------------------------------------------------------------
 
+void replay_pass(const verify::cachepred::AccessPass& pass, cache::Cache& l1, cache::Cache* l2) {
+  verify::cachepred::walk_pass(pass, [&](std::uint64_t addr, bool is_write) {
+    if (!l1.access(addr, is_write) && l2 != nullptr) l2->access(addr, is_write);
+  });
+}
+
 void simulate_leaf_sweep(cache::Cache& cache, index_t n, index_t stride, index_t count,
                          std::size_t elem_bytes) {
   DDL_REQUIRE(n >= 1 && stride >= 1 && count >= 1, "bad leaf sweep parameters");

@@ -274,5 +274,91 @@ TEST(StrideRegimes, LargePow2StrideConflictsInDirectMapped) {
   EXPECT_EQ(cache.stats().conflict_misses, 8u);
 }
 
+TEST(SplitRemiss, OffKeepsLumpedMeaningAndZeroCapacity) {
+  // Default (split_remiss off): conflict_misses keeps its historical
+  // conflict-or-capacity meaning and the capacity counter never moves, so
+  // existing consumers see byte-identical numbers.
+  Cache lumped(small_direct());
+  CacheConfig split_cfg = small_direct();
+  split_cfg.split_remiss = true;
+  Cache split(split_cfg);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint64_t a = 0; a < 2048; a += 64) {
+      lumped.access(a, rep % 2 == 0);
+      split.access(a, rep % 2 == 0);
+    }
+  }
+  const auto& l = lumped.stats();
+  const auto& s = split.stats();
+  // The split changes classification only: totals agree exactly.
+  EXPECT_EQ(l.accesses, s.accesses);
+  EXPECT_EQ(l.misses, s.misses);
+  EXPECT_EQ(l.compulsory_misses, s.compulsory_misses);
+  EXPECT_EQ(l.capacity_misses, 0u);
+  EXPECT_EQ(l.conflict_misses, s.capacity_misses + s.conflict_misses);
+}
+
+TEST(SplitRemiss, PingPongIsPureConflict) {
+  // Two lines ping-ponging in one set of a direct-mapped cache fit easily
+  // in the fully-associative shadow: every re-miss is manufactured by the
+  // set mapping, i.e. a conflict miss, not a capacity miss.
+  CacheConfig cfg = small_direct();
+  cfg.split_remiss = true;
+  Cache cache(cfg);
+  for (int i = 0; i < 10; ++i) {
+    cache.access(0);
+    cache.access(512);
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.misses, 20u);
+  EXPECT_EQ(s.compulsory_misses, 2u);
+  EXPECT_EQ(s.conflict_misses, 18u);
+  EXPECT_EQ(s.capacity_misses, 0u);
+}
+
+TEST(SplitRemiss, OversizedWorkingSetIsPureCapacity) {
+  // A cyclic sweep over twice the cache's line count misses fully
+  // associatively too (LRU evicts exactly the line about to be needed), so
+  // every re-miss is a capacity miss: no set mapping could have saved it.
+  CacheConfig cfg{.size_bytes = 512, .line_bytes = 64, .associativity = 0};
+  cfg.split_remiss = true;
+  Cache cache(cfg);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint64_t a = 0; a < 1024; a += 64) cache.access(a);
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.compulsory_misses, 16u);
+  EXPECT_EQ(s.conflict_misses, 0u);
+  EXPECT_EQ(s.capacity_misses, s.misses - s.compulsory_misses);
+  EXPECT_GT(s.capacity_misses, 0u);
+}
+
+TEST(SplitRemiss, StatsCoherenceThreeWay) {
+  CacheConfig cfg = small_direct();
+  cfg.split_remiss = true;
+  Cache cache(cfg);
+  for (std::uint64_t a = 0; a < 8192; a += 32) cache.access(a, a % 64 == 0);
+  for (std::uint64_t a = 0; a < 8192; a += 128) cache.access(a);
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.misses, s.compulsory_misses + s.capacity_misses + s.conflict_misses);
+  EXPECT_EQ(s.hits() + s.misses, s.accesses);
+}
+
+TEST(SplitRemiss, ResetClearsTheShadow) {
+  // After reset, a previously-resident line must classify as compulsory
+  // again: a stale shadow entry would mislabel it as a capacity re-miss.
+  CacheConfig cfg = small_direct();
+  cfg.split_remiss = true;
+  Cache cache(cfg);
+  for (std::uint64_t a = 0; a < 2048; a += 64) cache.access(a);
+  cache.reset();
+  cache.access(0);
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.accesses, 1u);
+  EXPECT_EQ(s.compulsory_misses, 1u);
+  EXPECT_EQ(s.capacity_misses, 0u);
+  EXPECT_EQ(s.conflict_misses, 0u);
+}
+
 }  // namespace
 }  // namespace ddl::cache

@@ -50,6 +50,16 @@ flagged line or the line above; waivers should be rare and justified):
                     kernel; the retained two-pass reference path carries a
                     waiver.
 
+  stage-coverage    Every obs::Stage enum value (include/ddl/obs/obs.hpp)
+                    must be mentioned in src/verify/cachepred.cpp — the
+                    symbolic cache model's obs_stage_model() catalogue,
+                    which records for each stage whether it is modeled as an
+                    access pass, expanded into child passes, or explicitly
+                    waived with a reason. A stage missing there is an
+                    executor behavior the static cache analysis silently
+                    ignores. (The -Wswitch total switch enforces this at
+                    compile time too; the lint catches it without a build.)
+
 Exit status: 0 when clean, 1 when any finding remains, 2 on usage error.
 """
 
@@ -243,6 +253,53 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
         )
 
 
+STAGE_ENUM_OPEN = re.compile(r"enum\s+class\s+Stage\b")
+STAGE_VALUE = re.compile(r"^\s*(\w+)\s*(?:=\s*\d+\s*)?,")
+
+
+def check_stage_coverage(root: Path, findings: list[str]) -> None:
+    """Repo-level rule: obs::Stage values vs the cache model's catalogue."""
+    obs_hpp = root / "include" / "ddl" / "obs" / "obs.hpp"
+    model_cpp = root / "src" / "verify" / "cachepred.cpp"
+    for required in (obs_hpp, model_cpp):
+        if not required.is_file():
+            findings.append(
+                f"{required.relative_to(root).as_posix()}:1: stage-coverage:"
+                f" file missing — cannot cross-check stage dispositions"
+            )
+            return
+
+    lines = obs_hpp.read_text(encoding="utf-8").splitlines()
+    stages: list[tuple[str, int]] = []
+    in_enum = False
+    for idx, line in enumerate(lines):
+        if not in_enum:
+            if STAGE_ENUM_OPEN.search(line):
+                in_enum = True
+            continue
+        if "};" in line:
+            break
+        m = STAGE_VALUE.match(line)
+        if m and m.group(1) != "count_":
+            stages.append((m.group(1), idx + 1))
+    if not stages:
+        findings.append(
+            "include/ddl/obs/obs.hpp:1: stage-coverage: could not parse the"
+            " Stage enum (rule needs updating?)"
+        )
+        return
+
+    model_text = model_cpp.read_text(encoding="utf-8")
+    for name, lineno in stages:
+        if not re.search(rf"obs::Stage::{name}\b", model_text):
+            findings.append(
+                f"include/ddl/obs/obs.hpp:{lineno}: stage-coverage:"
+                f" obs::Stage::{name} has no disposition in"
+                f" src/verify/cachepred.cpp (obs_stage_model) — model it as a"
+                f" pass, mark it expanded, or waive it there with a reason"
+            )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -266,6 +323,8 @@ def main() -> int:
                 continue
             count += 1
             lint_file(path, path.relative_to(root).as_posix(), findings)
+
+    check_stage_coverage(root, findings)
 
     for finding in findings:
         print(finding)

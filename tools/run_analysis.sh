@@ -17,6 +17,12 @@
 #                                  costs (fails if the DP never consulted
 #                                  them), persist costdb+wisdom, and verify
 #                                  a corrupt costdb is rejected fail-closed
+#   6b. cache-oracle smoke         `ddlfft analyze-plan` on two canonical
+#                                  trees diffed against checked-in goldens
+#                                  (tools/golden/): the symbolic cache-miss
+#                                  analyzer is deterministic by construction,
+#                                  so any drift is a model change that must
+#                                  be reviewed (and the goldens regenerated)
 #   7. asan preset (Debug)         full suite under AddressSanitizer with the
 #                                  ddl::verify admission gate live
 #   8. ubsan preset (Debug)        full suite under UBSanitizer, gate live
@@ -122,6 +128,20 @@ autotune_smoke() {
   return 0
 }
 check "ddlfft autotune smoke (calibrate + re-plan, fail-closed stores)" autotune_smoke
+
+# 6b. cache-oracle smoke: analyze-plan output is pure static analysis —
+#     byte-identical across hosts — so it diffs against checked-in goldens.
+#     Drift means the symbolic model changed; review it, then regenerate via
+#     tools/golden/README.md.
+cache_oracle_smoke() {
+  ./build/apps/ddlfft analyze-plan --tree "ct(16,ct(16,16))" \
+    --cache 32K:8,512K:1 > build/analyze_static.txt &&
+    diff -u tools/golden/analyze_ct16_16_16.txt build/analyze_static.txt &&
+    ./build/apps/ddlfft analyze-plan --tree "ctddlf(16,ct(16,16))" \
+      --cache 32K:8,512K:1 > build/analyze_ddlf.txt &&
+    diff -u tools/golden/analyze_ctddlf16_16_16.txt build/analyze_ddlf.txt
+}
+check "cache-oracle smoke (analyze-plan vs goldens)" cache_oracle_smoke
 
 # 7/8/9. sanitizer suites -----------------------------------------------------
 if [[ "$FAST" == "0" ]]; then
