@@ -9,6 +9,8 @@
 //   compare      plan + time every strategy side by side
 //   verify       statically verify a tree (ddl::verify rule catalogue)
 //   explain-plan per-node strides, scratch, codelets, and parallel stages
+//   stream       streaming STFT -> partitioned-convolution chain smoke:
+//                block latency percentiles + direct-reference verification
 //   autotune     calibrate the cost database from traced runs on this host,
 //                re-plan with measured costs, champion-check vs rightmost
 //
@@ -26,8 +28,10 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -46,6 +50,7 @@
 #include "ddl/plan/grammar.hpp"
 #include "ddl/plan/obs_ingest.hpp"
 #include "ddl/sim/trace.hpp"
+#include "ddl/stream/stream.hpp"
 #include "ddl/svc/service.hpp"
 #include "ddl/verify/cachepred.hpp"
 #include "ddl/verify/plan_verify.hpp"
@@ -86,6 +91,12 @@ int usage() {
       "  serve     --inproc [--n 1024] [--producers 4] [--requests 64]\n"
       "            [--threads N] [--plan]   embedded transform-service smoke:\n"
       "            concurrent producers through ddl::svc (DDL_SVC_* env knobs)\n"
+      "  stream    [--block 512] [--fir 257] [--blocks 200] [--stft-fft 4*block]\n"
+      "            [--fft N] [--plan] [--threads N]   streaming smoke: STFT\n"
+      "            (hop = block) chained into a partitioned overlap-save\n"
+      "            convolver, verified against the direct time-domain\n"
+      "            reference; prints the truncated-aware FFT-size choice and\n"
+      "            p50/p99 block latency (docs/STREAMING.md)\n"
       "  autotune  (--n SIZE | --sizes S1,S2,...) [--reps 3] [--threads N]\n"
       "            calibrate cost db from traced runs (per host + ISA), re-plan\n"
       "            with measured costs, champion-check DP vs rightmost, remember\n"
@@ -694,6 +705,128 @@ int cmd_serve(const cli::Args& args) {
   return 0;
 }
 
+// stream: the streaming signal-processing smoke (docs/STREAMING.md). A
+// COLA-normalized STFT pass (identity effect, hop = block) feeds a
+// partitioned overlap-save convolver; every chained output block is checked
+// against the direct O(total*taps) time-domain reference after the STFT's
+// reconstruction transient, and per-block wall latency is reported as
+// p50/p99. With --plan the half-size transforms are planned by the DP over
+// the (possibly calibrated) cost stores.
+int cmd_stream(const cli::Args& args) {
+  Stores stores(args);
+  const index_t block = args.size_or("block", 512);
+  const index_t taps = args.size_or("fir", 257);
+  const index_t nblocks = args.size_or("blocks", 200);
+  if (args.has("threads")) {
+    parallel::set_threads(static_cast<int>(args.int_or("threads", 1)));
+  }
+
+  std::unique_ptr<fft::FftPlanner> planner;
+  stream::RfftOptions rfft;
+  if (args.has("plan")) {
+    fft::PlannerOptions popts;
+    popts.cost_db = &stores.cost_db;
+    popts.wisdom = &stores.wisdom;
+    planner = std::make_unique<fft::FftPlanner>(std::move(popts));
+    rfft.planner = planner.get();
+    rfft.strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
+  }
+
+  stream::StftOptions sopts;
+  sopts.hop = block;
+  sopts.fft_size = args.size_or("stft-fft", 4 * block);
+  sopts.rfft = rfft;
+  stream::StftProcessor stft(sopts);
+
+  AlignedBuffer<real_t> fir(taps);
+  fill_random(fir.span(), 7);
+  stream::ConvolverOptions copts;
+  copts.block = block;
+  copts.fft_size = args.size_or("fft", 0);
+  copts.rfft = rfft;
+  stream::PartitionedConvolver conv(fir.span(), copts);
+
+  const index_t total = nblocks * block;
+  AlignedBuffer<real_t> x(total);
+  AlignedBuffer<real_t> mid(block);
+  AlignedBuffer<real_t> y(total);
+  fill_random(x.span(), 1);
+
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(nblocks));
+  for (index_t t = 0; t < nblocks; ++t) {
+    const std::uint64_t t0 = obs::now_ns();
+    stft.process(x.span().subspan(static_cast<std::size_t>(t * block),
+                                  static_cast<std::size_t>(block)),
+                 mid.span());
+    conv.process(mid.span(), y.span().subspan(static_cast<std::size_t>(t * block),
+                                              static_cast<std::size_t>(block)));
+    lat_us.push_back(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+  }
+
+  // Direct reference: y[s] = sum_j h[j] x[s - delay - j], delay being the
+  // STFT reconstruction latency. Skip the transient where the STFT frame
+  // and the convolver history are still filling with attenuated samples.
+  const index_t delay = stft.latency();
+  const index_t skip = sopts.fft_size + taps + delay;
+  double max_err = 0.0;
+  double scale = 0.0;
+  for (index_t j = 0; j < taps; ++j) scale += std::abs(fir[j]);
+  for (index_t s = skip; s < total; ++s) {
+    double ref = 0.0;
+    for (index_t j = 0; j < taps; ++j) {
+      const index_t src = s - delay - j;
+      if (src >= 0) ref += fir[j] * x[src];
+    }
+    max_err = std::max(max_err, std::abs(y[s] - ref));
+  }
+  // "2 ULP at the energy scale": the reference itself carries O(taps)
+  // rounding and the transforms accumulate error over O(log n) butterfly
+  // stages, so the comparison is against the ULP of the output's magnitude
+  // bound sum|h| * max|x| * log2(fft), not of individual samples.
+  double maxx = 0.0;
+  for (index_t s = 0; s < total; ++s) maxx = std::max(maxx, std::abs(x[s]));
+  const double bound = scale * maxx * std::log2(static_cast<double>(conv.fft_size()));
+  const double ulp = std::nextafter(bound, std::numeric_limits<double>::infinity()) - bound;
+  const double tol = 2.0 * ulp;
+
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(lat_us.size() - 1));
+    return lat_us[idx];
+  };
+  index_t pow2 = 4;
+  while (pow2 < block + conv.partition_len() - 1) pow2 *= 2;
+
+  TableWriter table({"metric", "value"});
+  table.add_row({"block", std::to_string(block)});
+  table.add_row({"stft_fft", std::to_string(sopts.fft_size)});
+  table.add_row({"fir_taps", std::to_string(taps)});
+  table.add_row({"conv_fft", std::to_string(conv.fft_size())});
+  table.add_row({"next_pow2 (avoided)", std::to_string(pow2)});
+  table.add_row({"partitions", std::to_string(conv.partitions())});
+  table.add_row({"half_plan", conv.fft_size() >= 4 ? "cached" : "-"});
+  const auto sci = [](double v) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(3) << v;
+    return os.str();
+  };
+  table.add_row({"p50_us", std::to_string(pct(0.50))});
+  table.add_row({"p99_us", std::to_string(pct(0.99))});
+  table.add_row({"max_err", sci(max_err)});
+  table.add_row({"tolerance", sci(tol)});
+  table.print(std::cout, "stream chain block=" + std::to_string(block));
+
+  if (!(max_err <= tol)) {
+    std::cerr << "stream: chain deviates from the direct reference (max_err=" << max_err
+              << " tol=" << tol << ")\n";
+    return 1;
+  }
+  std::cout << "stream: ok — " << nblocks << " blocks, p50 " << pct(0.50) << " us, p99 "
+            << pct(0.99) << " us\n";
+  return 0;
+}
+
 // autotune: the systematized calibrate -> re-plan -> champion-check loop
 // (docs/AUTOTUNING.md). Per size: trace real executions of seed trees on
 // THIS host (so every cost key the DP charges — per active ISA — gains an
@@ -893,6 +1026,8 @@ int main(int argc, char** argv) {
       rc = cmd_explain(args);
     } else if (args.command() == "serve") {
       rc = cmd_serve(args);
+    } else if (args.command() == "stream") {
+      rc = cmd_stream(args);
     } else if (args.command() == "autotune") {
       rc = cmd_autotune(args);
     } else {

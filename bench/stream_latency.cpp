@@ -1,0 +1,146 @@
+// stream_latency — per-block latency of the ddl::stream real-time chain.
+//
+// For each block size, drives the canonical streaming pipeline
+//
+//     STFT (fft = 4*block, hop = block, Hann) -> PartitionedConvolver
+//
+// for a fixed number of blocks and reports the p50/p99 wall latency of one
+// block through the whole chain (the number a real-time audio/ingest
+// deadline is written against), plus the convolver FFT size so the
+// truncated-aware sizing is visible next to the latency it buys.
+//
+// Rows export through BenchJsonWriter to BENCH_stream.json (override with
+// DDL_BENCH_JSON). Not a paper figure: this is the latency harness for the
+// streaming subsystem (docs/STREAMING.md).
+//
+// Usage:
+//   stream_latency [--blocks 2000] [--taps 257] [--threads K]
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "ddl/bench_util/bench_util.hpp"
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/cli.hpp"
+#include "ddl/common/parallel.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/common/table.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/stream/stream.hpp"
+
+namespace {
+
+using namespace ddl;
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct Row {
+  index_t block = 0;
+  index_t stft_fft = 0;
+  index_t conv_fft = 0;
+  index_t partitions = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double throughput_msps = 0.0;  ///< million samples per second through the chain
+};
+
+Row run_chain(index_t block, index_t taps, index_t n_blocks) {
+  stream::StftOptions sopts;
+  sopts.fft_size = 4 * block;
+  sopts.hop = block;
+  stream::StftProcessor stft(sopts);
+
+  AlignedBuffer<real_t> fir(taps);
+  fill_random(fir.span(), 7);
+  stream::ConvolverOptions copts;
+  copts.block = block;
+  stream::PartitionedConvolver conv(fir.span(), copts);
+
+  AlignedBuffer<real_t> in(block);
+  AlignedBuffer<real_t> mid(block);
+  AlignedBuffer<real_t> out(block);
+  fill_random(in.span(), 23);
+
+  // Warmup: touch every buffer and code path before timing.
+  for (index_t i = 0; i < 16; ++i) {
+    stft.process(in.span(), mid.span());
+    conv.process(mid.span(), out.span());
+  }
+
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(n_blocks));
+  const std::uint64_t t_all0 = obs::now_ns();
+  for (index_t i = 0; i < n_blocks; ++i) {
+    const std::uint64_t t0 = obs::now_ns();
+    stft.process(in.span(), mid.span());
+    conv.process(mid.span(), out.span());
+    const std::uint64_t t1 = obs::now_ns();
+    lat_us.push_back(static_cast<double>(t1 - t0) / 1e3);
+  }
+  const double total_s = static_cast<double>(obs::now_ns() - t_all0) / 1e9;
+
+  Row row;
+  row.block = block;
+  row.stft_fft = stft.fft_size();
+  row.conv_fft = conv.fft_size();
+  row.partitions = conv.partitions();
+  row.p50_us = percentile(lat_us, 0.50);
+  row.p99_us = percentile(lat_us, 0.99);
+  row.max_us = percentile(lat_us, 1.0);
+  row.throughput_msps =
+      total_s > 0.0 ? static_cast<double>(block) * static_cast<double>(n_blocks) / total_s / 1e6
+                    : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli::Args args = cli::Args::parse(argc, argv);
+  const index_t n_blocks = args.size_or("blocks", 2000);
+  const index_t taps = args.size_or("taps", 257);
+  const int threads = static_cast<int>(args.int_or("threads", 0));
+  if (threads > 0) parallel::set_threads(threads);
+
+  benchutil::print_host_banner(std::cout);
+  std::cout << "stream chain: STFT(4*block, hop=block) -> PartitionedConvolver(" << taps
+            << " taps), " << n_blocks << " blocks per size\n\n";
+
+  benchutil::BenchJsonWriter json("stream_latency");
+  TableWriter table({"block", "stft_fft", "conv_fft", "parts", "p50_us", "p99_us", "max_us",
+                     "Msamp/s"});
+  for (const index_t block : {index_t{256}, index_t{512}, index_t{1024}}) {
+    const Row row = run_chain(block, taps, n_blocks);
+    table.add_row({std::to_string(row.block), std::to_string(row.stft_fft),
+                   std::to_string(row.conv_fft), std::to_string(row.partitions),
+                   std::to_string(row.p50_us), std::to_string(row.p99_us),
+                   std::to_string(row.max_us), std::to_string(row.throughput_msps)});
+
+    benchutil::BenchRecord rec;
+    rec.n = row.block;
+    rec.strategy = "stft+pconv";
+    rec.threads = threads > 0 ? threads : 1;
+    rec.seconds = row.p50_us / 1e6;
+    rec.extra = {{"p50_us", row.p50_us},
+                 {"p99_us", row.p99_us},
+                 {"max_us", row.max_us},
+                 {"throughput_msps", row.throughput_msps},
+                 {"stft_fft", static_cast<double>(row.stft_fft)},
+                 {"conv_fft", static_cast<double>(row.conv_fft)},
+                 {"partitions", static_cast<double>(row.partitions)}};
+    json.add(std::move(rec));
+  }
+  table.print(std::cout);
+
+  const auto path = benchutil::BenchJsonWriter::resolve_path("BENCH_stream.json");
+  if (json.write(path)) std::cout << "\nwrote " << path.string() << "\n";
+  return 0;
+}

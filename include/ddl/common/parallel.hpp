@@ -40,7 +40,8 @@
 /// use (only) the arena for its own slot; arenas are sized by the caller
 /// *before* fan-out, so workers never allocate. See docs/PARALLELISM.md.
 
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "ddl/common/aligned.hpp"
@@ -90,7 +91,31 @@ bool in_parallel_region();
 
 /// Chunk body: half-open index range [i0, i1) plus the executing lane's
 /// slot in [0, max_threads()).
-using ChunkBody = std::function<void(index_t i0, index_t i1, int slot)>;
+///
+/// Non-owning type-erased reference, not a std::function: parallel_for is
+/// fully synchronous (it joins every chunk before returning), so the
+/// callable only has to outlive the call expression — and borrowing it
+/// keeps the dispatch allocation-free. A std::function here heap-allocated
+/// on every hot-path fan-out with a capturing lambda, which broke the
+/// streaming layer's zero-steady-state-allocation contract
+/// (docs/STREAMING.md) and added malloc/free latency to every transform.
+class ChunkBody {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, ChunkBody>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): call-site lambdas bind implicitly
+  ChunkBody(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, index_t i0, index_t i1, int slot) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(i0, i1, slot);
+        }) {}
+
+  void operator()(index_t i0, index_t i1, int slot) const { call_(obj_, i0, i1, slot); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, index_t, index_t, int);
+};
 
 /// Run `body` over [begin, end) in chunks of at least `grain` iterations,
 /// fanned across the pool. Serial (single chunk, caller thread) when the

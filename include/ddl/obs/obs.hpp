@@ -77,6 +77,14 @@ enum class Stage : std::uint16_t {
   plan_build,     ///< PlanCache miss: executor construction (a = n).
                   ///< Appears inside a measured region only when a bench
                   ///< forgot to pre-warm the cache — benches assert zero.
+  stream_block,   ///< one streaming process() call envelope
+                  ///< (a = block/hop samples, b = fft size)
+  stream_pack,    ///< real<->complex packing + (un)tangle of an rfft call
+                  ///< (a = n, b = batch count)
+  stream_fdl,     ///< frequency-domain delay-line MAC of the partitioned
+                  ///< convolver (a = bins, b = partitions)
+  stream_ola,     ///< time-domain slide/window/overlap-add passes of the
+                  ///< streaming layer (a = fft size, b = hop)
   count_          ///< sentinel (append stages above; numbering is
                   ///< trace-format-stable)
 };

@@ -1,0 +1,75 @@
+#pragma once
+/// \file convolver.hpp
+/// \brief Uniform partitioned overlap-save FIR convolution in the frequency
+///        domain.
+///
+/// PartitionedConvolver splits an M-tap FIR into P = ceil(M/L) partitions of
+/// L = min(block, M) taps, keeps the spectra of the last P input frames in a
+/// frequency-domain delay line (FDL), and produces each output block as
+///
+///     Y = sum_p  X_{t-p} * H_p        (per-bin multiply-accumulate)
+///
+/// followed by one inverse real FFT, keeping the last `block` samples
+/// (overlap-save: the corrupted circular prefix is discarded). One forward
+/// and one inverse transform per block regardless of FIR length — latency
+/// stays one block while the tail scales to arbitrarily long FIRs.
+///
+/// The FFT length is *truncated-transform-aware*: it must only cover
+/// block + L - 1 samples, and choose_fft_size() picks the cheapest even
+/// 5-smooth length covering that instead of rounding to the next power of
+/// two (sizing.hpp). Geometry is admitted through
+/// verify::verify_stream_config; all buffers are allocated at construction
+/// and process() is allocation-free (docs/STREAMING.md).
+
+#include <cstdint>
+#include <span>
+
+#include "ddl/stream/rfft.hpp"
+#include "ddl/stream/sizing.hpp"
+
+namespace ddl::stream {
+
+/// Geometry and planning knobs for PartitionedConvolver.
+struct ConvolverOptions {
+  index_t block = 512;     ///< samples consumed/produced per process() call
+  index_t fft_size = 0;    ///< 0 = truncated-aware choose_fft_size()
+  RfftOptions rfft;        ///< planning of the shared real transform
+};
+
+/// Streaming FIR convolution engine (see file comment).
+class PartitionedConvolver {
+ public:
+  /// `fir` is copied (as partition spectra) at construction.
+  explicit PartitionedConvolver(std::span<const real_t> fir, const ConvolverOptions& opts = {});
+
+  [[nodiscard]] index_t block() const noexcept { return block_; }
+  [[nodiscard]] index_t taps() const noexcept { return taps_; }
+  [[nodiscard]] index_t fft_size() const noexcept { return n_; }
+  [[nodiscard]] index_t partitions() const noexcept { return parts_; }
+  [[nodiscard]] index_t partition_len() const noexcept { return part_len_; }
+
+  /// Blocks processed since construction (monotone).
+  [[nodiscard]] std::uint64_t blocks() const noexcept { return blocks_; }
+
+  /// Convolve one block: consume block() input samples, emit block()
+  /// output samples of y = h * x (zero initial history).
+  void process(std::span<const real_t> in, std::span<real_t> out);
+
+ private:
+  index_t block_ = 0;
+  index_t taps_ = 0;
+  index_t part_len_ = 0;  ///< L = min(block, taps)
+  index_t parts_ = 0;     ///< P = ceil(taps / L)
+  index_t n_ = 0;         ///< FFT length (even, >= block + L - 1)
+  index_t bins_ = 0;      ///< n/2 + 1
+  index_t head_ = 0;      ///< FDL slot holding the newest input spectrum
+  std::uint64_t blocks_ = 0;
+  AlignedBuffer<real_t> inbuf_;   ///< n-sample sliding input history
+  AlignedBuffer<real_t> td_;      ///< n-sample time-domain scratch
+  AlignedBuffer<cplx> fir_spec_;  ///< parts * bins partition spectra
+  AlignedBuffer<cplx> fdl_;       ///< parts * bins input-spectrum ring
+  AlignedBuffer<cplx> acc_;       ///< bins MAC accumulator
+  Rfft rfft_;
+};
+
+}  // namespace ddl::stream

@@ -1,0 +1,36 @@
+#pragma once
+/// \file sizing.hpp
+/// \brief Truncated-transform-aware FFT size selection for zero-padded
+///        convolution workloads.
+///
+/// Zero-padded convolution needs a transform that *covers* block + partition
+/// - 1 samples; everything above that is padding. Rounding up to the next
+/// power of two (what examples/convolution.cpp used to do) can nearly double
+/// the transform work. Following Harvey's truncated-FFT argument (PAPERS.md),
+/// choose_fft_size() instead picks the cheapest even 5-smooth length
+/// (2^a * 3^b * 5^c) in [min_n, next_pow2(min_n)] — the executor runs any
+/// composite tree, so e.g. min_n = 545 resolves to 576 = 2^6 * 3^2 rather
+/// than 1024.
+///
+/// Cost is the planner's DP-predicted half-transform time when a planner is
+/// supplied (so a calibrated CostDb steers the choice), else a radix-aware
+/// closed-form weight. Ties break toward the smaller length.
+
+#include "ddl/common/types.hpp"
+#include "ddl/fft/planner.hpp"
+
+namespace ddl::stream {
+
+/// Knobs for choose_fft_size.
+struct SizingOptions {
+  /// Cost the candidates with planner->planned_cost(n/2, strategy) instead
+  /// of the closed-form weight.
+  fft::FftPlanner* planner = nullptr;
+  fft::Strategy strategy = fft::Strategy::ddl_dp;
+};
+
+/// Smallest-cost even 5-smooth FFT length >= min_n (see file comment).
+/// min_n must be >= 1; the result is always <= next_pow2(max(min_n, 4)).
+index_t choose_fft_size(index_t min_n, const SizingOptions& opts = {});
+
+}  // namespace ddl::stream

@@ -1,0 +1,91 @@
+#pragma once
+/// \file stft.hpp
+/// \brief Streaming short-time Fourier transform with COLA-normalized
+///        overlap-add reconstruction.
+///
+/// StftProcessor consumes and produces audio-style streams hop() samples at
+/// a time. Each step slides a fft_size() analysis frame, windows it,
+/// transforms it with the shared Rfft fast path, applies an optional
+/// spectral effect, inverse-transforms, windows again (weighted overlap-add)
+/// and emits the oldest hop() samples of the accumulator divided by the
+/// precomputed hop-periodic COLA denominator d[r] = sum_k w^2[r + k*hop].
+///
+/// With the identity effect the chain reconstructs the input exactly
+/// (up to rounding), delayed by latency() = fft_size - hop, for *any*
+/// window/hop pair whose denominator stays positive — that admission check
+/// (plus hop | fft_size, which makes d hop-periodic) runs through
+/// verify::verify_stream_config at construction.
+///
+/// All buffers are allocated at construction; process() is allocation-free
+/// and bitwise stable across thread counts (docs/STREAMING.md).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "ddl/stream/rfft.hpp"
+
+namespace ddl::stream {
+
+/// Analysis/synthesis window kind. Values are stable (they are the
+/// stft_window field of verify::StreamLimits).
+enum class Window : std::uint8_t {
+  hann = 0,         ///< periodic Hann: w[j] = 0.5 - 0.5 cos(2 pi j / n)
+  rectangular = 1,  ///< w[j] = 1 (block transforms; any hop dividing n)
+};
+
+/// Geometry and planning knobs for StftProcessor.
+struct StftOptions {
+  index_t fft_size = 1024;       ///< frame length n (even, >= 2)
+  index_t hop = 256;             ///< samples per step ([1, n], divides n)
+  Window window = Window::hann;  ///< analysis = synthesis window
+  RfftOptions rfft;              ///< planning of the inner real transform
+};
+
+/// Windowed overlap-add streaming transform (see file comment).
+class StftProcessor {
+ public:
+  /// Spectral effect: mutates the bins() in-place between analysis and
+  /// synthesis. Called once per frame on the driver thread.
+  using SpectrumFn = std::function<void(std::span<cplx>)>;
+
+  explicit StftProcessor(const StftOptions& opts);
+
+  [[nodiscard]] index_t fft_size() const noexcept { return n_; }
+  [[nodiscard]] index_t hop() const noexcept { return hop_; }
+  [[nodiscard]] index_t bins() const noexcept { return rfft_.bins(); }
+
+  /// Reconstruction delay in samples: output block t reproduces input
+  /// samples [t*hop - latency(), (t+1)*hop - latency()).
+  [[nodiscard]] index_t latency() const noexcept { return n_ - hop_; }
+
+  /// Frames processed since construction (monotone).
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+
+  /// The analysis/synthesis window (fft_size samples).
+  [[nodiscard]] std::span<const real_t> window() const noexcept { return window_.span(); }
+
+  /// Advance one hop: consume hop() input samples, emit hop() output
+  /// samples (identity effect — pure reconstruct).
+  void process(std::span<const real_t> in, std::span<real_t> out);
+
+  /// Advance one hop with a spectral effect between analysis and synthesis.
+  void process(std::span<const real_t> in, std::span<real_t> out, const SpectrumFn& effect);
+
+ private:
+  void step(std::span<const real_t> in, std::span<real_t> out, const SpectrumFn* effect);
+
+  index_t n_ = 0;
+  index_t hop_ = 0;
+  std::uint64_t frames_ = 0;
+  AlignedBuffer<real_t> window_;  ///< n samples
+  AlignedBuffer<real_t> norm_;    ///< hop residues: COLA denominator d[r]
+  AlignedBuffer<real_t> inbuf_;   ///< n-sample sliding analysis frame
+  AlignedBuffer<real_t> frame_;   ///< windowed copy handed to the rfft
+  AlignedBuffer<cplx> spec_;      ///< bins() spectrum
+  AlignedBuffer<real_t> synth_;   ///< inverse-transform output
+  AlignedBuffer<real_t> ola_;     ///< n-sample overlap-add accumulator
+  Rfft rfft_;
+};
+
+}  // namespace ddl::stream

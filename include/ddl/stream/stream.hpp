@@ -1,0 +1,12 @@
+#pragma once
+/// \file stream.hpp
+/// \brief Umbrella header for ddl::stream — the streaming signal-processing
+///        layer (real FFT fast path, STFT, partitioned convolution).
+///
+/// See docs/STREAMING.md for the API walkthrough, the COLA constraint, the
+/// partition-sizing rules and the zero-allocation contract.
+
+#include "ddl/stream/convolver.hpp"
+#include "ddl/stream/rfft.hpp"
+#include "ddl/stream/sizing.hpp"
+#include "ddl/stream/stft.hpp"

@@ -29,6 +29,9 @@ enum class Rule {
   svc_queue_bounds,   ///< service queue capacity within [1, limit]
   svc_bucket_limits,  ///< service batch/bucket knobs consistent (max_batch,
                       ///< size window, delay within the supported ranges)
+  stream_geometry,    ///< streaming shapes consistent (even rfft length,
+                      ///< hop divides the frame, convolver FFT covers
+                      ///< block + partition - 1, COLA denominator nonzero)
 };
 
 /// Stable short name for a rule ("size_product", ...), for messages and CLI.

@@ -109,6 +109,27 @@ std::vector<Stage> enumerate_stages(const plan::Node& tree, Transform kind);
 /// transforms of size n, `batch_stride` elements apart, run concurrently.
 Stage batch_stage(index_t n, index_t count, index_t batch_stride);
 
+// ---------------------------------------------------------------------------
+// Streaming-layer chunk families (ddl::stream; docs/STREAMING.md)
+// ---------------------------------------------------------------------------
+
+/// The rfft batch packing/untangle pass: lane b packs m complex points into
+/// the contiguous scratch window [b*m, b*m + m). Fanned across lanes, so
+/// admission requires this family self-disjoint.
+Stage rfft_pack_stage(index_t m, index_t batch);
+
+/// The partitioned convolver's frequency-domain delay-line MAC: bin k
+/// accumulates one product per partition into acc[k], independently per
+/// bin. Fanned across bins, so admission requires self-disjointness.
+Stage fdl_mac_stage(index_t bins);
+
+/// The STFT overlap-add family *as if* frames were fanned out concurrently:
+/// frame j adds fft_size samples starting at offset j*hop. This family
+/// self-overlaps whenever hop < fft_size — the static proof that the OLA
+/// accumulate must stay serial (the streaming layer runs it on the caller's
+/// thread; verify_stream_config does NOT admit it as a parallel stage).
+ChunkFamily stft_ola_family(index_t fft_size, index_t hop);
+
 /// Run family_overlap over every stage of the plan; one chunk_overlap
 /// diagnostic per racy stage, naming the conflicting chunk pair and index.
 Report analyze_footprint(const plan::Node& tree, Transform kind);

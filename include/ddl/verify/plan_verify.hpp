@@ -119,4 +119,40 @@ struct ServiceLimits {
 /// nothing throws.
 Report verify_service_config(const ServiceLimits& limits);
 
+// ---------------------------------------------------------------------------
+// Streaming configuration validation (ddl::stream)
+// ---------------------------------------------------------------------------
+
+/// Widest batch an Rfft may preallocate packing lanes for (matches the
+/// service batch ceiling: streaming sessions feed the same dispatch).
+inline constexpr long long kMaxStreamBatch = kMaxServiceBatch;
+
+/// Shape-only view of a streaming component's geometry. Plain numbers so
+/// ddl::verify stays below ddl::stream in the layer order, mirroring
+/// ServiceLimits. Fields left at -1 are "not applicable" and unchecked;
+/// each stream constructor fills in only the shapes it owns.
+struct StreamLimits {
+  index_t rfft_n = -1;         ///< real transform length (even, >= 2)
+  index_t rfft_batch = -1;     ///< packed batch lanes ([1, kMaxStreamBatch])
+  index_t stft_fft = -1;       ///< STFT frame length (even, >= 2)
+  index_t stft_hop = -1;       ///< STFT hop ([1, fft], divides fft)
+  index_t stft_window = -1;    ///< window kind (0 = periodic Hann, 1 =
+                               ///< rectangular); the COLA denominator
+                               ///< min_r sum_k w^2[r + k*hop] is evaluated
+                               ///< numerically and must stay positive
+  index_t conv_block = -1;     ///< convolver block size (>= 1)
+  index_t conv_taps = -1;      ///< FIR length (>= 1)
+  index_t conv_fft = -1;       ///< convolver FFT size (even, >= block +
+                               ///< min(block, taps) - 1: overlap-save validity)
+};
+
+/// Validate streaming geometry against the stream_geometry rule, plus
+/// footprint disjointness (chunk_overlap) of the concurrently-written
+/// packing/MAC chunk families the ddl::stream hot paths fan out. Same
+/// contract as verify_plan: violations collect into the Report, nothing
+/// throws; stream constructors turn a non-empty report into one
+/// std::invalid_argument with position-annotated paths ("stream.rfft.n",
+/// "stream.stft.hop", ...).
+Report verify_stream_config(const StreamLimits& limits);
+
 }  // namespace ddl::verify

@@ -124,6 +124,10 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::twiddle_scatter: return "twiddle_scatter";
     case Stage::stockham_leaf: return "stockham_leaf";
     case Stage::plan_build: return "plan_build";
+    case Stage::stream_block: return "stream_block";
+    case Stage::stream_pack: return "stream_pack";
+    case Stage::stream_fdl: return "stream_fdl";
+    case Stage::stream_ola: return "stream_ola";
     case Stage::count_: break;
   }
   return "unknown";

@@ -43,6 +43,7 @@ bool is_composite(obs::Stage stage) {
     case obs::Stage::par_chunk:
     case obs::Stage::svc_batch:
     case obs::Stage::plan_build:
+    case obs::Stage::stream_block:
       return true;
     default:
       return false;

@@ -1,0 +1,117 @@
+#include "ddl/stream/convolver.hpp"
+
+#include <algorithm>
+
+#include "ddl/common/check.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl::stream {
+
+namespace {
+
+/// Resolve and admit the convolver geometry, returning the FFT length for
+/// the rfft mem-initializer. L = min(block, taps) keeps the partition hop
+/// equal to the block hop whenever more than one partition exists (the FDL
+/// delays whole blocks), and the FFT only has to cover block + L - 1
+/// samples — choose_fft_size() picks the cheapest 5-smooth length covering
+/// exactly that instead of the next power of two.
+index_t admitted_fft_size(std::span<const real_t> fir, const ConvolverOptions& opts) {
+  const index_t block = opts.block;
+  const index_t taps = static_cast<index_t>(fir.size());
+  const index_t part = block >= 1 && taps >= 1 ? std::min(block, taps) : 0;
+  index_t n = opts.fft_size;
+  if (n == 0 && part >= 1) {
+    SizingOptions sizing;
+    sizing.planner = opts.rfft.planner;
+    sizing.strategy = opts.rfft.strategy;
+    n = choose_fft_size(block + part - 1, sizing);
+  }
+  verify::StreamLimits limits;
+  limits.rfft_n = n;
+  limits.rfft_batch = opts.rfft.max_batch;
+  limits.conv_block = block;
+  limits.conv_taps = taps;
+  limits.conv_fft = n;
+  detail::require_clean(verify::verify_stream_config(limits), "stream::PartitionedConvolver");
+  return n;
+}
+
+}  // namespace
+
+PartitionedConvolver::PartitionedConvolver(std::span<const real_t> fir,
+                                           const ConvolverOptions& opts)
+    : rfft_(admitted_fft_size(fir, opts), opts.rfft) {
+  block_ = opts.block;
+  taps_ = static_cast<index_t>(fir.size());
+  part_len_ = std::min(block_, taps_);
+  parts_ = (taps_ + part_len_ - 1) / part_len_;
+  n_ = rfft_.size();
+  bins_ = rfft_.bins();
+
+  inbuf_ = AlignedBuffer<real_t>(n_);
+  td_ = AlignedBuffer<real_t>(n_);
+  fir_spec_ = AlignedBuffer<cplx>(parts_ * bins_);
+  fdl_ = AlignedBuffer<cplx>(parts_ * bins_);
+  acc_ = AlignedBuffer<cplx>(bins_);
+
+  // Partition spectra: H_p = RFFT(h[p*L .. p*L + L), zero-padded to n).
+  for (index_t p = 0; p < parts_; ++p) {
+    std::fill(td_.begin(), td_.end(), 0.0);
+    const index_t base = p * part_len_;
+    const index_t len = std::min(part_len_, taps_ - base);
+    std::copy(fir.begin() + base, fir.begin() + base + len, td_.begin());
+    rfft_.forward(td_.span(),
+                  std::span<cplx>(fir_spec_.data() + p * bins_, static_cast<std::size_t>(bins_)));
+  }
+  std::fill(td_.begin(), td_.end(), 0.0);
+}
+
+void PartitionedConvolver::process(std::span<const real_t> in, std::span<real_t> out) {
+  DDL_REQUIRE(static_cast<index_t>(in.size()) == block_, "input block size mismatch");
+  DDL_REQUIRE(static_cast<index_t>(out.size()) == block_, "output block size mismatch");
+  const obs::ScopedStage blk(obs::Stage::stream_block, block_, n_);
+
+  {
+    // Overlap-save slide: keep the last n samples of input history.
+    const obs::ScopedStage slide(obs::Stage::stream_ola, n_, block_);
+    std::copy(inbuf_.begin() + block_, inbuf_.end(), inbuf_.begin());
+    std::copy(in.begin(), in.end(), inbuf_.end() - block_);
+  }
+
+  rfft_.forward(inbuf_.span(),
+                std::span<cplx>(fdl_.data() + head_ * bins_, static_cast<std::size_t>(bins_)));
+
+  {
+    // Frequency-domain delay-line MAC: partition p against the input
+    // spectrum from p blocks ago. Per-bin accumulators are independent
+    // (footprint.hpp fdl_mac_stage), the loop itself runs on the driver
+    // thread — one block's MAC is bandwidth-bound, not compute-bound.
+    const obs::ScopedStage mac(obs::Stage::stream_fdl, bins_, parts_);
+    std::fill(acc_.begin(), acc_.end(), cplx{});
+    for (index_t p = 0; p < parts_; ++p) {
+      index_t slot = head_ - p;
+      if (slot < 0) slot += parts_;
+      const cplx* x = fdl_.data() + slot * bins_;
+      const cplx* h = fir_spec_.data() + p * bins_;
+      for (index_t k = 0; k < bins_; ++k) {
+        const double xr = x[k].real();
+        const double xi = x[k].imag();
+        const double hr = h[k].real();
+        const double hi = h[k].imag();
+        acc_[k] += cplx{xr * hr - xi * hi, xr * hi + xi * hr};
+      }
+    }
+  }
+
+  rfft_.inverse(acc_.span(), td_.span());
+  // Overlap-save: the first L-1 samples of the circular result are
+  // corrupted by wraparound; the last `block` samples are the valid linear
+  // convolution (n >= block + L - 1 guarantees the split).
+  std::copy(td_.end() - block_, td_.end(), out.begin());
+
+  head_ = head_ + 1 == parts_ ? 0 : head_ + 1;
+  ++blocks_;
+}
+
+}  // namespace ddl::stream

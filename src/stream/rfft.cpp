@@ -1,0 +1,168 @@
+#include "ddl/stream/rfft.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numbers>
+#include <stdexcept>
+
+#include "ddl/common/check.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl::stream {
+
+namespace detail {
+
+void require_clean(const verify::Report& report, const char* context) {
+  if (report.ok()) return;
+  throw std::invalid_argument(std::string(context) +
+                              ": rejected by ddl::verify — " + report.to_string());
+}
+
+}  // namespace detail
+
+Rfft::Rfft(index_t n, const RfftOptions& opts) : n_(n), max_batch_(opts.max_batch) {
+  verify::StreamLimits limits;
+  limits.rfft_n = n;
+  limits.rfft_batch = opts.max_batch;
+  detail::require_clean(verify::verify_stream_config(limits), "stream::Rfft");
+
+  const index_t m = n_ / 2;
+  if (m >= 2) {
+    // Plan the half transform: explicit tree > planner > deterministic
+    // rightmost default. The executor comes from the process-wide
+    // PlanCache so streaming sessions and ddl::svc share one tuned
+    // executor per tree shape.
+    plan::TreePtr planned;
+    const plan::Node* tree = opts.tree;
+    if (tree == nullptr && opts.planner != nullptr) {
+      planned = opts.planner->plan(m, opts.strategy);
+      tree = planned.get();
+    }
+    plan::TreePtr fallback;
+    if (tree == nullptr) {
+      fallback = fft::rightmost_tree(m, 32);
+      tree = fallback.get();
+    }
+    DDL_REQUIRE(tree->n == m, "rfft tree size must equal n/2");
+    half_ = fft::PlanCache::instance().get(*tree);
+    grammar_ = plan::to_string(*tree);
+  } else {
+    grammar_ = "leaf(1)";
+  }
+
+  twiddle_ = AlignedBuffer<cplx>(m);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n_);
+  for (index_t k = 0; k < m; ++k) {
+    const double ang = step * static_cast<double>(k);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+  work_ = AlignedBuffer<cplx>(max_batch_ * m);
+}
+
+// Untangle: with Z = FFT(z) of the packed signal, E[k] = (Z[k]+conj(Z[m-k]))/2
+// (the even samples' spectrum) and O[k] = (Z[k]-conj(Z[m-k]))/(2i) (the odd
+// samples'), then X[k] = E[k] + W_n^k O[k].
+void Rfft::untangle(const cplx* z, cplx* spectrum) const {
+  const index_t m = n_ / 2;
+  for (index_t k = 0; k <= m; ++k) {
+    const cplx zk = z[k == m ? 0 : k];
+    const cplx zmk = std::conj(z[k == 0 ? 0 : m - k]);
+    const cplx even = 0.5 * (zk + zmk);
+    const cplx odd = cplx{0.0, -0.5} * (zk - zmk);
+    const cplx w = k == m ? cplx{-1.0, 0.0} : twiddle_[k];
+    spectrum[k] = even + w * odd;
+  }
+}
+
+// Re-tangle (inverse of untangle): E[k] = (X[k]+conj(X[m-k]))/2, O[k] =
+// (X[k]-conj(X[m-k])) * conj(W_n^k) / 2, Z[k] = E[k] + i O[k].
+void Rfft::retangle(const cplx* spectrum, cplx* z) const {
+  const index_t m = n_ / 2;
+  for (index_t k = 0; k < m; ++k) {
+    const cplx xk = spectrum[k];
+    const cplx xmk = std::conj(spectrum[m - k]);
+    const cplx even = 0.5 * (xk + xmk);
+    const cplx odd = 0.5 * (xk - xmk) * std::conj(twiddle_[k]);
+    z[k] = even + cplx{0.0, 1.0} * odd;
+  }
+}
+
+void Rfft::forward(std::span<const real_t> in, std::span<cplx> spectrum) {
+  DDL_REQUIRE(static_cast<index_t>(in.size()) == n_, "input size != n");
+  DDL_REQUIRE(static_cast<index_t>(spectrum.size()) == bins(), "spectrum size != n/2+1");
+  const index_t m = n_ / 2;
+
+  {
+    obs::ScopedStage pack(obs::Stage::stream_pack, n_, 1);
+    for (index_t j = 0; j < m; ++j) {
+      work_[j] = {in[static_cast<std::size_t>(2 * j)],
+                  in[static_cast<std::size_t>(2 * j + 1)]};
+    }
+  }
+  if (half_.exec != nullptr) {
+    const std::lock_guard<std::mutex> lock(*half_.guard);
+    half_.exec->forward(work_.span().first(static_cast<std::size_t>(m)));
+  }
+  obs::ScopedStage unpack(obs::Stage::stream_pack, n_, 1);
+  untangle(work_.data(), spectrum.data());
+}
+
+void Rfft::inverse(std::span<const cplx> spectrum, std::span<real_t> out) {
+  DDL_REQUIRE(static_cast<index_t>(spectrum.size()) == bins(), "spectrum size != n/2+1");
+  DDL_REQUIRE(static_cast<index_t>(out.size()) == n_, "output size != n");
+  const index_t m = n_ / 2;
+
+  {
+    obs::ScopedStage pack(obs::Stage::stream_pack, n_, 1);
+    retangle(spectrum.data(), work_.data());
+  }
+  if (half_.exec != nullptr) {
+    const std::lock_guard<std::mutex> lock(*half_.guard);
+    half_.exec->inverse(work_.span().first(static_cast<std::size_t>(m)));
+  }
+  obs::ScopedStage unpack(obs::Stage::stream_pack, n_, 1);
+  for (index_t j = 0; j < m; ++j) {
+    out[static_cast<std::size_t>(2 * j)] = work_[j].real();
+    out[static_cast<std::size_t>(2 * j + 1)] = work_[j].imag();
+  }
+}
+
+void Rfft::forward_batch(const real_t* in, index_t count, index_t in_dist, cplx* spectra,
+                         index_t spec_dist) {
+  DDL_REQUIRE(count >= 0 && count <= max_batch_, "batch count outside [0, max_batch]");
+  DDL_REQUIRE(in_dist >= n_, "input frame distance < n");
+  DDL_REQUIRE(spec_dist >= bins(), "spectrum frame distance < n/2+1");
+  if (count == 0) return;
+  const index_t m = n_ / 2;
+
+  {
+    obs::ScopedStage pack(obs::Stage::stream_pack, n_, count);
+    for (index_t b = 0; b < count; ++b) {
+      const real_t* frame = in + b * in_dist;
+      cplx* lane = work_.data() + b * m;
+      for (index_t j = 0; j < m; ++j) lane[j] = {frame[2 * j], frame[2 * j + 1]};
+    }
+  }
+  if (half_.exec != nullptr) {
+    const std::lock_guard<std::mutex> lock(*half_.guard);
+    half_.exec->forward_batch(work_.data(), count, m);
+  }
+  obs::ScopedStage unpack(obs::Stage::stream_pack, n_, count);
+  for (index_t b = 0; b < count; ++b) {
+    untangle(work_.data() + b * m, spectra + b * spec_dist);
+  }
+}
+
+void rfft_forward(std::span<const real_t> in, std::span<cplx> spectrum) {
+  Rfft rfft(static_cast<index_t>(in.size()));
+  rfft.forward(in, spectrum);
+}
+
+void rfft_inverse(std::span<const cplx> spectrum, std::span<real_t> out) {
+  Rfft rfft(static_cast<index_t>(out.size()));
+  rfft.inverse(spectrum, out);
+}
+
+}  // namespace ddl::stream

@@ -1,0 +1,64 @@
+#include "ddl/stream/sizing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ddl/common/check.hpp"
+
+namespace ddl::stream {
+
+namespace {
+
+/// Closed-form cost weight for an n-point transform with `threes` factors
+/// of 3 and `fives` factors of 5: n log n butterfly work, with the odd
+/// radices penalized (their leaves run the direct fallback and their
+/// columns vectorize worse than radix-2 ladders). Calibrated loosely — it
+/// only has to rank 5-smooth candidates within one octave.
+double heuristic_weight(index_t n, int threes, int fives) {
+  const double penalty = 1.0 + 0.25 * threes + 0.45 * fives;
+  return static_cast<double>(n) * (std::log2(static_cast<double>(n)) + 4.0) * penalty;
+}
+
+}  // namespace
+
+index_t choose_fft_size(index_t min_n, const SizingOptions& opts) {
+  DDL_REQUIRE(min_n >= 1, "minimum covered length must be >= 1");
+  const index_t lo = min_n < 4 ? 4 : min_n;
+  index_t pow2 = 4;
+  while (pow2 < lo) pow2 *= 2;
+
+  // Every candidate is even (at least one factor of 2: the rfft packing
+  // trick halves it) and 5-smooth, in [lo, pow2]. The next power of two is
+  // always a candidate, so the window never needs to extend past it.
+  index_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (index_t five = 1; five <= pow2; five *= 5) {
+    int fives = 0;
+    for (index_t f = five; f > 1; f /= 5) ++fives;
+    for (index_t three = five; three <= pow2; three *= 3) {
+      int threes = 0;
+      for (index_t t = three / five; t > 1; t /= 3) ++threes;
+      for (index_t n = three * 2; n <= pow2; n *= 2) {
+        if (n < lo) continue;
+        double cost;
+        if (opts.planner != nullptr) {
+          // DP-predicted seconds for the half transform plus a linear term
+          // for the pack/untangle sweeps (also breaks ties toward the
+          // smaller length).
+          cost = opts.planner->planned_cost(n / 2, opts.strategy) +
+                 1e-10 * static_cast<double>(n);
+        } else {
+          cost = heuristic_weight(n, threes, fives);
+        }
+        if (cost < best_cost || (cost == best_cost && n < best)) {
+          best_cost = cost;
+          best = n;
+        }
+      }
+    }
+  }
+  DDL_CHECK(best >= lo, "candidate enumeration missed the power of two");
+  return best;
+}
+
+}  // namespace ddl::stream

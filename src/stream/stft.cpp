@@ -1,0 +1,101 @@
+#include "ddl/stream/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "ddl/common/check.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl::stream {
+
+namespace {
+
+/// Admission gate, run before any member is constructed (the first
+/// mem-initializer reads through this). Collects every geometry violation —
+/// including the numeric COLA denominator check — into one structured
+/// report.
+const StftOptions& validated(const StftOptions& opts) {
+  verify::StreamLimits limits;
+  limits.rfft_n = opts.fft_size;
+  limits.rfft_batch = opts.rfft.max_batch;
+  limits.stft_fft = opts.fft_size;
+  limits.stft_hop = opts.hop;
+  limits.stft_window = static_cast<index_t>(opts.window);
+  detail::require_clean(verify::verify_stream_config(limits), "stream::StftProcessor");
+  return opts;
+}
+
+}  // namespace
+
+StftProcessor::StftProcessor(const StftOptions& opts)
+    : n_(validated(opts).fft_size),
+      hop_(opts.hop),
+      window_(n_),
+      norm_(hop_),
+      inbuf_(n_),
+      frame_(n_),
+      spec_(n_ / 2 + 1),
+      synth_(n_),
+      ola_(n_),
+      rfft_(n_, opts.rfft) {
+  for (index_t j = 0; j < n_; ++j) {
+    window_[j] = opts.window == Window::hann
+                     ? 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                            static_cast<double>(j) / static_cast<double>(n_))
+                     : 1.0;
+  }
+  // COLA denominator, hop-periodic because hop | n: d[r] = sum_k
+  // w^2[r + k*hop]. verify_stream_config proved min_r d[r] > 0.
+  for (index_t r = 0; r < hop_; ++r) {
+    double d = 0.0;
+    for (index_t j = r; j < n_; j += hop_) d += window_[j] * window_[j];
+    norm_[r] = d;
+  }
+}
+
+void StftProcessor::process(std::span<const real_t> in, std::span<real_t> out) {
+  step(in, out, nullptr);
+}
+
+void StftProcessor::process(std::span<const real_t> in, std::span<real_t> out,
+                            const SpectrumFn& effect) {
+  step(in, out, &effect);
+}
+
+void StftProcessor::step(std::span<const real_t> in, std::span<real_t> out,
+                         const SpectrumFn* effect) {
+  DDL_REQUIRE(static_cast<index_t>(in.size()) == hop_, "input block size != hop");
+  DDL_REQUIRE(static_cast<index_t>(out.size()) == hop_, "output block size != hop");
+  const obs::ScopedStage block(obs::Stage::stream_block, hop_, n_);
+
+  {
+    // Slide the analysis frame and window it. Serial by contract: the
+    // overlapping frame family is racy under fan-out (footprint.hpp
+    // stft_ola_family), so these sweeps stay on the driver thread.
+    const obs::ScopedStage slide(obs::Stage::stream_ola, n_, hop_);
+    std::copy(inbuf_.begin() + hop_, inbuf_.end(), inbuf_.begin());
+    std::copy(in.begin(), in.end(), inbuf_.end() - hop_);
+    for (index_t j = 0; j < n_; ++j) frame_[j] = inbuf_[j] * window_[j];
+  }
+
+  rfft_.forward(frame_.span(), spec_.span());
+  if (effect != nullptr && *effect) (*effect)(spec_.span());
+  rfft_.inverse(spec_.span(), synth_.span());
+
+  {
+    // Weighted overlap-add, then emit the oldest hop samples normalized by
+    // the COLA denominator at their hop residue.
+    const obs::ScopedStage ola(obs::Stage::stream_ola, n_, hop_);
+    for (index_t j = 0; j < n_; ++j) ola_[j] += synth_[j] * window_[j];
+    for (index_t j = 0; j < hop_; ++j) {
+      out[static_cast<std::size_t>(j)] = ola_[j] / norm_[j];
+    }
+    std::copy(ola_.begin() + hop_, ola_.end(), ola_.begin());
+    std::fill(ola_.end() - hop_, ola_.end(), 0.0);
+  }
+  ++frames_;
+}
+
+}  // namespace ddl::stream

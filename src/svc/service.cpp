@@ -158,12 +158,22 @@ struct TransformService::Impl {
   /// admission time plus the hold delay, capped by the earliest member
   /// deadline so an expiry resolves *at* the deadline rather than whenever
   /// the bucket would have matured.
+  ///
+  /// The oldest admission stamp is the *minimum* submit_ns over the bucket,
+  /// not the front member's: submit() captures submit_ns before taking the
+  /// queue lock, so FIFO position is lock-acquisition order and the front
+  /// member of a bucket can carry a younger stamp than a later one.
+  /// Anchoring maturity to the front stamp let a bucket's hold window
+  /// silently restart from the younger member, stretching the oldest
+  /// request's wait past batch_delay_ns.
   [[nodiscard]] std::uint64_t bucket_due(const std::vector<Pending>& bucket) const {
-    std::uint64_t due =
-        bucket.front().submit_ns + static_cast<std::uint64_t>(cfg.batch_delay_ns);
-    for (const auto& p : bucket)
+    std::uint64_t oldest = bucket.front().submit_ns;
+    std::uint64_t due = kNever;
+    for (const auto& p : bucket) {
+      oldest = std::min(oldest, p.submit_ns);
       if (p.req.deadline_ns != 0) due = std::min(due, p.req.deadline_ns);
-    return due;
+    }
+    return std::min(oldest + static_cast<std::uint64_t>(cfg.batch_delay_ns), due);
   }
 
   PlanInfo dp_plan(Kind kind, index_t n) {

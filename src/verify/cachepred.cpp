@@ -1319,6 +1319,10 @@ const char* obs_stage_model(obs::Stage stage) noexcept {
     case obs::Stage::svc_gather: return "waived: service staging outside the plan address space";
     case obs::Stage::svc_scatter: return "waived: service staging outside the plan address space";
     case obs::Stage::plan_build: return "waived: planning-time work, no transform traffic";
+    case obs::Stage::stream_block: return "waived: streaming envelope over per-stage passes";
+    case obs::Stage::stream_pack: return "waived: stream staging outside the plan address space";
+    case obs::Stage::stream_fdl: return "waived: stream staging outside the plan address space";
+    case obs::Stage::stream_ola: return "waived: stream staging outside the plan address space";
     case obs::Stage::count_: return "waived: sentinel";
   }
   return "waived: unknown stage";

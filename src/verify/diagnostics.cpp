@@ -16,6 +16,7 @@ const char* rule_name(Rule rule) noexcept {
     case Rule::grammar_round_trip: return "grammar_round_trip";
     case Rule::svc_queue_bounds: return "svc_queue_bounds";
     case Rule::svc_bucket_limits: return "svc_bucket_limits";
+    case Rule::stream_geometry: return "stream_geometry";
   }
   return "unknown";
 }

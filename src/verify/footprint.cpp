@@ -129,6 +129,21 @@ Stage batch_stage(index_t n, index_t count, index_t batch_stride) {
   return Stage{"root", "batch dispatch", {Space::data, 0, batch_stride, count, 1, n}};
 }
 
+Stage rfft_pack_stage(index_t m, index_t batch) {
+  DDL_REQUIRE(m >= 1 && batch >= 1, "bad rfft pack geometry");
+  return Stage{"stream.rfft", "rfft pack", {Space::scratch, 0, m, batch, 1, m}};
+}
+
+Stage fdl_mac_stage(index_t bins) {
+  DDL_REQUIRE(bins >= 1, "bad fdl mac geometry");
+  return Stage{"stream.conv", "fdl mac", {Space::scratch, 0, 1, bins, 1, 1}};
+}
+
+ChunkFamily stft_ola_family(index_t fft_size, index_t hop) {
+  DDL_REQUIRE(fft_size >= 1 && hop >= 1, "bad stft ola geometry");
+  return ChunkFamily{Space::data, 0, hop, fft_size / hop, 1, fft_size};
+}
+
 Report analyze_footprint(const plan::Node& tree, Transform kind) {
   Report report;
   for (const Stage& stage : enumerate_stages(tree, kind)) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <numbers>
 #include <sstream>
 #include <string_view>
 
@@ -226,6 +229,116 @@ Report verify_service_config(const ServiceLimits& limits) {
     diag(report, Rule::svc_bucket_limits,
          "config.max_points", "size window is empty (max_points < min_points)",
          limits.min_points, limits.max_points);
+  }
+  return report;
+}
+
+namespace {
+
+/// chunk_overlap diagnostic for a racy stream stage (admission-time check of
+/// the families the streaming hot paths fan out).
+void check_stream_stage(Report& report, const Stage& stage) {
+  const auto overlap = family_overlap(stage.writes);
+  if (!overlap) return;
+  diag(report, Rule::chunk_overlap, stage.node_path,
+       stage.op + ": concurrently-written chunks overlap", 0, overlap->index);
+}
+
+}  // namespace
+
+Report verify_stream_config(const StreamLimits& limits) {
+  Report report;
+  // Real-transform geometry: the n/2 packing trick needs an even length,
+  // and the half transform needs at least one complex point.
+  if (limits.rfft_n >= 0 && (limits.rfft_n < 2 || limits.rfft_n % 2 != 0)) {
+    diag(report, Rule::stream_geometry, "stream.rfft.n",
+         "real FFT length must be even and >= 2", 2, limits.rfft_n);
+  }
+  if (limits.rfft_batch >= 0 &&
+      (limits.rfft_batch < 1 || limits.rfft_batch > kMaxStreamBatch)) {
+    diag(report, Rule::stream_geometry, "stream.rfft.batch",
+         "packed batch lanes outside [1, kMaxStreamBatch]",
+         static_cast<index_t>(kMaxStreamBatch), limits.rfft_batch);
+  }
+  // STFT geometry: the frame is a real transform; the hop must tile it so
+  // the precomputed COLA denominator is hop-periodic.
+  if (limits.stft_fft >= 0 && (limits.stft_fft < 2 || limits.stft_fft % 2 != 0)) {
+    diag(report, Rule::stream_geometry, "stream.stft.fft_size",
+         "STFT frame length must be even and >= 2", 2, limits.stft_fft);
+  }
+  if (limits.stft_hop >= 0) {
+    if (limits.stft_hop < 1 || (limits.stft_fft >= 1 && limits.stft_hop > limits.stft_fft)) {
+      diag(report, Rule::stream_geometry, "stream.stft.hop",
+           "hop outside [1, fft_size]", limits.stft_fft, limits.stft_hop);
+    } else if (limits.stft_fft >= 1 && limits.stft_fft % limits.stft_hop != 0) {
+      diag(report, Rule::stream_geometry, "stream.stft.hop",
+           "hop must divide fft_size (COLA denominator is hop-periodic)",
+           limits.stft_fft, limits.stft_hop);
+    }
+  }
+  if (limits.stft_window >= 0 && limits.stft_window > 1) {
+    diag(report, Rule::stream_geometry, "stream.stft.window",
+         "unknown window kind (0 = hann, 1 = rectangular)", 1, limits.stft_window);
+  }
+  // COLA admission: per-sample reconstruction divides by the hop-periodic
+  // denominator d[r] = sum_k w^2[r + k*hop]; a (near-)zero residue means
+  // the window/hop pair cannot reconstruct (e.g. Hann at hop == fft_size).
+  if (limits.stft_window >= 0 && limits.stft_window <= 1 && limits.stft_fft >= 2 &&
+      limits.stft_fft % 2 == 0 && limits.stft_hop >= 1 &&
+      limits.stft_hop <= limits.stft_fft && limits.stft_fft % limits.stft_hop == 0) {
+    const index_t n = limits.stft_fft;
+    const index_t hop = limits.stft_hop;
+    double min_d = std::numeric_limits<double>::infinity();
+    index_t min_r = 0;
+    for (index_t r = 0; r < hop; ++r) {
+      double d = 0.0;
+      for (index_t j = r; j < n; j += hop) {
+        const double w = limits.stft_window == 0
+                             ? 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                                    static_cast<double>(j) /
+                                                    static_cast<double>(n))
+                             : 1.0;
+        d += w * w;
+      }
+      if (d < min_d) {
+        min_d = d;
+        min_r = r;
+      }
+    }
+    if (!(min_d > 1e-9)) {
+      diag(report, Rule::stream_geometry, "stream.stft.window",
+           "window overlap-add denominator vanishes (COLA violated)", 0, min_r);
+    }
+  }
+  // Convolver geometry: overlap-save needs the FFT to cover one block plus
+  // one partition minus one, or the circular wraparound corrupts the block.
+  if (limits.conv_block >= 0 && limits.conv_block < 1) {
+    diag(report, Rule::stream_geometry, "stream.conv.block",
+         "block size must be >= 1", 1, limits.conv_block);
+  }
+  if (limits.conv_taps >= 0 && limits.conv_taps < 1) {
+    diag(report, Rule::stream_geometry, "stream.conv.taps",
+         "FIR length must be >= 1", 1, limits.conv_taps);
+  }
+  if (limits.conv_fft >= 0 && limits.conv_block >= 1 && limits.conv_taps >= 1) {
+    const index_t part = std::min(limits.conv_block, limits.conv_taps);
+    const index_t min_fft = limits.conv_block + part - 1;
+    if (limits.conv_fft < min_fft || limits.conv_fft % 2 != 0) {
+      diag(report, Rule::stream_geometry, "stream.conv.fft_size",
+           "FFT size must be even and >= block + partition - 1", min_fft,
+           limits.conv_fft);
+    }
+  }
+  if (!report.ok()) return report;
+  // Footprint admission of the fanned-out stream passes: the batched rfft
+  // packing lanes and the per-bin delay-line MAC must be race-free.
+  if (limits.rfft_n >= 2) {
+    check_stream_stage(
+        report, rfft_pack_stage(limits.rfft_n / 2,
+                                limits.rfft_batch >= 1 ? limits.rfft_batch : 1));
+  }
+  if (limits.conv_fft >= 2) {
+    check_stream_stage(report, fdl_mac_stage(limits.conv_fft / 2 + 1));
   }
   return report;
 }

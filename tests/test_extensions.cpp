@@ -1,11 +1,13 @@
 // Tests for the extension transforms built on the core engine: Bluestein
 // arbitrary-length FFT, 2-D FFT (strided vs transpose column passes),
-// real-input FFT, DCT-II/III, and the measured (Fig. 8) planner.
+// real-input FFT, DCT-II/III, the measured (Fig. 8) planner, and the
+// streaming partitioned convolution behind examples/convolution.cpp.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 #include <vector>
 
 #include "ddl/common/aligned.hpp"
@@ -17,6 +19,7 @@
 #include "ddl/fft/realfft.hpp"
 #include "ddl/fft/reference.hpp"
 #include "ddl/plan/grammar.hpp"
+#include "ddl/stream/stream.hpp"
 
 namespace ddl::fft {
 namespace {
@@ -301,6 +304,58 @@ TEST(MeasuredPlanner, ProducesCorrectPlans) {
     execute_tree(*tree, x.span());
     EXPECT_LT(max_abs_diff(x.span(), std::span<const cplx>(expect)), 1e-9 * n);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming convolution (the examples/convolution.cpp configuration)
+// ---------------------------------------------------------------------------
+
+// The example's geometry — block 4096, 513 raised-cosine taps — through the
+// partitioned overlap-save engine, validated against the naive reference.
+// Also pins the pow2-rounding fix: the FFT covers 4096 + 513 - 1 = 4608 =
+// 2^9 * 3^2 exactly instead of rounding up to 8192.
+TEST(StreamConvolution, ExampleConfigurationMatchesNaive) {
+  const index_t block = 4096;
+  const std::size_t taps = 513;
+  std::vector<real_t> h(taps);
+  for (std::size_t j = 0; j < taps; ++j) {
+    h[j] = (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(taps - 1))) /
+           static_cast<double>(taps);
+  }
+  const std::size_t signal_len = 3 * static_cast<std::size_t>(block);
+  AlignedBuffer<real_t> xbuf(static_cast<index_t>(signal_len));
+  fill_random(xbuf.span(), 205);
+  const std::vector<real_t> x(xbuf.begin(), xbuf.end());
+
+  stream::ConvolverOptions opts;
+  opts.block = block;
+  stream::PartitionedConvolver conv(std::span<const real_t>(h), opts);
+  EXPECT_EQ(conv.fft_size(), 4608);  // not 8192
+
+  std::vector<real_t> y(signal_len, 0.0);
+  for (std::size_t start = 0; start < signal_len; start += static_cast<std::size_t>(block)) {
+    conv.process(
+        std::span<const real_t>(x).subspan(start, static_cast<std::size_t>(block)),
+        std::span<real_t>(y).subspan(start, static_cast<std::size_t>(block)));
+  }
+
+  std::vector<real_t> ref(signal_len + taps - 1, 0.0);
+  for (std::size_t i = 0; i < signal_len; ++i) {
+    for (std::size_t j = 0; j < taps; ++j) ref[i + j] += x[i] * h[j];
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < signal_len; ++i) worst = std::max(worst, std::abs(y[i] - ref[i]));
+  EXPECT_LT(worst, 1e-10);
+}
+
+TEST(StreamConvolution, RfftRejectsDegenerateGeometry) {
+  EXPECT_THROW(stream::Rfft(0), std::invalid_argument);
+  EXPECT_THROW(stream::Rfft(21), std::invalid_argument);
+  std::vector<real_t> x(16, 0.0);
+  std::vector<cplx> spec(9);
+  EXPECT_NO_THROW(
+      stream::rfft_forward(std::span<const real_t>(x), std::span<cplx>(spec)));
 }
 
 TEST(MeasuredPlanner, CostIsPositiveAndDdlNoWorseInItsOwnMetric) {

@@ -274,6 +274,59 @@ TEST(Svc, DeadlinesExpireInQueue) {
   EXPECT_GE(service.stats().deadline_expired, 2u);
 }
 
+// Regression for the bucket wake-up arithmetic: the batcher's due time must
+// be the min over *all* bucket members' deadlines and submit times, not the
+// front member's (submit_ns is captured before the queue lock, so the front
+// is not necessarily the oldest, and a deadline-free front must not hide a
+// later member's sooner deadline behind the full bucket hold).
+TEST(Svc, BucketDueTracksNonFrontDeadline) {
+  svc::ServiceConfig cfg = test_config();
+  cfg.batch_delay_ns = verify::kMaxServiceDelayNs;  // hold would be 10 s
+  cfg.max_batch = 64;
+  svc::TransformService service(cfg);
+
+  const index_t n = 64;
+  // Front of the bucket: no deadline — on its own it would sit for the
+  // full hold.
+  std::vector<cplx> a = random_signal(n, 700);
+  std::future<svc::Result> fa = service.submit_fft(a);
+  // Second member, same size bucket, with a deadline far sooner than the
+  // hold. Pre-expired relative to the hold, live relative to now.
+  std::vector<cplx> b = random_signal(n, 701);
+  const std::uint64_t t0 = obs::now_ns();
+  std::future<svc::Result> fb =
+      service.submit_fft(b, svc::Direction::forward, t0 + 50'000'000);  // 50 ms
+
+  // The deadline must cut the bucket: both futures resolve near the 50 ms
+  // mark, not the 10 s hold. The deadline-free request executes; whether
+  // the deadlined one made the cut or expired depends on scheduling, but
+  // it must not be left pending.
+  const svc::Result ra = fa.get();
+  const svc::Result rb = fb.get();
+  const std::uint64_t waited = obs::now_ns() - t0;
+  EXPECT_LT(waited, 5'000'000'000u) << "bucket held past a member deadline";
+  EXPECT_EQ(ra.status, svc::Status::ok);
+  EXPECT_TRUE(rb.status == svc::Status::ok || rb.status == svc::Status::deadline_exceeded);
+}
+
+// A pre-expired (nonzero, in-the-past) deadline must resolve immediately at
+// submit — and in particular must never wrap around the unsigned deadline
+// arithmetic into a multi-second wait.
+TEST(Svc, PreExpiredDeadlineResolvesImmediately) {
+  svc::ServiceConfig cfg = test_config();
+  cfg.batch_delay_ns = verify::kMaxServiceDelayNs;
+  svc::TransformService service(cfg);
+
+  std::vector<cplx> data = random_signal(64, 702);
+  const std::uint64_t t0 = obs::now_ns();
+  const svc::Result r =
+      service.submit_fft(data, svc::Direction::forward, t0 - 1'000'000).get();
+  const std::uint64_t waited = obs::now_ns() - t0;
+  EXPECT_EQ(r.status, svc::Status::deadline_exceeded);
+  EXPECT_LT(waited, 1'000'000'000u) << "pre-expired deadline wedged the submit path";
+  EXPECT_GE(service.stats().deadline_expired, 1u);
+}
+
 TEST(Svc, DrainExecutesEverythingAdmitted) {
   svc::ServiceConfig cfg = test_config();
   cfg.batch_delay_ns = verify::kMaxServiceDelayNs;  // only drain can flush

@@ -50,6 +50,14 @@ flagged line or the line above; waivers should be rare and justified):
                     kernel; the retained two-pass reference path carries a
                     waiver.
 
+  stream-alloc      The streaming layer (src/stream/, include/ddl/stream/)
+                    is allocation-free after construction by contract
+                    (docs/STREAMING.md): no `new`, malloc/calloc, or
+                    container growth (.resize/.push_back/.emplace_back)
+                    anywhere in it. Buffers are AlignedBuffers sized in
+                    constructors; anything that can touch the heap on the
+                    per-block path needs an explicit waiver.
+
   stage-coverage    Every obs::Stage enum value (include/ddl/obs/obs.hpp)
                     must be mentioned in src/verify/cachepred.cpp — the
                     symbolic cache model's obs_stage_model() catalogue,
@@ -128,6 +136,14 @@ FUSED_TWIDDLE_CALL = re.compile(r"\btwiddle_cols\s*\(")
 FUSED_SCATTER_CALL = re.compile(r"\btranspose_scatter\s*\(")
 FUSED_WINDOW = 8
 
+# The zero-allocation streaming layer: no heap use outside construction.
+STREAM_ALLOC_DIRS = ("src/stream/", "include/ddl/stream/")
+STREAM_ALLOC = re.compile(
+    r"(^|[^\w.])new\s+[\w:<(]"
+    r"|\b(?:malloc|calloc|realloc)\s*\("
+    r"|\.\s*(?:resize|push_back|emplace_back|reserve)\s*\("
+)
+
 WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
 
 
@@ -188,6 +204,7 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
     check_thread = rel.startswith(("src/", "include/", "apps/")) and not rel.startswith(
         THREAD_ALLOWED
     )
+    check_stream_alloc = rel.startswith(STREAM_ALLOC_DIRS)
 
     in_block = False
     cleaned: list[str] = []
@@ -230,6 +247,15 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
             findings.append(
                 f"{rel}:{idx + 1}: raw-thread: submit work through"
                 f" ddl::parallel or ddl::svc, not raw std::thread: {raw.strip()}"
+            )
+        if check_stream_alloc and STREAM_ALLOC.search(code) and not waived(
+            "stream-alloc", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: stream-alloc: the streaming layer is"
+                f" allocation-free after construction (docs/STREAMING.md) —"
+                f" size an AlignedBuffer in the constructor instead:"
+                f" {raw.strip()}"
             )
 
     if rel.startswith("src/") and "executor" in rel:

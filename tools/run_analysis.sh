@@ -3,7 +3,7 @@
 #
 #   1. tools/ddl_lint.py           project-specific lint (stride-arith,
 #                                  reinterpret-cast, naked-new, require-entry,
-#                                  raw-clock, raw-thread)
+#                                  raw-clock, raw-thread, stream-alloc)
 #   2. clang-tidy                  .clang-tidy profile over src/ and apps/
 #                                  (skipped with a note if not installed)
 #   3. default preset              warning-free -Werror build + full ctest
@@ -12,6 +12,9 @@
 #   5. svc loadgen smoke           short closed+open-loop run of the ddl::svc
 #                                  load generator: must resolve every future
 #                                  (no hangs) and emit valid BENCH_svc.json
+#   5b. stream smoke               `ddlfft stream` chain verify (RFFT/STFT/
+#                                  partitioned convolution vs direct
+#                                  reference) + stream_latency JSON export
 #   6. autotune smoke              `ddlfft autotune` on tiny sizes: calibrate
 #                                  from traced runs, re-plan over measured
 #                                  costs (fails if the DP never consulted
@@ -107,6 +110,22 @@ svc_smoke() {
     python3 -c "import json; json.load(open('build/BENCH_svc_smoke.json'))"
 }
 check "svc_loadgen smoke (BENCH_svc JSON, no hangs)" svc_smoke
+
+# 5b. streaming smoke: the RFFT -> STFT -> partitioned-convolver chain must
+#     verify against its direct reference (exit 1 on mismatch) and the
+#     latency bench must emit valid JSON for the three block sizes.
+stream_smoke() {
+  ./build/apps/ddlfft stream --block 256 --fir 129 --blocks 32 >/dev/null &&
+    DDL_BENCH_JSON=build/BENCH_stream_smoke.json \
+      ./build/bench/stream_latency --blocks 64 >/dev/null &&
+    python3 -c "
+import json
+rows = json.load(open('build/BENCH_stream_smoke.json'))['rows']
+assert len(rows) >= 3, rows
+assert all('p50_us' in r['extra'] and 'p99_us' in r['extra'] for r in rows)
+"
+}
+check "ddlfft stream smoke (chain verify + BENCH_stream JSON)" stream_smoke
 
 # 6. autotune smoke: tiny-size calibrate + re-plan must work end to end, the
 #    stores must persist, and a corrupt cost database must be rejected
