@@ -52,6 +52,7 @@
 #include "ddl/sim/trace.hpp"
 #include "ddl/stream/stream.hpp"
 #include "ddl/svc/service.hpp"
+#include "ddl/svc/wire.hpp"
 #include "ddl/verify/cachepred.hpp"
 #include "ddl/verify/plan_verify.hpp"
 #include "ddl/wht/planner.hpp"
@@ -88,9 +89,13 @@ int usage() {
       "            [--wht] [--strict] [--stride S] [--scratch N]\n"
       "  explain-plan  (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--wht] [--dot]\n"
-      "  serve     --inproc [--n 1024] [--producers 4] [--requests 64]\n"
-      "            [--threads N] [--plan]   embedded transform-service smoke:\n"
-      "            concurrent producers through ddl::svc (DDL_SVC_* env knobs)\n"
+      "  serve     (--inproc | --socket PATH) [--n 1024] [--producers 4]\n"
+      "            [--requests 64] [--threads N] [--plan]   transform-service\n"
+      "            smoke (DDL_SVC_* env knobs): --inproc drives concurrent\n"
+      "            producers through the embedded ddl::svc API; --socket\n"
+      "            serves the binary wire protocol on a UNIX socket at PATH\n"
+      "            and drives the same workload through thin wire clients,\n"
+      "            one tenant per producer (docs/SERVICE.md)\n"
       "  stream    [--block 512] [--fir 257] [--blocks 200] [--stft-fft 4*block]\n"
       "            [--fft N] [--plan] [--threads N]   streaming smoke: STFT\n"
       "            (hop = block) chained into a partitioned overlap-save\n"
@@ -618,15 +623,28 @@ int cmd_compare(const cli::Args& args) {
   return 0;
 }
 
-// serve --inproc: spin up an embedded ddl::svc::TransformService, drive it
-// with a small mixed FFT/WHT workload from concurrent producers, and print
-// the request accounting plus the service's degradation counters. This is
-// the smoke entry point for the service subsystem (docs/SERVICE.md);
-// tools/run_analysis.sh runs it headless.
+// serve: spin up a ddl::svc::TransformService, drive it with a small mixed
+// FFT/WHT workload from concurrent producers, and print the request
+// accounting plus the service's degradation counters. Two explicit modes:
+// --inproc submits through the embedded API; --socket PATH serves the
+// binary wire protocol on a UNIX-domain socket and drives the same
+// workload through wire::SocketClient connections, one tenant id per
+// producer. This is the smoke entry point for the service subsystem
+// (docs/SERVICE.md); tools/run_analysis.sh runs both modes headless.
 int cmd_serve(const cli::Args& args) {
-  if (!args.has("inproc")) {
-    std::cerr << "serve: only the embedded mode is implemented; pass --inproc\n";
+  const bool inproc = args.has("inproc");
+  const bool socket_mode = args.has("socket");
+  if (inproc == socket_mode) {
+    std::cerr << "serve: pick exactly one mode: --inproc | --socket PATH\n";
     return 2;
+  }
+  std::string socket_path;
+  if (socket_mode) {
+    socket_path = args.get_or("socket", "");
+    if (socket_path.empty()) {
+      std::cerr << "serve: --socket needs a UNIX socket path\n";
+      return 2;
+    }
   }
   Stores stores(args);
   const index_t n = args.size_or("n", 1024);
@@ -641,6 +659,15 @@ int cmd_serve(const cli::Args& args) {
   cfg.cost_db = &stores.cost_db;
   cfg.wisdom = &stores.wisdom;
   svc::TransformService service(cfg);
+  std::unique_ptr<svc::wire::SocketServer> server;
+  if (socket_mode) {
+    try {
+      server = std::make_unique<svc::wire::SocketServer>(service, socket_path);
+    } catch (const std::exception& e) {
+      std::cerr << "serve: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   std::atomic<int> ok{0};
   std::atomic<int> shed{0};
@@ -649,39 +676,84 @@ int cmd_serve(const cli::Args& args) {
     std::vector<std::thread> workers;  // ddl-lint: allow(raw-thread)
     workers.reserve(static_cast<std::size_t>(producers));
     for (int t = 0; t < producers; ++t) {
-      // Producers are the tenants of the embedded service — the one place
-      // outside the pool/batcher allowed to own threads.
+      // Producers are the tenants of the service — the one place outside
+      // the pool/batcher/wire layers allowed to own threads. In socket
+      // mode each producer is a wire client on its own connection.
       workers.emplace_back([&, t] {
+        const auto tenant = static_cast<std::uint32_t>(t);
+        std::unique_ptr<svc::wire::SocketClient> client;
+        if (socket_mode) {
+          try {
+            client = std::make_unique<svc::wire::SocketClient>(socket_path);
+          } catch (const std::exception&) {
+            wrong.fetch_add(per_producer);
+            return;
+          }
+        }
+        const auto run_fft = [&](std::span<cplx> data) {
+          if (!socket_mode) {
+            return service
+                .submit_fft(data, svc::Direction::forward, 0, tenant)
+                .get()
+                .status;
+          }
+          svc::wire::RequestFrame rf;
+          rf.tenant = tenant;
+          rf.kind = svc::Kind::fft;
+          rf.cdata.assign(data.begin(), data.end());
+          return client->roundtrip(rf).status;
+        };
+        const auto run_wht = [&](std::span<real_t> data) {
+          if (!socket_mode) {
+            return service
+                .submit_wht(data, svc::Direction::forward, 0, tenant)
+                .get()
+                .status;
+          }
+          svc::wire::RequestFrame rf;
+          rf.tenant = tenant;
+          rf.kind = svc::Kind::wht;
+          rf.rdata.assign(data.begin(), data.end());
+          return client->roundtrip(rf).status;
+        };
         AlignedBuffer<cplx> signal(n);
         AlignedBuffer<real_t> wsignal(n);
-        for (int i = 0; i < per_producer; ++i) {
-          fill_random(signal.span(), static_cast<std::uint64_t>(t * 4096 + i));
-          const svc::Result r = service.submit_fft(signal.span()).get();
-          if (r.status == svc::Status::ok) {
-            ok.fetch_add(1);
-          } else {
-            shed.fetch_add(1);
-          }
-          // Every 4th request also exercises the WHT path (power-of-two n
-          // only; the service validates and we count `invalid` as wrong).
-          if (i % 4 == 3 && (n & (n - 1)) == 0) {
-            fill_random(wsignal.span(), static_cast<std::uint64_t>(t * 4096 + i));
-            const svc::Status ws = service.submit_wht(wsignal.span()).get().status;
-            if (ws == svc::Status::ok) {
+        try {
+          for (int i = 0; i < per_producer; ++i) {
+            fill_random(signal.span(), static_cast<std::uint64_t>(t * 4096 + i));
+            if (run_fft(signal.span()) == svc::Status::ok) {
               ok.fetch_add(1);
-            } else if (ws == svc::Status::invalid) {
-              wrong.fetch_add(1);
             } else {
               shed.fetch_add(1);
             }
+            // Every 4th request also exercises the WHT path (power-of-two n
+            // only; the service validates and we count `invalid` as wrong).
+            if (i % 4 == 3 && (n & (n - 1)) == 0) {
+              fill_random(wsignal.span(), static_cast<std::uint64_t>(t * 4096 + i));
+              const svc::Status ws = run_wht(wsignal.span());
+              if (ws == svc::Status::ok) {
+                ok.fetch_add(1);
+              } else if (ws == svc::Status::invalid) {
+                wrong.fetch_add(1);
+              } else {
+                shed.fetch_add(1);
+              }
+            }
           }
+        } catch (const std::exception&) {
+          // A wire client that lost its connection (server rejected a
+          // frame or shut down) counts its remaining work as wrong.
+          wrong.fetch_add(1);
         }
       });
     }
     for (auto& w : workers) w.join();
   }
+  if (server) server->stop();
   service.drain();
 
+  const std::string mode_label =
+      socket_mode ? "serve --socket n=" + fmt_pow2(n) : "serve --inproc n=" + fmt_pow2(n);
   const svc::TransformService::Stats stats = service.stats();
   TableWriter table({"counter", "value"});
   table.add_row({"ok", std::to_string(ok.load())});
@@ -689,12 +761,23 @@ int cmd_serve(const cli::Args& args) {
   table.add_row({"submitted", std::to_string(stats.submitted)});
   table.add_row({"completed", std::to_string(stats.completed)});
   table.add_row({"rejected_full", std::to_string(stats.rejected_full)});
+  table.add_row({"quota_rejected", std::to_string(stats.quota_rejected)});
   table.add_row({"deadline_expired", std::to_string(stats.deadline_expired)});
   table.add_row({"batches", std::to_string(stats.batches)});
   table.add_row({"batched_requests", std::to_string(stats.batched_requests)});
+  table.add_row({"critical_batches", std::to_string(stats.critical_batches)});
   table.add_row({"fallback_plans", std::to_string(stats.fallback_plans)});
+  table.add_row({"model_fallbacks", std::to_string(stats.model_fallbacks)});
   table.add_row({"queue_peak", std::to_string(stats.queue_peak)});
-  table.print(std::cout, "serve --inproc n=" + fmt_pow2(n));
+  if (server) {
+    table.add_row({"wire_connections", std::to_string(server->connections_accepted())});
+    table.add_row({"wire_rejected_frames", std::to_string(server->frames_rejected())});
+  }
+  for (const auto& [id, ts] : stats.tenants) {
+    table.add_row({"tenant[" + std::to_string(id) + "] served/shed",
+                   std::to_string(ts.served) + "/" + std::to_string(ts.shed)});
+  }
+  table.print(std::cout, mode_label);
 
   if (wrong.load() != 0 || stats.backlog != 0 || ok.load() == 0) {
     std::cerr << "serve: smoke failed (wrong=" << wrong.load()

@@ -1,6 +1,6 @@
 // svc_loadgen — load-generator harness for the ddl::svc transform service.
 //
-// Two phases against one embedded TransformService:
+// Four phases against embedded TransformService instances:
 //
 //  * closed loop: P producers, one outstanding request each, submit->get
 //    for a fixed request count. Measures best-case service latency
@@ -11,6 +11,13 @@
 //    demonstrates all the degradation tiers: overloaded sheds, in-queue
 //    deadline expiries, and (with --plan) fallback planning — while the
 //    future backlog stays bounded by continuous reaping.
+//  * tenant solo: one light tenant (small n) alone on the service — the
+//    baseline latency distribution the fairness guarantee is judged
+//    against.
+//  * tenant skew: the same light stream while a second tenant floods the
+//    queue with large transforms. Deficit-round-robin scheduling must keep
+//    the light tenant's p99 within ~2x its solo p99; the ratio is printed
+//    and exported so the regression is visible in BENCH_svc.json.
 //
 // Latencies come from Result's submit/done timestamps (obs::now_ns
 // timebase). Rows export through BenchJsonWriter to BENCH_svc.json
@@ -22,8 +29,11 @@
 //               [--rate 0 (req/s, 0 = auto-saturate)] [--open-ms 300]
 //               [--deadline-us 5000] [--queue-cap 64] [--max-batch 16]
 //               [--delay-us 200] [--plan] [--threads K]
+//               [--heavy-n 16384] [--light-n 256] [--light-requests 64]
+//               [--tenant-delay-us 2500]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>  // ddl-lint: allow(raw-clock)
 #include <cstdint>
 #include <deque>
@@ -84,6 +94,7 @@ benchutil::BenchRecord make_record(const char* phase, index_t n,
   rec.extra = {
       {"p50_us", percentile(out.latencies_us, 0.50)},
       {"p99_us", percentile(out.latencies_us, 0.99)},
+      {"p999_us", percentile(out.latencies_us, 0.999)},
       {"throughput_rps", out.seconds > 0 ? static_cast<double>(out.ok) / out.seconds : 0.0},
       {"submitted", static_cast<double>(out.submitted)},
       {"ok", static_cast<double>(out.ok)},
@@ -109,7 +120,7 @@ void print_outcome(const char* phase, const PhaseOutcome& out) {
 
 /// Closed loop: `producers` threads, one outstanding request each.
 PhaseOutcome run_closed(svc::TransformService& service, index_t n, int producers,
-                        int requests) {
+                        int requests, std::uint32_t tenant = 0) {
   PhaseOutcome out;
   std::vector<PhaseOutcome> per(static_cast<std::size_t>(producers));
   const int per_producer = std::max(1, requests / std::max(1, producers));
@@ -124,7 +135,8 @@ PhaseOutcome run_closed(svc::TransformService& service, index_t n, int producers
         for (int i = 0; i < per_producer; ++i) {
           fill_random(signal.span(), static_cast<std::uint64_t>(t * 65'536 + i));
           ++mine.submitted;
-          mine.absorb(service.submit_fft(signal.span()).get());
+          mine.absorb(
+              service.submit_fft(signal.span(), svc::Direction::forward, 0, tenant).get());
         }
       });
     }
@@ -212,6 +224,47 @@ PhaseOutcome run_open(svc::TransformService& service, index_t n, double rate,
   }
   service.drain();
   reap(true);
+  out.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
+  return out;
+}
+
+/// Flood: keep `outstanding` heavy requests in flight for one tenant until
+/// `stop` flips. Blocking on the oldest future paces the flood to the
+/// service instead of spinning on shed responses.
+PhaseOutcome run_flood(svc::TransformService& service, index_t n, std::uint32_t tenant,
+                       int outstanding, const std::atomic<bool>& stop) {
+  PhaseOutcome out;
+  struct Slot {
+    AlignedBuffer<cplx> signal;
+    std::future<svc::Result> future;
+  };
+  std::deque<Slot> inflight;
+  std::vector<AlignedBuffer<cplx>> free_buffers;
+  std::uint64_t seq = 0;
+  const std::uint64_t t0 = obs::now_ns();
+  while (!stop.load(std::memory_order_relaxed)) {
+    while (static_cast<int>(inflight.size()) < outstanding) {
+      Slot slot;
+      if (!free_buffers.empty()) {
+        slot.signal = std::move(free_buffers.back());
+        free_buffers.pop_back();
+      } else {
+        slot.signal = AlignedBuffer<cplx>(n);
+        fill_random(slot.signal.span(), ++seq);
+      }
+      ++out.submitted;
+      slot.future =
+          service.submit_fft(slot.signal.span(), svc::Direction::forward, 0, tenant);
+      inflight.push_back(std::move(slot));
+    }
+    out.absorb(inflight.front().future.get());
+    free_buffers.push_back(std::move(inflight.front().signal));
+    inflight.pop_front();
+  }
+  while (!inflight.empty()) {
+    out.absorb(inflight.front().future.get());
+    inflight.pop_front();
+  }
   out.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
   return out;
 }
@@ -304,6 +357,76 @@ int main(int argc, char** argv) {
     writer.add(make_record("open", n, open, open_stats));
   }
 
+  // --- two-tenant fairness: light stream vs heavy flood --------------------
+  // The deficit-round-robin guarantee under test: a tenant flooding big
+  // transforms must not starve another tenant's small stream. The light
+  // tenant's closed-loop latency distribution is measured solo, then again
+  // under flood; the p99 ratio is the exported fairness figure.
+  bool fairness_ok = true;
+  {
+    svc::ServiceConfig tcfg = cfg;
+    // Bounded heavy chunks: one DRR quantum of heavy work (the light
+    // stream's wait floor — it is not preemptible) must stay short next to
+    // the batch delay, or the ratio measures raw chunk time instead of
+    // scheduling fairness.
+    if (tcfg.max_batch > 4) tcfg.max_batch = 4;
+    tcfg.batch_delay_ns = 1000 * args.int_or("tenant-delay-us", 4000);
+    const index_t heavy_n = args.size_or("heavy-n", 1 << 14);
+    const index_t light_n = args.size_or("light-n", 256);
+    const int light_requests = static_cast<int>(args.int_or("light-requests", 64));
+    constexpr std::uint32_t kHeavyTenant = 1;
+    constexpr std::uint32_t kLightTenant = 2;
+
+    PhaseOutcome solo;
+    svc::TransformService::Stats solo_stats;
+    {
+      svc::TransformService service(tcfg);
+      solo = run_closed(service, light_n, /*producers=*/1, light_requests, kLightTenant);
+      service.drain();
+      solo_stats = service.stats();
+    }
+
+    PhaseOutcome light;
+    PhaseOutcome heavy;
+    svc::TransformService::Stats skew_stats;
+    {
+      svc::TransformService service(tcfg);
+      std::atomic<bool> stop{false};
+      std::thread flooder(
+          [&] { heavy = run_flood(service, heavy_n, kHeavyTenant, /*outstanding=*/8, stop); });
+      // Let the flood establish a standing backlog before the light stream
+      // starts, so every light request contends with held heavy buckets.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));  // ddl-lint: allow(raw-clock)
+      light = run_closed(service, light_n, /*producers=*/1, light_requests, kLightTenant);
+      stop.store(true);
+      flooder.join();
+      service.drain();
+      skew_stats = service.stats();
+    }
+
+    const double solo_p99 = percentile(solo.latencies_us, 0.99);
+    const double skew_p99 = percentile(light.latencies_us, 0.99);
+    const double ratio = solo_p99 > 0 ? skew_p99 / solo_p99 : 0.0;
+    std::cout << "tenant-skew: light(n=" << light_n << ") p99 solo=" << solo_p99
+              << "us under-flood=" << skew_p99 << "us ratio=" << ratio
+              << " (target <= 2)\n";
+    print_outcome("tenant_light_solo", solo);
+    print_outcome("tenant_light_skewed", light);
+    print_outcome("tenant_heavy_skewed", heavy);
+
+    writer.add(make_record("tenant_light_solo", light_n, solo, solo_stats));
+    benchutil::BenchRecord skew_rec =
+        make_record("tenant_light_skewed", light_n, light, skew_stats);
+    skew_rec.extra.push_back({"p99_vs_solo_ratio", ratio});
+    writer.add(skew_rec);
+    writer.add(make_record("tenant_heavy_skewed", heavy_n, heavy, skew_stats));
+
+    if (ratio > 2.0) {
+      std::cout << "WARNING: light tenant p99 degraded more than 2x under flood\n";
+      fairness_ok = false;
+    }
+  }
+
   // Shed accounting must agree with the ddl::obs counters (the service
   // counts sheds from both phases into the same process-wide log).
   const obs::Snapshot snap = obs::snapshot();
@@ -325,6 +448,7 @@ int main(int argc, char** argv) {
     std::cout << "WARNING: open loop shed nothing (rate too low for this host)\n";
     return 2;
   }
-  std::cout << "OK: degradation tiers engaged and all futures resolved\n";
+  if (!fairness_ok) return 3;
+  std::cout << "OK: degradation tiers engaged, fairness held, all futures resolved\n";
   return 0;
 }

@@ -85,6 +85,8 @@ enum class Stage : std::uint16_t {
                   ///< convolver (a = bins, b = partitions)
   stream_ola,     ///< time-domain slide/window/overlap-add passes of the
                   ///< streaming layer (a = fft size, b = hop)
+  svc_tenant_batch, ///< one tenant's share of a coalesced dispatch
+                    ///< (a = tenant id, b = requests it placed in the batch)
   count_          ///< sentinel (append stages above; numbering is
                   ///< trace-format-stable)
 };
@@ -112,6 +114,9 @@ enum class Counter : std::uint16_t {
   svc_fallback_plans,    ///< sizes planned with the default tree under load
   calib_unmapped_events, ///< traced stage events ingest_stage_costs could
                          ///< not map to any CostKey (calibration gaps)
+  svc_quota_rejected,    ///< shed at submit: tenant over its admission quota
+  svc_critical_batches,  ///< priority-lane dispatches (deadline-critical
+                         ///< buckets cut ahead of the fair rotation)
   count_                 ///< sentinel
 };
 

@@ -5,10 +5,33 @@
 /// A TransformService turns the library's synchronous executors into an
 /// in-process request/response engine: tenants submit() FFT/WHT transform
 /// requests and receive a std::future<Result>; a single batcher thread
-/// coalesces same-(kind, direction, size) requests into **size buckets**
-/// and dispatches each bucket through the existing batched entry points
-/// (FftExecutor::forward_batch / inverse_batch), which fan the bucket
-/// across the process-wide ddl::parallel pool with per-lane scratch.
+/// coalesces same-(tenant, kind, direction, size) requests into **size
+/// buckets** and dispatches each bucket through the existing batched entry
+/// points (FftExecutor::forward_batch / inverse_batch), which fan the
+/// bucket across the process-wide ddl::parallel pool with per-lane scratch.
+///
+/// ## Multi-tenant isolation and fairness
+///
+/// Every request carries a tenant id. Tenants are isolated at two points:
+///
+///  * **Admission quota** — each tenant may have at most `max_queued`
+///    requests outstanding (queued or held); excess submissions shed with
+///    Status::overloaded without consuming shared queue capacity.
+///  * **Weighted fair dispatch** — ready buckets are dispatched by
+///    deficit round robin across tenants: each rotation credits a tenant
+///    `weight` quanta of work (measured in transform points) and the
+///    tenant dispatches ready buckets while its deficit covers their cost.
+///    The batcher re-ingests the request queue between *every* pair of
+///    dispatches, so a tenant flooding large transforms delays another
+///    tenant's small stream by at most one in-flight dispatch, never by
+///    the flood's whole backlog (pinned by tests/test_svc.cpp).
+///
+/// Deadline-critical requests (Request::critical) ride a priority lane:
+/// their buckets are due immediately and bypass the fair rotation, and
+/// `critical_reserve` queue slots stay reserved for them under overload.
+///
+/// Remote tenants reach the same service through the length-prefixed
+/// binary wire protocol in wire.hpp (`ddlfft serve --socket`).
 ///
 /// Batching preserves the library's determinism guarantee: a batched
 /// dispatch runs exactly the per-element operations of a direct forward()
@@ -49,9 +72,11 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ddl/common/types.hpp"
 #include "ddl/plan/costdb.hpp"
@@ -96,6 +121,18 @@ struct Request {
   /// with Status::deadline_exceeded and its data untouched (a dispatch
   /// already in flight is never abandoned mid-transform).
   std::uint64_t deadline_ns = 0;
+
+  /// Tenant the request is accounted against. Tenants are admission and
+  /// fairness domains: each has an outstanding-request quota and a fair-
+  /// scheduling weight (ServiceConfig::tenants; unlisted ids get the
+  /// defaults). Requests never share a dispatch across tenants.
+  std::uint32_t tenant = 0;
+
+  /// Priority lane for deadline-critical work: a critical request's bucket
+  /// is due immediately (never held for co-batching) and is dispatched
+  /// ahead of the weighted-fair rotation. Critical admissions may also use
+  /// the queue slots ServiceConfig::critical_reserve keeps free.
+  bool critical = false;
 };
 
 /// Completion record delivered through the future.
@@ -107,6 +144,7 @@ struct Result {
   std::uint64_t done_ns = 0;     ///< completion time
   int batch_occupancy = 0;       ///< live requests in the coalesced dispatch
   bool fallback_plan = false;    ///< executed under a tier-3 fallback plan
+  std::uint32_t tenant = 0;      ///< tenant the request was accounted against
 };
 
 /// Service configuration. Validated by verify::verify_service_config at
@@ -138,6 +176,32 @@ struct ServiceConfig {
   /// balanced tree (fast, deterministic — what the tests use).
   /// DDL_SVC_PLAN (flag).
   bool plan_dp = true;
+
+  /// Explicit per-tenant admission/fairness policy. A tenant id not listed
+  /// here gets {default_tenant_weight, default_tenant_quota}. Validated by
+  /// verify::verify_service_config (svc_tenant_policy rule): weights in
+  /// [1, verify::kMaxTenantWeight], quotas in [1, queue_capacity], no
+  /// duplicate ids.
+  struct TenantPolicy {
+    std::uint32_t id = 0;
+    long long weight = 1;     ///< deficit-round-robin weight (credit per round)
+    long long max_queued = 0; ///< outstanding-request quota; 0 = queue_capacity
+  };
+  std::vector<TenantPolicy> tenants;
+
+  /// Fairness weight / admission quota for tenant ids with no explicit
+  /// policy. DDL_SVC_TENANT_WEIGHT / DDL_SVC_TENANT_QUOTA (0 = the full
+  /// queue capacity, i.e. quotas off for unlisted tenants).
+  long long default_tenant_weight = 1;
+  long long default_tenant_quota = 0;
+
+  /// Queue slots only priority-lane (Request::critical) submissions may
+  /// use: a normal request is shed once the queue holds
+  /// queue_capacity - critical_reserve entries, so deadline-critical work
+  /// can still be admitted through an overload. 0 = no reserved lane.
+  /// DDL_SVC_CRITICAL_RESERVE. Validated by the svc_lane_rules rule
+  /// (reserve must leave at least one slot for normal traffic).
+  long long critical_reserve = 0;
 
   /// Optional shared planner stores (multi-tenant wisdom): injected into
   /// the service's planners so cost probes and chosen plans are shared
@@ -177,26 +241,41 @@ class TransformService {
   /// Convenience: submit an FFT over `data` (size = data.size()).
   std::future<Result> submit_fft(std::span<cplx> data,
                                  Direction dir = Direction::forward,
-                                 std::uint64_t deadline_ns = 0);
+                                 std::uint64_t deadline_ns = 0,
+                                 std::uint32_t tenant = 0, bool critical = false);
 
   /// Convenience: submit a WHT over `data` (size = data.size()).
   std::future<Result> submit_wht(std::span<real_t> data,
                                  Direction dir = Direction::forward,
-                                 std::uint64_t deadline_ns = 0);
+                                 std::uint64_t deadline_ns = 0,
+                                 std::uint32_t tenant = 0, bool critical = false);
+
+  /// Per-tenant monotonic tallies (admission, sheds, outcomes).
+  struct TenantStats {
+    std::uint64_t submitted = 0;  ///< admitted to the queue
+    std::uint64_t shed = 0;       ///< overloaded sheds (queue full or quota)
+    std::uint64_t expired = 0;    ///< deadline_exceeded sheds
+    std::uint64_t served = 0;     ///< resolved with Status::ok
+  };
 
   /// Monotonic lifetime tallies plus an instantaneous backlog gauge.
   struct Stats {
     std::uint64_t submitted = 0;         ///< admitted to the queue
     std::uint64_t completed = 0;         ///< resolved with Status::ok
     std::uint64_t rejected_full = 0;     ///< Status::overloaded sheds
+    std::uint64_t quota_rejected = 0;    ///< of those: per-tenant quota sheds
     std::uint64_t deadline_expired = 0;  ///< Status::deadline_exceeded sheds
     std::uint64_t cancelled = 0;         ///< dropped by shutdown_now()
     std::uint64_t failed = 0;            ///< execution threw
     std::uint64_t batches = 0;           ///< coalesced dispatches issued
     std::uint64_t batched_requests = 0;  ///< requests those dispatches carried
+    std::uint64_t critical_batches = 0;  ///< dispatches taken by the priority lane
     std::uint64_t fallback_plans = 0;    ///< tier-3 fallback plan events
+    std::uint64_t model_fallbacks = 0;   ///< planner cost lookups served by the
+                                         ///< symbolic cache model (cold starts)
     std::uint64_t queue_peak = 0;        ///< deepest queue observed
     std::uint64_t backlog = 0;           ///< queued + held right now
+    std::map<std::uint32_t, TenantStats> tenants;  ///< every tenant ever seen
   };
   [[nodiscard]] Stats stats() const;
 

@@ -1,0 +1,211 @@
+#pragma once
+/// \file wire.hpp
+/// \brief ddl::svc::wire — length-prefixed binary wire protocol for the
+///        transform service over a UNIX-domain socket.
+///
+/// Remote tenants talk to a TransformService through framed messages. Every
+/// frame is a fixed 16-byte header followed by a body whose length the
+/// header declares:
+///
+/// ```
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///        0     4  magic        'D' 'D' 'L' 'W'
+///        4     2  version      u16 LE (currently 1)
+///        6     2  type         u16 LE (1 = request, 2 = response)
+///        8     8  body_len     u64 LE, bytes following the header
+/// ```
+///
+/// Request body (body_len = 24 + payload):
+///
+/// ```
+///        0     4  tenant       u32 LE
+///        4     1  kind         u8 (0 = fft, 1 = wht)
+///        5     1  dir          u8 (0 = forward, 1 = inverse)
+///        6     1  critical     u8 (0 / 1)
+///        7     1  reserved     u8, must be 0
+///        8     8  deadline_rel u64 LE, ns after server receipt (0 = none)
+///       16     8  n            u64 LE, transform points
+///       24     —  payload      fft: n * 16 B (re, im f64 LE pairs)
+///                              wht: n *  8 B (f64 LE)
+/// ```
+///
+/// Response body (body_len = 24 + payload; payload present only on ok):
+///
+/// ```
+///        0     4  tenant       u32 LE (echoed)
+///        4     1  status       u8 (svc::Status numbering)
+///        5     1  kind         u8 (echoed)
+///        6     1  dir          u8 (echoed)
+///        7     1  flags        u8, bit 0 = executed under a fallback plan
+///        8     8  n            u64 LE (echoed)
+///       16     8  server_ns    u64 LE, server-side latency (done - submit)
+///       24     —  payload      transformed data, same encoding as requests
+/// ```
+///
+/// ## Versioning
+///
+/// The version field names the *frame layout*. Parsers reject any version
+/// they do not implement (fail closed, no best-effort skipping); additive
+/// evolution happens by bumping the version, never by reinterpreting
+/// reserved bytes — which is why `reserved` must be zero today.
+///
+/// ## Parsing contract (fail closed)
+///
+/// Decoders never trust a declared length: every field read is bounds-
+/// checked against the bytes actually present, payload sizes are checked
+/// against both body_len and kMaxPoints *before* any allocation, and any
+/// violation returns a typed WireError with the output untouched. There is
+/// no memcpy/pointer-advance parsing — fields are assembled byte-by-byte
+/// (the `wire-copy` lint rule pins this). Doubles travel as their IEEE-754
+/// bit pattern (std::bit_cast), so a served result is bitwise identical to
+/// the same transform run through the direct API.
+///
+/// SocketServer binds a UNIX-domain stream socket and serves each accepted
+/// connection on its own thread, synchronously: read frame -> submit ->
+/// wait -> respond. A malformed frame closes the connection without a
+/// response. SocketClient is the matching thin blocking client used by
+/// `ddlfft serve --socket` round-trip tooling and the tests.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ddl/common/types.hpp"
+#include "ddl/svc/service.hpp"
+
+namespace ddl::svc::wire {
+
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint8_t kMagic0 = 'D';
+inline constexpr std::uint8_t kMagic1 = 'D';
+inline constexpr std::uint8_t kMagic2 = 'L';
+inline constexpr std::uint8_t kMagic3 = 'W';
+
+/// Hard ceiling on the points a frame may declare, independent of any
+/// service window: bounds the allocation a decoder performs for a frame
+/// that passed the length cross-checks (2^26 cplx = 1 GiB).
+inline constexpr std::uint64_t kMaxPoints = std::uint64_t{1} << 26;
+
+/// Fixed-field bytes of a request/response body, before the payload.
+inline constexpr std::uint64_t kBodyFixed = 24;
+
+enum class FrameType : std::uint16_t { request = 1, response = 2 };
+
+/// Decode failures. Everything except `ok` means the input was rejected
+/// and the output struct is unchanged.
+enum class WireError : std::uint8_t {
+  ok = 0,
+  truncated,         ///< fewer bytes than a field/header needs
+  bad_magic,         ///< header does not start 'D','D','L','W'
+  bad_version,       ///< version this parser does not implement
+  bad_type,          ///< type is neither request nor response
+  bad_kind,          ///< kind byte outside the Kind enum
+  bad_direction,     ///< dir byte outside the Direction enum
+  bad_status,        ///< status byte outside the Status enum
+  bad_reserved,      ///< reserved byte is non-zero
+  oversized,         ///< declared n exceeds kMaxPoints
+  length_mismatch,   ///< body_len disagrees with the declared payload
+};
+
+/// Stable lower_snake name ("truncated", "bad_magic", ...).
+const char* wire_error_name(WireError e) noexcept;
+
+/// Parsed frame header.
+struct FrameHeader {
+  FrameType type = FrameType::request;
+  std::uint64_t body_len = 0;
+};
+
+/// One decoded request. Exactly one payload vector is populated,
+/// matching `kind`.
+struct RequestFrame {
+  std::uint32_t tenant = 0;
+  Kind kind = Kind::fft;
+  Direction dir = Direction::forward;
+  bool critical = false;
+  std::uint64_t deadline_rel_ns = 0;  ///< ns after server receipt; 0 = none
+  std::vector<cplx> cdata;
+  std::vector<real_t> rdata;
+
+  [[nodiscard]] std::uint64_t n() const noexcept {
+    return kind == Kind::fft ? cdata.size() : rdata.size();
+  }
+};
+
+/// One decoded response. Payload vectors are populated only when
+/// status == Status::ok.
+struct ResponseFrame {
+  std::uint32_t tenant = 0;
+  Status status = Status::ok;
+  Kind kind = Kind::fft;
+  Direction dir = Direction::forward;
+  bool fallback_plan = false;
+  std::uint64_t n = 0;          ///< echoed size (also on non-ok responses)
+  std::uint64_t server_ns = 0;  ///< server-side latency (done_ns - submit_ns)
+  std::vector<cplx> cdata;
+  std::vector<real_t> rdata;
+};
+
+/// Encode a complete frame (header + body). Requests with n() >
+/// kMaxPoints throw std::invalid_argument — the peer would reject them.
+std::vector<std::uint8_t> encode_request(const RequestFrame& frame);
+std::vector<std::uint8_t> encode_response(const ResponseFrame& frame);
+
+/// Parse the 16-byte header (magic, version, type) from `bytes`.
+WireError decode_header(std::span<const std::uint8_t> bytes, FrameHeader& out);
+
+/// Parse a request/response body (the bytes *after* the header, whose
+/// length already matched FrameHeader::body_len).
+WireError decode_request(std::span<const std::uint8_t> body, RequestFrame& out);
+WireError decode_response(std::span<const std::uint8_t> body, ResponseFrame& out);
+
+/// Serve a TransformService over a UNIX-domain stream socket. The
+/// constructor binds and listens (throwing std::runtime_error on any
+/// socket failure); each accepted connection gets a handler thread that
+/// decodes frames, submits them with the frame's tenant/critical/deadline
+/// attribution, waits for the future, and writes the response. stop()
+/// (and the destructor) joins everything and unlinks the socket path.
+class SocketServer {
+ public:
+  SocketServer(TransformService& service, std::string path);
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+  ~SocketServer();
+
+  void stop();
+
+  [[nodiscard]] const std::string& path() const noexcept;
+
+  /// Connections accepted so far (monotonic).
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept;
+
+  /// Frames rejected by the fail-closed parser (each also closed its
+  /// connection).
+  [[nodiscard]] std::uint64_t frames_rejected() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Thin blocking client: connect once, round-trip frames synchronously.
+/// Any I/O failure or malformed response throws std::runtime_error —
+/// a client has no fail-open option either.
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path);
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+  ~SocketClient();
+
+  ResponseFrame roundtrip(const RequestFrame& frame);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ddl::svc::wire

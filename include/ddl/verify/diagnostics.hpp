@@ -32,6 +32,8 @@ enum class Rule {
   stream_geometry,    ///< streaming shapes consistent (even rfft length,
                       ///< hop divides the frame, convolver FFT covers
                       ///< block + partition - 1, COLA denominator nonzero)
+  svc_tenant_policy,  ///< per-tenant weight/quota within limits, ids unique
+  svc_lane_rules,     ///< priority-lane reserve leaves room for normal traffic
 };
 
 /// Stable short name for a rule ("size_product", ...), for messages and CLI.

@@ -100,6 +100,11 @@ inline constexpr long long kMaxServiceBatch = 4096;
 /// requests (10 s — far beyond any sane latency budget).
 inline constexpr long long kMaxServiceDelayNs = 10'000'000'000LL;
 
+/// Largest deficit-round-robin weight a tenant may carry. The weight is a
+/// per-rotation work credit multiplier; beyond this ratio "weighted fair"
+/// is indistinguishable from starving every other tenant.
+inline constexpr long long kMaxTenantWeight = 1024;
+
 /// Shape-only view of a svc::ServiceConfig. Plain numbers so ddl::verify
 /// stays below ddl::svc in the layer order (svc calls down into verify; the
 /// rule catalogue must not include service headers).
@@ -109,14 +114,31 @@ struct ServiceLimits {
   long long batch_delay_ns = 0;
   index_t min_points = 0;  ///< smallest transform the service admits
   index_t max_points = 0;  ///< largest transform the service admits
+
+  /// Per-tenant policy shapes (svc::ServiceConfig::TenantPolicy mirrors).
+  struct TenantShape {
+    long long id = 0;         ///< tenant id (must be unique)
+    long long weight = 1;     ///< DRR weight, [1, kMaxTenantWeight]
+    long long max_queued = 0; ///< outstanding quota, [0, queue_capacity]
+                              ///< (0 = defaulted to the queue capacity)
+  };
+  std::vector<TenantShape> tenants;
+  long long default_tenant_weight = 1;  ///< weight for unlisted tenant ids
+  long long default_tenant_quota = 0;   ///< quota for unlisted ids (0 = cap)
+  long long critical_reserve = 0;       ///< queue slots held for the priority lane
 };
 
 /// Validate service bounds against the svc_queue_bounds / svc_bucket_limits
 /// rules: queue capacity in [1, kMaxServiceQueue], batch width in
 /// [1, min(queue capacity, kMaxServiceBatch)], hold delay in
 /// [0, kMaxServiceDelayNs], and a non-empty size window with min_points
-/// >= 2. Same contract as verify_plan: violations collect into the Report,
-/// nothing throws.
+/// >= 2. Tenant policies are checked against svc_tenant_policy (weights in
+/// [1, kMaxTenantWeight], quotas within the queue, unique ids — diagnostics
+/// carry positioned paths like "config.tenants[2].weight") and the
+/// priority lane against svc_lane_rules (critical_reserve in
+/// [0, queue_capacity - 1]: the reserve may never consume the whole
+/// queue). Same contract as verify_plan: violations collect into the
+/// Report, nothing throws.
 Report verify_service_config(const ServiceLimits& limits);
 
 // ---------------------------------------------------------------------------

@@ -128,6 +128,7 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::stream_pack: return "stream_pack";
     case Stage::stream_fdl: return "stream_fdl";
     case Stage::stream_ola: return "stream_ola";
+    case Stage::svc_tenant_batch: return "svc_tenant_batch";
     case Stage::count_: break;
   }
   return "unknown";
@@ -160,6 +161,8 @@ const char* counter_name(Counter counter) noexcept {
     case Counter::svc_batched_requests: return "svc_batched_requests";
     case Counter::svc_fallback_plans: return "svc_fallback_plans";
     case Counter::calib_unmapped_events: return "calib_unmapped_events";
+    case Counter::svc_quota_rejected: return "svc_quota_rejected";
+    case Counter::svc_critical_batches: return "svc_critical_batches";
     case Counter::count_: break;
   }
   return "unknown";

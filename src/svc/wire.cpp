@@ -1,0 +1,560 @@
+#include "ddl/svc/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "ddl/obs/obs.hpp"
+
+namespace ddl::svc::wire {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-level encoding. Fields are assembled/disassembled one byte at a
+// time in little-endian order — no memcpy, no pointer-advance reads, no
+// dependence on host endianness (the `wire-copy` lint rule keeps it so).
+// ---------------------------------------------------------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a byte span. Every read_* checks
+/// the remaining length first and fails without consuming anything — the
+/// single place the fail-closed contract is enforced.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - off_; }
+
+  [[nodiscard]] bool read_u8(std::uint8_t& v) noexcept {
+    if (remaining() < 1) return false;
+    v = bytes_[off_++];
+    return true;
+  }
+
+  [[nodiscard]] bool read_u16(std::uint16_t& v) noexcept {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(bytes_[off_] |
+                                   (static_cast<std::uint16_t>(bytes_[off_ + 1]) << 8));
+    off_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u32(std::uint32_t& v) noexcept {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u64(std::uint64_t& v) noexcept {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool read_f64(double& v) noexcept {
+    std::uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t off_ = 0;
+};
+
+/// Payload bytes for (kind, n); caller has already bounded n <= kMaxPoints
+/// so this cannot overflow.
+std::uint64_t payload_bytes(Kind kind, std::uint64_t n) {
+  return n * (kind == Kind::fft ? 16 : 8);
+}
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type,
+                std::uint64_t body_len) {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kMagic2);
+  out.push_back(kMagic3);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u64(out, body_len);
+}
+
+void put_payload(std::vector<std::uint8_t>& out, const RequestFrame& f) {
+  if (f.kind == Kind::fft) {
+    for (const cplx& c : f.cdata) {
+      put_f64(out, c.real());
+      put_f64(out, c.imag());
+    }
+  } else {
+    for (const real_t v : f.rdata) put_f64(out, v);
+  }
+}
+
+WireError read_payload(Cursor& cur, Kind kind, std::uint64_t n,
+                       std::vector<cplx>& cdata, std::vector<real_t>& rdata) {
+  if (kind == Kind::fft) {
+    cdata.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double re = 0.0;
+      double im = 0.0;
+      if (!cur.read_f64(re) || !cur.read_f64(im)) return WireError::truncated;
+      cdata.emplace_back(re, im);
+    }
+  } else {
+    rdata.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      if (!cur.read_f64(v)) return WireError::truncated;
+      rdata.push_back(v);
+    }
+  }
+  return WireError::ok;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError e) noexcept {
+  switch (e) {
+    case WireError::ok: return "ok";
+    case WireError::truncated: return "truncated";
+    case WireError::bad_magic: return "bad_magic";
+    case WireError::bad_version: return "bad_version";
+    case WireError::bad_type: return "bad_type";
+    case WireError::bad_kind: return "bad_kind";
+    case WireError::bad_direction: return "bad_direction";
+    case WireError::bad_status: return "bad_status";
+    case WireError::bad_reserved: return "bad_reserved";
+    case WireError::oversized: return "oversized";
+    case WireError::length_mismatch: return "length_mismatch";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& frame) {
+  const std::uint64_t n = frame.n();
+  if (n > kMaxPoints) {
+    throw std::invalid_argument("wire::encode_request: payload exceeds kMaxPoints");
+  }
+  const std::uint64_t body = kBodyFixed + payload_bytes(frame.kind, n);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body);
+  put_header(out, FrameType::request, body);
+  put_u32(out, frame.tenant);
+  out.push_back(static_cast<std::uint8_t>(frame.kind));
+  out.push_back(static_cast<std::uint8_t>(frame.dir));
+  out.push_back(frame.critical ? 1 : 0);
+  out.push_back(0);  // reserved
+  put_u64(out, frame.deadline_rel_ns);
+  put_u64(out, n);
+  put_payload(out, frame);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& frame) {
+  const bool with_payload = frame.status == Status::ok;
+  const std::uint64_t n = frame.n;
+  if (n > kMaxPoints) {
+    throw std::invalid_argument("wire::encode_response: payload exceeds kMaxPoints");
+  }
+  const std::uint64_t body =
+      kBodyFixed + (with_payload ? payload_bytes(frame.kind, n) : 0);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body);
+  put_header(out, FrameType::response, body);
+  put_u32(out, frame.tenant);
+  out.push_back(static_cast<std::uint8_t>(frame.status));
+  out.push_back(static_cast<std::uint8_t>(frame.kind));
+  out.push_back(static_cast<std::uint8_t>(frame.dir));
+  out.push_back(frame.fallback_plan ? 1 : 0);
+  put_u64(out, n);
+  put_u64(out, frame.server_ns);
+  if (with_payload) {
+    if (frame.kind == Kind::fft) {
+      for (const cplx& c : frame.cdata) {
+        put_f64(out, c.real());
+        put_f64(out, c.imag());
+      }
+    } else {
+      for (const real_t v : frame.rdata) put_f64(out, v);
+    }
+  }
+  return out;
+}
+
+WireError decode_header(std::span<const std::uint8_t> bytes, FrameHeader& out) {
+  Cursor cur(bytes);
+  std::uint8_t m0 = 0;
+  std::uint8_t m1 = 0;
+  std::uint8_t m2 = 0;
+  std::uint8_t m3 = 0;
+  if (!cur.read_u8(m0) || !cur.read_u8(m1) || !cur.read_u8(m2) || !cur.read_u8(m3)) {
+    return WireError::truncated;
+  }
+  if (m0 != kMagic0 || m1 != kMagic1 || m2 != kMagic2 || m3 != kMagic3) {
+    return WireError::bad_magic;
+  }
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  std::uint64_t body_len = 0;
+  if (!cur.read_u16(version) || !cur.read_u16(type) || !cur.read_u64(body_len)) {
+    return WireError::truncated;
+  }
+  if (version != kVersion) return WireError::bad_version;
+  if (type != static_cast<std::uint16_t>(FrameType::request) &&
+      type != static_cast<std::uint16_t>(FrameType::response)) {
+    return WireError::bad_type;
+  }
+  // Bound the body before anyone allocates for it: the largest legal body
+  // is the fixed fields plus a kMaxPoints fft payload.
+  if (body_len > kBodyFixed + kMaxPoints * 16) return WireError::oversized;
+  out.type = static_cast<FrameType>(type);
+  out.body_len = body_len;
+  return WireError::ok;
+}
+
+WireError decode_request(std::span<const std::uint8_t> body, RequestFrame& out) {
+  Cursor cur(body);
+  RequestFrame f;
+  std::uint8_t kind = 0;
+  std::uint8_t dir = 0;
+  std::uint8_t critical = 0;
+  std::uint8_t reserved = 0;
+  std::uint64_t n = 0;
+  if (!cur.read_u32(f.tenant) || !cur.read_u8(kind) || !cur.read_u8(dir) ||
+      !cur.read_u8(critical) || !cur.read_u8(reserved) ||
+      !cur.read_u64(f.deadline_rel_ns) || !cur.read_u64(n)) {
+    return WireError::truncated;
+  }
+  if (kind > static_cast<std::uint8_t>(Kind::wht)) return WireError::bad_kind;
+  if (dir > static_cast<std::uint8_t>(Direction::inverse)) return WireError::bad_direction;
+  if (critical > 1) return WireError::bad_reserved;
+  if (reserved != 0) return WireError::bad_reserved;
+  f.kind = static_cast<Kind>(kind);
+  f.dir = static_cast<Direction>(dir);
+  f.critical = critical == 1;
+  if (n > kMaxPoints) return WireError::oversized;
+  // The declared size, the declared body length, and the bytes actually
+  // present must all agree — a frame may neither undersupply nor smuggle
+  // trailing bytes.
+  if (cur.remaining() != payload_bytes(f.kind, n)) return WireError::length_mismatch;
+  if (const WireError e = read_payload(cur, f.kind, n, f.cdata, f.rdata);
+      e != WireError::ok) {
+    return e;
+  }
+  out = std::move(f);
+  return WireError::ok;
+}
+
+WireError decode_response(std::span<const std::uint8_t> body, ResponseFrame& out) {
+  Cursor cur(body);
+  ResponseFrame f;
+  std::uint8_t status = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t dir = 0;
+  std::uint8_t flags = 0;
+  if (!cur.read_u32(f.tenant) || !cur.read_u8(status) || !cur.read_u8(kind) ||
+      !cur.read_u8(dir) || !cur.read_u8(flags) || !cur.read_u64(f.n) ||
+      !cur.read_u64(f.server_ns)) {
+    return WireError::truncated;
+  }
+  if (status > static_cast<std::uint8_t>(Status::failed)) return WireError::bad_status;
+  if (kind > static_cast<std::uint8_t>(Kind::wht)) return WireError::bad_kind;
+  if (dir > static_cast<std::uint8_t>(Direction::inverse)) return WireError::bad_direction;
+  if ((flags & ~std::uint8_t{1}) != 0) return WireError::bad_reserved;
+  f.status = static_cast<Status>(status);
+  f.kind = static_cast<Kind>(kind);
+  f.dir = static_cast<Direction>(dir);
+  f.fallback_plan = (flags & 1) != 0;
+  if (f.n > kMaxPoints) return WireError::oversized;
+  const std::uint64_t expect =
+      f.status == Status::ok ? payload_bytes(f.kind, f.n) : 0;
+  if (cur.remaining() != expect) return WireError::length_mismatch;
+  if (f.status == Status::ok) {
+    if (const WireError e = read_payload(cur, f.kind, f.n, f.cdata, f.rdata);
+        e != WireError::ok) {
+      return e;
+    }
+  }
+  out = std::move(f);
+  return WireError::ok;
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Read exactly `want` bytes; polls with a timeout so a stopping server
+/// can abandon an idle connection. Returns the bytes read (== want on
+/// success, 0 on clean EOF at a frame boundary, < want on error/EOF
+/// mid-frame or stop).
+std::size_t read_full(int fd, std::uint8_t* dst, std::size_t want,
+                      const std::atomic<bool>* running) {
+  std::size_t got = 0;
+  while (got < want) {
+    if (running != nullptr) {
+      if (!running->load(std::memory_order_relaxed)) return got;
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (pr < 0 && errno != EINTR) return got;
+      if (pr <= 0) continue;
+    }
+    const ssize_t r = ::read(fd, dst + got, want - got);
+    if (r == 0) return got;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+bool write_full(int fd, const std::uint8_t* src, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t w = ::send(fd, src + sent, len - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("wire: socket path too long: " + path);
+  }
+  std::copy(path.begin(), path.end(), addr.sun_path);
+  return addr;
+}
+
+}  // namespace
+
+struct SocketServer::Impl {
+  TransformService& service;
+  std::string path;
+  int listen_fd = -1;
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::thread acceptor;
+  std::mutex conn_mutex;
+  std::vector<std::thread> conns;
+
+  Impl(TransformService& svc, std::string p) : service(svc), path(std::move(p)) {}
+
+  /// One connection, served synchronously: frame in, transform, frame
+  /// out. Any decode failure closes the connection without a response —
+  /// a peer that framed one message wrong cannot be trusted to stay in
+  /// sync for the next.
+  void serve_connection(int fd) {
+    std::vector<std::uint8_t> header(kHeaderSize);
+    std::vector<std::uint8_t> body;
+    while (running.load(std::memory_order_relaxed)) {
+      const std::size_t got = read_full(fd, header.data(), kHeaderSize, &running);
+      if (got != kHeaderSize) break;  // clean close (0) or mid-frame failure
+      FrameHeader fh;
+      if (decode_header(header, fh) != WireError::ok ||
+          fh.type != FrameType::request) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      body.resize(fh.body_len);
+      if (read_full(fd, body.data(), body.size(), &running) != body.size()) break;
+      RequestFrame rf;
+      if (decode_request(body, rf) != WireError::ok) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+
+      Request req;
+      req.kind = rf.kind;
+      req.dir = rf.dir;
+      req.tenant = rf.tenant;
+      req.critical = rf.critical;
+      req.cdata = rf.cdata;
+      req.rdata = rf.rdata;
+      if (rf.deadline_rel_ns != 0) {
+        req.deadline_ns = obs::now_ns() + rf.deadline_rel_ns;
+      }
+      const Result res = service.submit(req).get();
+
+      ResponseFrame resp;
+      resp.tenant = rf.tenant;
+      resp.status = res.status;
+      resp.kind = rf.kind;
+      resp.dir = rf.dir;
+      resp.fallback_plan = res.fallback_plan;
+      resp.n = rf.n();
+      resp.server_ns = res.done_ns >= res.submit_ns ? res.done_ns - res.submit_ns : 0;
+      if (res.status == Status::ok) {
+        resp.cdata = std::move(rf.cdata);
+        resp.rdata = std::move(rf.rdata);
+      }
+      const std::vector<std::uint8_t> out = encode_response(resp);
+      if (!write_full(fd, out.data(), out.size())) break;
+    }
+    ::close(fd);
+  }
+
+  void accept_loop() {
+    while (running.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (pr < 0 && errno != EINTR) break;
+      if (pr <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(conn_mutex);
+      // Connection handlers block on service futures, so they get real
+      // threads rather than pool slots; the pool stays dedicated to
+      // transform fan-out. src/svc owns its threads (see ddl_lint raw-thread).
+      conns.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+};
+
+SocketServer::SocketServer(TransformService& service, std::string path)
+    : impl_(std::make_unique<Impl>(service, std::move(path))) {
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) {
+    throw std::runtime_error("wire: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr = make_addr(impl_->path);
+  ::unlink(impl_->path.c_str());  // stale socket from a dead server
+  // The POSIX sockaddr cast — the one sanctioned use of type punning.
+  // ddl-lint: allow(reinterpret-cast)
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(impl_->listen_fd);
+    throw std::runtime_error("wire: bind/listen on " + impl_->path + " failed: " + err);
+  }
+  impl_->acceptor = std::thread([impl = impl_.get()] { impl->accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  if (!impl_->running.exchange(false)) {
+    return;
+  }
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    conns.swap(impl_->conns);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::close(impl_->listen_fd);
+  ::unlink(impl_->path.c_str());
+}
+
+const std::string& SocketServer::path() const noexcept { return impl_->path; }
+
+std::uint64_t SocketServer::connections_accepted() const noexcept {
+  return impl_->accepted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SocketServer::frames_rejected() const noexcept {
+  return impl_->rejected.load(std::memory_order_relaxed);
+}
+
+SocketClient::SocketClient(const std::string& path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("wire: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr = make_addr(path);
+  // ddl-lint: allow(reinterpret-cast) — the POSIX sockaddr cast
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("wire: connect to " + path + " failed: " + err);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ResponseFrame SocketClient::roundtrip(const RequestFrame& frame) {
+  const std::vector<std::uint8_t> out = encode_request(frame);
+  if (!write_full(fd_, out.data(), out.size())) {
+    throw std::runtime_error("wire: request write failed");
+  }
+  std::vector<std::uint8_t> header(kHeaderSize);
+  if (read_full(fd_, header.data(), kHeaderSize, nullptr) != kHeaderSize) {
+    throw std::runtime_error("wire: connection closed before a response arrived"
+                             " (the server rejects malformed frames by closing)");
+  }
+  FrameHeader fh;
+  if (const WireError e = decode_header(header, fh); e != WireError::ok) {
+    throw std::runtime_error(std::string("wire: bad response header: ") +
+                             wire_error_name(e));
+  }
+  if (fh.type != FrameType::response) {
+    throw std::runtime_error("wire: expected a response frame");
+  }
+  std::vector<std::uint8_t> body(fh.body_len);
+  if (read_full(fd_, body.data(), body.size(), nullptr) != body.size()) {
+    throw std::runtime_error("wire: truncated response body");
+  }
+  ResponseFrame resp;
+  if (const WireError e = decode_response(body, resp); e != WireError::ok) {
+    throw std::runtime_error(std::string("wire: bad response body: ") +
+                             wire_error_name(e));
+  }
+  return resp;
+}
+
+}  // namespace ddl::svc::wire

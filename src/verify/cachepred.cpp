@@ -1323,6 +1323,8 @@ const char* obs_stage_model(obs::Stage stage) noexcept {
     case obs::Stage::stream_pack: return "waived: stream staging outside the plan address space";
     case obs::Stage::stream_fdl: return "waived: stream staging outside the plan address space";
     case obs::Stage::stream_ola: return "waived: stream staging outside the plan address space";
+    case obs::Stage::svc_tenant_batch:
+      return "waived: service staging outside the plan address space";
     case obs::Stage::count_: return "waived: sentinel";
   }
   return "waived: unknown stage";

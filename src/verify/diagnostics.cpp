@@ -17,6 +17,8 @@ const char* rule_name(Rule rule) noexcept {
     case Rule::svc_queue_bounds: return "svc_queue_bounds";
     case Rule::svc_bucket_limits: return "svc_bucket_limits";
     case Rule::stream_geometry: return "stream_geometry";
+    case Rule::svc_tenant_policy: return "svc_tenant_policy";
+    case Rule::svc_lane_rules: return "svc_lane_rules";
   }
   return "unknown";
 }

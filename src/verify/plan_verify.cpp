@@ -230,6 +230,63 @@ Report verify_service_config(const ServiceLimits& limits) {
          "config.max_points", "size window is empty (max_points < min_points)",
          limits.min_points, limits.max_points);
   }
+  // Tenant policies: every weight is a per-rotation DRR credit multiplier
+  // and every quota a share of the bounded queue; ids must be unique or
+  // the service could not attribute a request to one policy.
+  const auto tenant_path = [](std::size_t i, const char* field) {
+    std::ostringstream os;
+    os << "config.tenants[" << i << "]." << field;
+    return os.str();
+  };
+  for (std::size_t i = 0; i < limits.tenants.size(); ++i) {
+    const ServiceLimits::TenantShape& t = limits.tenants[i];
+    if (t.weight < 1 || t.weight > kMaxTenantWeight) {
+      diag(report, Rule::svc_tenant_policy, tenant_path(i, "weight"),
+           "tenant fair-scheduling weight outside [1, kMaxTenantWeight]",
+           static_cast<index_t>(kMaxTenantWeight), static_cast<index_t>(t.weight));
+    }
+    if (t.max_queued < 0 ||
+        (limits.queue_capacity >= 1 && t.max_queued > limits.queue_capacity)) {
+      diag(report, Rule::svc_tenant_policy, tenant_path(i, "max_queued"),
+           "tenant quota outside [0, queue_capacity] (0 = full capacity)",
+           static_cast<index_t>(limits.queue_capacity),
+           static_cast<index_t>(t.max_queued));
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (limits.tenants[j].id == t.id) {
+        diag(report, Rule::svc_tenant_policy, tenant_path(i, "id"),
+             "duplicate tenant id (policy would be ambiguous)",
+             static_cast<index_t>(limits.tenants[j].id), static_cast<index_t>(t.id));
+        break;
+      }
+    }
+  }
+  if (limits.default_tenant_weight < 1 ||
+      limits.default_tenant_weight > kMaxTenantWeight) {
+    diag(report, Rule::svc_tenant_policy, "config.default_tenant_weight",
+         "default tenant weight outside [1, kMaxTenantWeight]",
+         static_cast<index_t>(kMaxTenantWeight),
+         static_cast<index_t>(limits.default_tenant_weight));
+  }
+  if (limits.default_tenant_quota < 0 ||
+      (limits.queue_capacity >= 1 &&
+       limits.default_tenant_quota > limits.queue_capacity)) {
+    diag(report, Rule::svc_tenant_policy, "config.default_tenant_quota",
+         "default tenant quota outside [0, queue_capacity] (0 = full capacity)",
+         static_cast<index_t>(limits.queue_capacity),
+         static_cast<index_t>(limits.default_tenant_quota));
+  }
+  // Priority lane: the reserve carves admission headroom out of the queue
+  // for deadline-critical requests; it must leave at least one slot for
+  // normal traffic or the service admits nothing but the critical lane.
+  if (limits.critical_reserve < 0 ||
+      (limits.queue_capacity >= 1 &&
+       limits.critical_reserve > limits.queue_capacity - 1)) {
+    diag(report, Rule::svc_lane_rules, "config.critical_reserve",
+         "priority-lane reserve outside [0, queue_capacity - 1]",
+         static_cast<index_t>(limits.queue_capacity >= 1 ? limits.queue_capacity - 1 : 0),
+         static_cast<index_t>(limits.critical_reserve));
+  }
   return report;
 }
 

@@ -364,8 +364,13 @@ TEST(Svc, ConfigAdmissionGate) {
   bad.max_points = 1;  // empty size window
   EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
 
-  const verify::Report report = verify::verify_service_config(
-      verify::ServiceLimits{0, 1 << 13, -1, 1, 0});
+  verify::ServiceLimits broken;
+  broken.queue_capacity = 0;
+  broken.max_batch = 1 << 13;
+  broken.batch_delay_ns = -1;
+  broken.min_points = 1;
+  broken.max_points = 0;
+  const verify::Report report = verify::verify_service_config(broken);
   EXPECT_FALSE(report.ok());
   EXPECT_GE(report.diagnostics.size(), 4u);
 }
@@ -450,6 +455,241 @@ TEST(Svc, EightProducerStressResolvesEveryFuture) {
   const svc::TransformService::Stats stats = service.stats();
   EXPECT_EQ(stats.backlog, 0u);
   EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(ok.load()));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fairness, quotas, and the priority lane
+// ---------------------------------------------------------------------------
+
+/// Spin until the batcher has swallowed everything visible in the backlog
+/// gauge (queued + held) — with a wedge held, that means it is blocked
+/// inside its current dispatch.
+void wait_for_empty_backlog(const svc::TransformService& service) {
+  while (service.stats().backlog != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Starvation regression: a tenant flooding wide transforms must not delay
+// another tenant's small stream by more than ~one quantum of its own
+// work. The batcher is wedged on the flood's first dispatch; the heavy
+// backlog and the light stream are admitted behind it; on release, the
+// deficit-round-robin rotation must interleave the light bucket ahead of
+// most of the heavy backlog instead of draining the flood first.
+TEST(Svc, TwoTenantFairnessLightStreamNotStarved) {
+  const index_t heavy_n = 16384;
+  const index_t light_n = 256;
+  const int kHeavy = 16;
+  const int kLight = 4;
+  const std::string grammar =
+      plan::to_string(*svc::default_tree(svc::Kind::fft, heavy_n));
+  const fft::PlanCache::Entry entry = fft::PlanCache::instance().get(grammar);
+
+  svc::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  svc::TransformService service(cfg);
+
+  std::vector<std::vector<cplx>> heavy(kHeavy);
+  std::vector<std::vector<cplx>> light(kLight);
+  std::vector<std::future<svc::Result>> heavy_futs;
+  std::vector<std::future<svc::Result>> light_futs;
+  {
+    const std::lock_guard<std::mutex> wedge(*entry.guard);
+    heavy[0] = random_signal(heavy_n, 900);
+    heavy_futs.push_back(
+        service.submit_fft(heavy[0], svc::Direction::forward, 0, /*tenant=*/1));
+    wait_for_empty_backlog(service);  // batcher is now blocked on the wedge
+    for (int i = 1; i < kHeavy; ++i) {
+      heavy[static_cast<std::size_t>(i)] =
+          random_signal(heavy_n, 900 + static_cast<std::uint64_t>(i));
+      heavy_futs.push_back(service.submit_fft(heavy[static_cast<std::size_t>(i)],
+                                              svc::Direction::forward, 0, 1));
+    }
+    for (int i = 0; i < kLight; ++i) {
+      light[static_cast<std::size_t>(i)] =
+          random_signal(light_n, 1900 + static_cast<std::uint64_t>(i));
+      light_futs.push_back(service.submit_fft(light[static_cast<std::size_t>(i)],
+                                              svc::Direction::forward, 0, 2));
+    }
+  }
+
+  std::uint64_t light_last_done = 0;
+  for (auto& f : light_futs) {
+    const svc::Result r = f.get();
+    ASSERT_EQ(r.status, svc::Status::ok);
+    EXPECT_EQ(r.tenant, 2u);
+    light_last_done = std::max(light_last_done, r.done_ns);
+  }
+  int heavy_after_light = 0;
+  for (auto& f : heavy_futs) {
+    const svc::Result r = f.get();
+    ASSERT_EQ(r.status, svc::Status::ok);
+    if (r.done_ns > light_last_done) ++heavy_after_light;
+  }
+  // The flood is 16 requests = 1 wedged + 4 fair-rotation dispatches; the
+  // light bucket must overtake all but the first post-release heavy
+  // dispatch, leaving at least the last two heavy dispatches (7 requests)
+  // behind it. Assert half that for scheduling-noise headroom.
+  EXPECT_GE(heavy_after_light, 4)
+      << "light tenant waited behind the heavy backlog";
+
+  const svc::TransformService::Stats stats = service.stats();
+  ASSERT_TRUE(stats.tenants.count(1));
+  ASSERT_TRUE(stats.tenants.count(2));
+  EXPECT_EQ(stats.tenants.at(1).served, static_cast<std::uint64_t>(kHeavy));
+  EXPECT_EQ(stats.tenants.at(2).served, static_cast<std::uint64_t>(kLight));
+}
+
+// Admission quotas: a tenant with max_queued = 2 gets exactly 2 requests
+// in flight; further submissions shed immediately with Status::overloaded
+// and are tallied as quota rejections, without consuming queue capacity.
+TEST(Svc, TenantQuotaShedsExcessOutstanding) {
+  const index_t wedge_n = 128;
+  const std::string grammar =
+      plan::to_string(*svc::default_tree(svc::Kind::fft, wedge_n));
+  const fft::PlanCache::Entry entry = fft::PlanCache::instance().get(grammar);
+
+  svc::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 32;
+  cfg.tenants.push_back({/*id=*/7, /*weight=*/1, /*max_queued=*/2});
+  svc::TransformService service(cfg);
+
+  std::vector<std::vector<cplx>> data;
+  std::vector<std::future<svc::Result>> admitted;
+  {
+    const std::lock_guard<std::mutex> wedge(*entry.guard);
+    data.emplace_back(random_signal(wedge_n, 70));
+    admitted.push_back(service.submit_fft(data.back()));  // tenant 0 wedges
+    wait_for_empty_backlog(service);
+
+    int quota_sheds = 0;
+    for (int i = 0; i < 4; ++i) {
+      data.emplace_back(random_signal(64, 71 + static_cast<std::uint64_t>(i)));
+      std::future<svc::Result> f =
+          service.submit_fft(data.back(), svc::Direction::forward, 0, /*tenant=*/7);
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        const svc::Result r = f.get();
+        EXPECT_EQ(r.status, svc::Status::overloaded);
+        EXPECT_EQ(r.tenant, 7u);
+        ++quota_sheds;
+      } else {
+        admitted.push_back(std::move(f));
+      }
+    }
+    EXPECT_EQ(quota_sheds, 2);
+  }
+  for (auto& f : admitted) EXPECT_EQ(f.get().status, svc::Status::ok);
+
+  const svc::TransformService::Stats stats = service.stats();
+  EXPECT_EQ(stats.quota_rejected, 2u);
+  ASSERT_TRUE(stats.tenants.count(7));
+  EXPECT_EQ(stats.tenants.at(7).submitted, 2u);
+  EXPECT_EQ(stats.tenants.at(7).shed, 2u);
+  EXPECT_EQ(stats.tenants.at(7).served, 2u);
+}
+
+// The priority lane: critical_reserve slots admit critical requests after
+// normal traffic is already shed, and a ready critical bucket dispatches
+// ahead of the fair rotation.
+TEST(Svc, CriticalLaneReservesAdmissionAndDispatchesFirst) {
+  const index_t wedge_n = 128;
+  const std::string grammar =
+      plan::to_string(*svc::default_tree(svc::Kind::fft, wedge_n));
+  const fft::PlanCache::Entry entry = fft::PlanCache::instance().get(grammar);
+
+  svc::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 4;
+  cfg.max_batch = 4;
+  cfg.critical_reserve = 2;
+  svc::TransformService service(cfg);
+
+  std::vector<std::vector<cplx>> data;
+  std::vector<std::future<svc::Result>> normal_futs;
+  std::vector<std::future<svc::Result>> critical_futs;
+  int normal_shed = 0;
+  {
+    const std::lock_guard<std::mutex> wedge(*entry.guard);
+    data.emplace_back(random_signal(wedge_n, 80));
+    normal_futs.push_back(service.submit_fft(data.back()));
+    wait_for_empty_backlog(service);
+
+    // Normal traffic may use capacity - reserve = 2 slots; the third
+    // normal submission sheds while both critical submissions land.
+    for (int i = 0; i < 3; ++i) {
+      data.emplace_back(random_signal(64, 81 + static_cast<std::uint64_t>(i)));
+      std::future<svc::Result> f = service.submit_fft(data.back());
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        EXPECT_EQ(f.get().status, svc::Status::overloaded);
+        ++normal_shed;
+      } else {
+        normal_futs.push_back(std::move(f));
+      }
+    }
+    EXPECT_EQ(normal_shed, 1);
+    // A distinct tenant, so tenant 0's per-tenant quota (held by the wedged
+    // request plus the two queued normals) does not mask the lane reserve.
+    for (int i = 0; i < 2; ++i) {
+      data.emplace_back(random_signal(64, 91 + static_cast<std::uint64_t>(i)));
+      std::future<svc::Result> f = service.submit_fft(
+          data.back(), svc::Direction::forward, 0, /*tenant=*/9, /*critical=*/true);
+      ASSERT_NE(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+          << "critical submission was shed despite the reserve";
+      critical_futs.push_back(std::move(f));
+    }
+  }
+
+  std::uint64_t critical_last = 0;
+  for (auto& f : critical_futs) {
+    const svc::Result r = f.get();
+    ASSERT_EQ(r.status, svc::Status::ok);
+    critical_last = std::max(critical_last, r.done_ns);
+  }
+  // The wedged normal dispatch predates the release; every other normal
+  // request must complete after the critical lane cleared.
+  std::uint64_t normal_queued_first = ~std::uint64_t{0};
+  for (std::size_t i = 1; i < normal_futs.size(); ++i) {
+    const svc::Result r = normal_futs[i].get();
+    ASSERT_EQ(r.status, svc::Status::ok);
+    normal_queued_first = std::min(normal_queued_first, r.done_ns);
+  }
+  EXPECT_LE(critical_last, normal_queued_first);
+  EXPECT_EQ(normal_futs.front().get().status, svc::Status::ok);
+  EXPECT_GE(service.stats().critical_batches, 1u);
+}
+
+// Tenant/lane config rules carry positioned paths through the verifier and
+// gate service construction.
+TEST(Svc, TenantAndLaneConfigRulesGateConstruction) {
+  svc::ServiceConfig bad = test_config();
+  bad.tenants.push_back({/*id=*/1, /*weight=*/0, /*max_queued=*/0});
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  bad = test_config();
+  bad.tenants.push_back({1, 1, 0});
+  bad.tenants.push_back({1, 2, 0});  // duplicate id
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  bad = test_config();
+  bad.critical_reserve = bad.queue_capacity;  // no slot left for normal work
+  EXPECT_THROW(svc::TransformService{bad}, std::invalid_argument);
+
+  verify::ServiceLimits limits;
+  limits.queue_capacity = 8;
+  limits.max_batch = 4;
+  limits.min_points = 2;
+  limits.max_points = 1 << 20;
+  limits.tenants.push_back({/*id=*/3, /*weight=*/verify::kMaxTenantWeight + 1,
+                            /*max_queued=*/9});
+  limits.critical_reserve = 8;
+  const verify::Report report = verify::verify_service_config(limits);
+  EXPECT_TRUE(report.has(verify::Rule::svc_tenant_policy));
+  EXPECT_TRUE(report.has(verify::Rule::svc_lane_rules));
+  bool positioned = false;
+  for (const auto& d : report.diagnostics) {
+    positioned = positioned || d.node_path == "config.tenants[0].weight";
+  }
+  EXPECT_TRUE(positioned);
 }
 
 }  // namespace

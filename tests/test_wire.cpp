@@ -1,0 +1,328 @@
+// ddl::svc::wire tests: frame encode/decode round-trips, fail-closed
+// rejection of every truncation and overflow point in the parser, and the
+// end-to-end socket contract — a transform served over the UNIX-domain
+// socket is bitwise identical to the same transform run through the
+// direct API, and a malformed frame closes the connection without a
+// response. Registered under the ctest labels `svc` and `concurrency`
+// (the server runs one thread per connection).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/svc/service.hpp"
+#include "ddl/svc/wire.hpp"
+#include "ddl/wht/wht_api.hpp"
+
+namespace ddl {
+namespace {
+
+using svc::wire::FrameHeader;
+using svc::wire::FrameType;
+using svc::wire::RequestFrame;
+using svc::wire::ResponseFrame;
+using svc::wire::WireError;
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  AlignedBuffer<cplx> buf(n);
+  fill_random(buf.span(), seed);
+  return {buf.begin(), buf.end()};
+}
+
+RequestFrame sample_request(index_t n) {
+  RequestFrame rf;
+  rf.tenant = 42;
+  rf.kind = svc::Kind::fft;
+  rf.dir = svc::Direction::forward;
+  rf.critical = true;
+  rf.deadline_rel_ns = 5'000'000;
+  rf.cdata = random_signal(n, 7);
+  return rf;
+}
+
+/// Socket path unique to this process so parallel ctest runs can't collide.
+std::string test_socket_path(const char* tag) {
+  return "/tmp/ddl_wire_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+TEST(Wire, RequestRoundTripsThroughEncodeDecode) {
+  const RequestFrame rf = sample_request(64);
+  const std::vector<std::uint8_t> bytes = svc::wire::encode_request(rf);
+
+  FrameHeader fh;
+  ASSERT_EQ(svc::wire::decode_header(bytes, fh), WireError::ok);
+  EXPECT_EQ(fh.type, FrameType::request);
+  ASSERT_EQ(bytes.size(), svc::wire::kHeaderSize + fh.body_len);
+
+  RequestFrame out;
+  const std::span<const std::uint8_t> body{bytes.data() + svc::wire::kHeaderSize,
+                                           static_cast<std::size_t>(fh.body_len)};
+  ASSERT_EQ(svc::wire::decode_request(body, out), WireError::ok);
+  EXPECT_EQ(out.tenant, rf.tenant);
+  EXPECT_EQ(out.kind, rf.kind);
+  EXPECT_EQ(out.dir, rf.dir);
+  EXPECT_EQ(out.critical, rf.critical);
+  EXPECT_EQ(out.deadline_rel_ns, rf.deadline_rel_ns);
+  ASSERT_EQ(out.cdata.size(), rf.cdata.size());
+  for (std::size_t i = 0; i < rf.cdata.size(); ++i) {
+    EXPECT_EQ(out.cdata[i].real(), rf.cdata[i].real());
+    EXPECT_EQ(out.cdata[i].imag(), rf.cdata[i].imag());
+  }
+}
+
+TEST(Wire, ResponseRoundTripsIncludingNonOkWithoutPayload) {
+  ResponseFrame resp;
+  resp.tenant = 9;
+  resp.status = svc::Status::ok;
+  resp.kind = svc::Kind::wht;
+  resp.dir = svc::Direction::inverse;
+  resp.fallback_plan = true;
+  resp.n = 8;
+  resp.server_ns = 1234;
+  resp.rdata = {1.0, -2.5, 3.25, 0.0, 5.0, -6.0, 7.5, 8.0};
+
+  std::vector<std::uint8_t> bytes = svc::wire::encode_response(resp);
+  FrameHeader fh;
+  ASSERT_EQ(svc::wire::decode_header(bytes, fh), WireError::ok);
+  EXPECT_EQ(fh.type, FrameType::response);
+  ResponseFrame out;
+  ASSERT_EQ(svc::wire::decode_response(
+                {bytes.data() + svc::wire::kHeaderSize,
+                 static_cast<std::size_t>(fh.body_len)},
+                out),
+            WireError::ok);
+  EXPECT_EQ(out.rdata, resp.rdata);
+  EXPECT_EQ(out.server_ns, resp.server_ns);
+  EXPECT_TRUE(out.fallback_plan);
+
+  // A non-ok response carries no payload, but still echoes the size.
+  resp.status = svc::Status::overloaded;
+  resp.rdata.clear();
+  bytes = svc::wire::encode_response(resp);
+  ASSERT_EQ(svc::wire::decode_header(bytes, fh), WireError::ok);
+  EXPECT_EQ(fh.body_len, svc::wire::kBodyFixed);
+  ResponseFrame shed;
+  ASSERT_EQ(svc::wire::decode_response(
+                {bytes.data() + svc::wire::kHeaderSize,
+                 static_cast<std::size_t>(fh.body_len)},
+                shed),
+            WireError::ok);
+  EXPECT_EQ(shed.status, svc::Status::overloaded);
+  EXPECT_EQ(shed.n, 8u);
+  EXPECT_TRUE(shed.rdata.empty());
+}
+
+// Every header rejection point: truncation at each length short of 16,
+// then each validated field corrupted in isolation.
+TEST(Wire, HeaderRejectsEveryTruncationAndCorruption) {
+  const std::vector<std::uint8_t> bytes = svc::wire::encode_request(sample_request(4));
+  FrameHeader fh;
+  for (std::size_t len = 0; len < svc::wire::kHeaderSize; ++len) {
+    EXPECT_EQ(svc::wire::decode_header({bytes.data(), len}, fh), WireError::truncated)
+        << "header length " << len;
+  }
+  for (std::size_t magic_byte = 0; magic_byte < 4; ++magic_byte) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[magic_byte] ^= 0xff;
+    EXPECT_EQ(svc::wire::decode_header(bad, fh), WireError::bad_magic)
+        << "magic byte " << magic_byte;
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[4] = 2;  // version 2: not implemented -> fail closed, no best effort
+    EXPECT_EQ(svc::wire::decode_header(bad, fh), WireError::bad_version);
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[6] = 3;  // type 3: neither request nor response
+    EXPECT_EQ(svc::wire::decode_header(bad, fh), WireError::bad_type);
+  }
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    for (std::size_t i = 8; i < 16; ++i) bad[i] = 0xff;  // absurd body_len
+    EXPECT_EQ(svc::wire::decode_header(bad, fh), WireError::oversized);
+  }
+}
+
+// Every request-body rejection point: truncation at each byte of the fixed
+// fields, each enum byte out of range, non-zero reserved byte, oversized
+// declared n, and payload length disagreeing with the declared n in both
+// directions (short payload and smuggled trailing bytes).
+TEST(Wire, RequestBodyRejectsEveryTruncationAndOverflowPoint) {
+  const std::vector<std::uint8_t> frame = svc::wire::encode_request(sample_request(4));
+  const std::vector<std::uint8_t> body{frame.begin() + svc::wire::kHeaderSize,
+                                       frame.end()};
+  RequestFrame out;
+  for (std::size_t len = 0; len < svc::wire::kBodyFixed; ++len) {
+    EXPECT_EQ(svc::wire::decode_request({body.data(), len}, out), WireError::truncated)
+        << "body length " << len;
+  }
+  const auto mutated = [&](std::size_t off, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = body;
+    bad[off] = value;
+    return bad;
+  };
+  EXPECT_EQ(svc::wire::decode_request(mutated(4, 2), out), WireError::bad_kind);
+  EXPECT_EQ(svc::wire::decode_request(mutated(5, 2), out), WireError::bad_direction);
+  EXPECT_EQ(svc::wire::decode_request(mutated(6, 2), out), WireError::bad_reserved);
+  EXPECT_EQ(svc::wire::decode_request(mutated(7, 1), out), WireError::bad_reserved);
+  {
+    std::vector<std::uint8_t> bad = body;
+    for (std::size_t i = 16; i < 24; ++i) bad[i] = 0xff;  // n > kMaxPoints
+    EXPECT_EQ(svc::wire::decode_request(bad, out), WireError::oversized);
+  }
+  {
+    std::vector<std::uint8_t> bad = body;
+    bad.pop_back();  // payload one byte short of the declared n
+    EXPECT_EQ(svc::wire::decode_request(bad, out), WireError::length_mismatch);
+  }
+  {
+    std::vector<std::uint8_t> bad = body;
+    bad.push_back(0);  // trailing smuggled byte
+    EXPECT_EQ(svc::wire::decode_request(bad, out), WireError::length_mismatch);
+  }
+  {
+    // Declared n = 5 but payload sized for 4: the length cross-check
+    // fires before any payload element is read.
+    std::vector<std::uint8_t> bad = body;
+    bad[16] = 5;
+    EXPECT_EQ(svc::wire::decode_request(bad, out), WireError::length_mismatch);
+  }
+}
+
+TEST(Wire, ResponseBodyRejectsBadStatusFlagsAndLengths) {
+  ResponseFrame resp;
+  resp.status = svc::Status::ok;
+  resp.kind = svc::Kind::fft;
+  resp.n = 2;
+  resp.cdata = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<std::uint8_t> frame = svc::wire::encode_response(resp);
+  const std::vector<std::uint8_t> body{frame.begin() + svc::wire::kHeaderSize,
+                                       frame.end()};
+  ResponseFrame out;
+  for (std::size_t len = 0; len < svc::wire::kBodyFixed; ++len) {
+    EXPECT_EQ(svc::wire::decode_response({body.data(), len}, out),
+              WireError::truncated)
+        << "body length " << len;
+  }
+  const auto mutated = [&](std::size_t off, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = body;
+    bad[off] = value;
+    return bad;
+  };
+  EXPECT_EQ(svc::wire::decode_response(mutated(4, 6), out), WireError::bad_status);
+  EXPECT_EQ(svc::wire::decode_response(mutated(5, 7), out), WireError::bad_kind);
+  EXPECT_EQ(svc::wire::decode_response(mutated(6, 2), out), WireError::bad_direction);
+  EXPECT_EQ(svc::wire::decode_response(mutated(7, 2), out), WireError::bad_reserved);
+  // Non-ok status must not carry a payload.
+  EXPECT_EQ(svc::wire::decode_response(mutated(4, 1), out), WireError::length_mismatch);
+  {
+    std::vector<std::uint8_t> bad = body;
+    bad.pop_back();
+    EXPECT_EQ(svc::wire::decode_response(bad, out), WireError::length_mismatch);
+  }
+}
+
+// The tentpole acceptance property: a transform served over the socket is
+// bitwise identical to the direct API on the same input — FFT and WHT,
+// forward and inverse.
+TEST(Wire, SocketServedResultsBitwiseIdenticalToDirect) {
+  const index_t n = 512;
+  svc::ServiceConfig cfg;
+  cfg.plan_dp = false;  // deterministic default_tree, same as the direct path
+  cfg.batch_delay_ns = 0;
+  svc::TransformService service(cfg);
+  svc::wire::SocketServer server(service, test_socket_path("identity"));
+
+  svc::wire::SocketClient client(server.path());
+  for (const svc::Direction dir : {svc::Direction::forward, svc::Direction::inverse}) {
+    std::vector<cplx> expect = random_signal(n, 321);
+    fft::FftExecutor exec(*svc::default_tree(svc::Kind::fft, n));
+    if (dir == svc::Direction::forward) {
+      exec.forward(expect);
+    } else {
+      exec.inverse(expect);
+    }
+
+    RequestFrame rf;
+    rf.tenant = 5;
+    rf.kind = svc::Kind::fft;
+    rf.dir = dir;
+    rf.cdata = random_signal(n, 321);
+    const ResponseFrame resp = client.roundtrip(rf);
+    ASSERT_EQ(resp.status, svc::Status::ok);
+    EXPECT_EQ(resp.tenant, 5u);
+    ASSERT_EQ(resp.cdata.size(), static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(resp.cdata[static_cast<std::size_t>(i)].real(), expect[i].real())
+          << "dir=" << static_cast<int>(dir) << " i=" << i;
+      ASSERT_EQ(resp.cdata[static_cast<std::size_t>(i)].imag(), expect[i].imag())
+          << "dir=" << static_cast<int>(dir) << " i=" << i;
+    }
+  }
+  {
+    const index_t wn = 256;
+    std::vector<real_t> expect(static_cast<std::size_t>(wn));
+    for (index_t i = 0; i < wn; ++i) {
+      expect[static_cast<std::size_t>(i)] = static_cast<real_t>(i % 17) - 8.0;
+    }
+    RequestFrame rf;
+    rf.kind = svc::Kind::wht;
+    rf.rdata = expect;
+    wht::WhtExecutor(*svc::default_tree(svc::Kind::wht, wn)).transform(expect);
+    const ResponseFrame resp = client.roundtrip(rf);
+    ASSERT_EQ(resp.status, svc::Status::ok);
+    EXPECT_EQ(resp.rdata, expect);
+  }
+  EXPECT_EQ(server.frames_rejected(), 0u);
+}
+
+// A malformed frame closes the connection without a response; a fresh
+// connection still works afterwards (per-connection blast radius).
+TEST(Wire, MalformedFrameClosesConnectionWithoutResponse) {
+  svc::ServiceConfig cfg;
+  cfg.plan_dp = false;
+  cfg.batch_delay_ns = 0;
+  svc::TransformService service(cfg);
+  svc::wire::SocketServer server(service, test_socket_path("reject"));
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::copy(server.path().begin(), server.path().end(), addr.sun_path);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::vector<std::uint8_t> bad = svc::wire::encode_request(sample_request(4));
+  bad[0] = 'X';  // corrupt the magic
+  ASSERT_EQ(::send(fd, bad.data(), bad.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bad.size()));
+  std::uint8_t byte = 0;
+  // The server closes without responding; with the bad frame's body bytes
+  // still unread on its side, that close may surface here as ECONNRESET
+  // rather than a clean EOF — either way, no response byte ever arrives.
+  EXPECT_LE(::read(fd, &byte, 1), 0) << "server answered a malformed frame";
+  ::close(fd);
+
+  // The rejection is per-connection: a well-formed client still round-trips.
+  svc::wire::SocketClient client(server.path());
+  RequestFrame rf = sample_request(8);
+  rf.critical = false;
+  rf.deadline_rel_ns = 0;
+  EXPECT_EQ(client.roundtrip(rf).status, svc::Status::ok);
+  EXPECT_GE(server.frames_rejected(), 1u);
+}
+
+}  // namespace
+}  // namespace ddl

@@ -58,6 +58,15 @@ flagged line or the line above; waivers should be rare and justified):
                     constructors; anything that can touch the heap on the
                     per-block path needs an explicit waiver.
 
+  wire-copy         Wire-protocol translation units (src/ and include/ files
+                    named *wire*) must not read frames via memcpy/memmove,
+                    `*p++` byte-pointer reads, or manual `p += sizeof(...)`
+                    pointer advances. Every decode goes through the
+                    bounds-checked Cursor (docs/SERVICE.md): unchecked copy
+                    reads are exactly how a truncated or oversized frame
+                    turns into an out-of-bounds read instead of a clean
+                    WireError.
+
   stage-coverage    Every obs::Stage enum value (include/ddl/obs/obs.hpp)
                     must be mentioned in src/verify/cachepred.cpp — the
                     symbolic cache model's obs_stage_model() catalogue,
@@ -144,6 +153,13 @@ STREAM_ALLOC = re.compile(
     r"|\.\s*(?:resize|push_back|emplace_back|reserve)\s*\("
 )
 
+# Wire parsing: every byte that leaves a frame goes through the Cursor.
+WIRE_COPY = re.compile(
+    r"\b(?:std\s*::\s*)?(?:memcpy|memmove)\s*\("
+    r"|\*\s*\w+\s*\+\+"
+    r"|\b\w+\s*\+=\s*sizeof\b"
+)
+
 WAIVER = re.compile(r"//\s*ddl-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
 
 
@@ -205,6 +221,7 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
         THREAD_ALLOWED
     )
     check_stream_alloc = rel.startswith(STREAM_ALLOC_DIRS)
+    check_wire = rel.startswith(("src/", "include/")) and "wire" in path.name
 
     in_block = False
     cleaned: list[str] = []
@@ -256,6 +273,14 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                 f" allocation-free after construction (docs/STREAMING.md) —"
                 f" size an AlignedBuffer in the constructor instead:"
                 f" {raw.strip()}"
+            )
+        if check_wire and WIRE_COPY.search(code) and not waived(
+            "wire-copy", lines, idx
+        ):
+            findings.append(
+                f"{rel}:{idx + 1}: wire-copy: unchecked copy/pointer-advance"
+                f" read in wire parsing — decode through the bounds-checked"
+                f" Cursor (docs/SERVICE.md): {raw.strip()}"
             )
 
     if rel.startswith("src/") and "executor" in rel:

@@ -12,6 +12,15 @@
 #   5. svc loadgen smoke           short closed+open-loop run of the ddl::svc
 #                                  load generator: must resolve every future
 #                                  (no hangs) and emit valid BENCH_svc.json
+#   5c. serve-socket smoke         `ddlfft serve --socket` round-trips the
+#                                  wire protocol over a UNIX socket (server +
+#                                  thin clients in one process), and the mode
+#                                  flags reject ambiguous invocations (exit 2)
+#   5d. svc sustained (not --fast) full loadgen run refreshing BENCH_svc.json
+#                                  at the repo root: per-tenant p50/p99/p99.9
+#                                  rows, and the fairness gate — light-tenant
+#                                  p99 under flood within 2x its solo p99
+#                                  (loadgen exit 3 = fairness regression)
 #   5b. stream smoke               `ddlfft stream` chain verify (RFFT/STFT/
 #                                  partitioned convolution vs direct
 #                                  reference) + stream_latency JSON export
@@ -111,6 +120,22 @@ svc_smoke() {
 }
 check "svc_loadgen smoke (BENCH_svc JSON, no hangs)" svc_smoke
 
+# 5c. serve-socket smoke: the wire protocol end to end — `ddlfft serve
+#     --socket` runs the socket server plus thin wire clients in one process
+#     and fails if any round-trip mismatches the direct API. The mode flags
+#     are usage-gated: no mode (or both modes) must exit 2, not hang.
+serve_socket_smoke() {
+  local sock="build/serve_smoke.sock"
+  rm -f "$sock"
+  ./build/apps/ddlfft serve --socket "$sock" --n 2^10 --producers 2 \
+    --requests 16 >/dev/null || return 1
+  ./build/apps/ddlfft serve --n 2^10 >/dev/null 2>&1
+  local rc=$?
+  [[ "$rc" == 2 ]] || { echo "serve without a mode exited $rc, want 2"; return 1; }
+  return 0
+}
+check "ddlfft serve --socket smoke (wire round-trip + mode gating)" serve_socket_smoke
+
 # 5b. streaming smoke: the RFFT -> STFT -> partitioned-convolver chain must
 #     verify against its direct reference (exit 1 on mismatch) and the
 #     latency bench must emit valid JSON for the three block sizes.
@@ -126,6 +151,32 @@ assert all('p50_us' in r['extra'] and 'p99_us' in r['extra'] for r in rows)
 "
 }
 check "ddlfft stream smoke (chain verify + BENCH_stream JSON)" stream_smoke
+
+# 5d. sustained service run: refreshes the committed BENCH_svc.json at the
+#     repo root and enforces the multi-tenant fairness figure. Exit 2 (open
+#     loop failed to shed) is tolerated like the smoke; exit 3 — the light
+#     tenant's p99 under flood blew past 2x its solo p99 — is the scheduling
+#     regression this step exists to catch.
+if [[ "$FAST" == "0" ]]; then
+  svc_sustained() {
+    DDL_BENCH_JSON=BENCH_svc.json \
+      ./build/bench/svc_loadgen --requests 512 --open-ms 300 >/dev/null
+    local rc=$?
+    [[ "$rc" == 0 || "$rc" == 2 ]] || return 1
+    python3 -c "
+import json
+rows = json.load(open('BENCH_svc.json'))['rows']
+tenant = {r['strategy']: r['extra'] for r in rows if r['strategy'].startswith('tenant_')}
+assert {'tenant_light_solo', 'tenant_light_skewed', 'tenant_heavy_skewed'} <= tenant.keys(), rows
+assert all('p999_us' in x for x in tenant.values()), tenant
+assert tenant['tenant_light_skewed']['p99_vs_solo_ratio'] <= 2.0, tenant
+"
+  }
+  check "svc sustained loadgen (BENCH_svc.json + fairness gate)" svc_sustained
+else
+  note "svc sustained loadgen"
+  echo "-- svc sustained: skipped (--fast); committed BENCH_svc.json left as-is"
+fi
 
 # 6. autotune smoke: tiny-size calibrate + re-plan must work end to end, the
 #    stores must persist, and a corrupt cost database must be rejected
