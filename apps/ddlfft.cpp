@@ -45,13 +45,16 @@
 #include "ddl/codelets/codelets.hpp"
 #include "ddl/fft/executor.hpp"
 #include "ddl/fft/fft.hpp"
+#include "ddl/huge/huge.hpp"
 #include "ddl/obs/export.hpp"
 #include "ddl/obs/obs.hpp"
 #include "ddl/plan/grammar.hpp"
 #include "ddl/plan/obs_ingest.hpp"
+#include "ddl/plan/snapshot.hpp"
 #include "ddl/sim/trace.hpp"
 #include "ddl/stream/stream.hpp"
 #include "ddl/svc/service.hpp"
+#include "ddl/svc/sharded.hpp"
 #include "ddl/svc/wire.hpp"
 #include "ddl/verify/cachepred.hpp"
 #include "ddl/verify/plan_verify.hpp"
@@ -70,11 +73,14 @@ int usage() {
       "  plan      --transform fft|wht --n SIZE [--strategy ddl_dp] [--max-leaf 32]\n"
       "            [--oracle]  plan for a simulated 512KB direct-mapped cache\n"
       "            [--dot]     print the tree as a Graphviz digraph\n"
+      "            [--huge]    force an fs(n1,n2) four-step root (fft only;\n"
+      "            out-of-LLC sizes — docs/HUGE.md)\n"
       "  run       (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--reps 3] [--wht]\n"
       "  profile   (SIZE | --n SIZE | --tree GRAMMAR) [--transform fft|wht]\n"
       "            [--strategy ddl_dp] [--reps 5] [--threads N]\n"
       "            [--trace ddlfft_trace.json] [--bench-json FILE] [--calibrate]\n"
+      "            [--huge]  run through the staged ddl::huge executor (fs tree)\n"
       "            traced run: per-stage summary + chrome://tracing JSON;\n"
       "            --calibrate feeds stage timings into --costdb\n"
       "  simulate  (--tree GRAMMAR | --n SIZE) [--cache 512K] [--line 64]\n"
@@ -90,12 +96,15 @@ int usage() {
       "  explain-plan  (--tree GRAMMAR | --transform fft|wht --n SIZE [--strategy S])\n"
       "            [--wht] [--dot]\n"
       "  serve     (--inproc | --socket PATH) [--n 1024] [--producers 4]\n"
-      "            [--requests 64] [--threads N] [--plan]   transform-service\n"
+      "            [--requests 64] [--threads N] [--plan] [--shards N]\n"
+      "            transform-service\n"
       "            smoke (DDL_SVC_* env knobs): --inproc drives concurrent\n"
       "            producers through the embedded ddl::svc API; --socket\n"
       "            serves the binary wire protocol on a UNIX socket at PATH\n"
       "            and drives the same workload through thin wire clients,\n"
-      "            one tenant per producer (docs/SERVICE.md)\n"
+      "            one tenant per producer (docs/SERVICE.md); --shards N\n"
+      "            (--inproc only) fans tenants over N tenant-hash routed\n"
+      "            service instances sharing one wisdom/cost store\n"
       "  stream    [--block 512] [--fir 257] [--blocks 200] [--stft-fft 4*block]\n"
       "            [--fft N] [--plan] [--threads N]   streaming smoke: STFT\n"
       "            (hop = block) chained into a partitioned overlap-save\n"
@@ -106,6 +115,10 @@ int usage() {
       "            calibrate cost db from traced runs (per host + ISA), re-plan\n"
       "            with measured costs, champion-check DP vs rightmost, remember\n"
       "            the winner in --wisdom; store loads are fail-closed here\n"
+      "  wisdom    export --out SNAP | merge --in SNAP   ship planner state:\n"
+      "            export writes a byte-deterministic DDLSNAP file of the\n"
+      "            --costdb/--wisdom stores; merge validates a snapshot in\n"
+      "            full (fail-closed) and overlays it last-writer-wins\n"
       "\n"
       "shared:    --wisdom FILE --costdb FILE  (persist planning artifacts)\n"
       "sizes accept 1048576, 2^20, 512K, 64M notation.\n";
@@ -188,7 +201,25 @@ int cmd_plan(const cli::Args& args) {
     return 2;
   }
   const auto strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
-  const auto tree = plan_tree(args, stores, transform, n, strategy);
+  plan::TreePtr tree;
+  if (args.has("huge")) {
+    if (transform != "fft") {
+      std::cerr << "plan: --huge is FFT-only (four-step is an FFT factorization)\n";
+      return 2;
+    }
+    if (n < plan::kMinFourStepPoints) {
+      std::cerr << "plan: --huge needs --n >= " << plan::kMinFourStepPoints << "\n";
+      return 2;
+    }
+    fft::PlannerOptions opts;
+    opts.cost_db = &stores.cost_db;
+    opts.wisdom = &stores.wisdom;
+    opts.max_leaf = args.size_or("max-leaf", opts.max_leaf);
+    fft::FftPlanner planner(opts);
+    tree = planner.plan_huge(n);
+  } else {
+    tree = plan_tree(args, stores, transform, n, strategy);
+  }
   std::cout << transform << " " << fmt_pow2(n) << " " << fft::strategy_name(strategy) << ":\n"
             << "  tree:      " << plan::to_string(*tree) << "\n"
             << "  leaves:    " << plan::leaf_count(*tree) << "\n"
@@ -256,9 +287,28 @@ int cmd_profile(const cli::Args& args) {
       std::cerr << "profile: need a SIZE operand, --n SIZE, or --tree GRAMMAR\n";
       return 2;
     }
-    const auto strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
-    strategy_name = fft::strategy_name(strategy);
-    tree = plan_tree(args, stores, is_wht ? "wht" : "fft", n, strategy);
+    if (args.has("huge") && !is_wht) {
+      if (n < plan::kMinFourStepPoints) {
+        std::cerr << "profile: --huge needs a size >= " << plan::kMinFourStepPoints << "\n";
+        return 2;
+      }
+      fft::PlannerOptions opts;
+      opts.cost_db = &stores.cost_db;
+      opts.wisdom = &stores.wisdom;
+      fft::FftPlanner planner(opts);
+      strategy_name = "fs_huge";
+      tree = planner.plan_huge(n);
+    } else {
+      const auto strategy = parse_strategy(args.get_or("strategy", "ddl_dp"));
+      strategy_name = fft::strategy_name(strategy);
+      tree = plan_tree(args, stores, is_wht ? "wht" : "fft", n, strategy);
+    }
+  }
+  const bool huge_exec = args.has("huge");
+  if (huge_exec && (is_wht || !tree->fourstep)) {
+    std::cerr << "profile: --huge needs an fft fs(n1,n2) tree (plan --huge, or an fs(...) "
+                 "--tree)\n";
+    return 2;
   }
   if (args.has("threads")) {
     parallel::set_threads(static_cast<int>(args.int_or("threads", 1)));
@@ -284,6 +334,20 @@ int cmd_profile(const cli::Args& args) {
     obs::reset();
     const std::uint64_t t0 = obs::now_ns();
     for (int r = 0; r < reps; ++r) exec.transform(buf.span());
+    wall = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    obs::enable(false);
+  } else if (huge_exec) {
+    huge::HugeExecutor exec(*tree);
+    AlignedBuffer<cplx> buf(n);
+    for (index_t i = 0; i < n; ++i) {
+      buf.data()[i] = cplx(static_cast<double>(i % 5) - 2.0, static_cast<double>(i % 3) - 1.0);
+    }
+    exec.forward(buf.span());
+    obs::enable(true);
+    exec.forward(buf.span());
+    obs::reset();
+    const std::uint64_t t0 = obs::now_ns();
+    for (int r = 0; r < reps; ++r) exec.forward(buf.span());
     wall = static_cast<double>(obs::now_ns() - t0) * 1e-9;
     obs::enable(false);
   } else {
@@ -631,6 +695,53 @@ int cmd_compare(const cli::Args& args) {
 // workload through wire::SocketClient connections, one tenant id per
 // producer. This is the smoke entry point for the service subsystem
 // (docs/SERVICE.md); tools/run_analysis.sh runs both modes headless.
+// wisdom export/merge: ship planner state between hosts and processes as
+// one DDLSNAP file. Export is byte-deterministic (map-ordered stores at
+// round-trip precision); merge validates the entire snapshot before
+// committing anything (fail-closed) and overlays entries last-writer-wins
+// onto the --costdb/--wisdom stores, which the Stores destructor persists.
+int cmd_wisdom(const cli::Args& args) {
+  const auto action = args.positional(0);
+  if (!action || (*action != "export" && *action != "merge")) {
+    std::cerr << "wisdom: usage:\n"
+                 "  ddlfft wisdom export --out SNAP [--costdb FILE] [--wisdom FILE]\n"
+                 "  ddlfft wisdom merge  --in SNAP  [--costdb FILE] [--wisdom FILE]\n";
+    return 2;
+  }
+  Stores stores(args);
+  if (*action == "export") {
+    const std::string out = args.get_or("out", "");
+    if (out.empty()) {
+      std::cerr << "wisdom export: --out SNAP is required\n";
+      return 2;
+    }
+    if (!plan::save_snapshot(out, stores.cost_db, stores.wisdom)) {
+      std::cerr << "wisdom export: cannot write '" << out << "'\n";
+      return 1;
+    }
+    std::cout << "exported " << stores.cost_db.size() << " cost entries and "
+              << stores.wisdom.size() << " plans to " << out << "\n";
+    return 0;
+  }
+  const std::string in = args.get_or("in", "");
+  if (in.empty()) {
+    std::cerr << "wisdom merge: --in SNAP is required\n";
+    return 2;
+  }
+  std::string error;
+  if (!plan::merge_snapshot(in, stores.cost_db, stores.wisdom, &error)) {
+    std::cerr << "wisdom merge: rejected (stores unchanged): " << error << "\n";
+    return 1;
+  }
+  std::cout << "merged " << in << "; stores now hold " << stores.cost_db.size()
+            << " cost entries and " << stores.wisdom.size() << " plans"
+            << (stores.cost_file.empty() && stores.wisdom_file.empty()
+                    ? " (pass --costdb/--wisdom FILE to persist)"
+                    : "")
+            << "\n";
+  return 0;
+}
+
 int cmd_serve(const cli::Args& args) {
   const bool inproc = args.has("inproc");
   const bool socket_mode = args.has("socket");
@@ -646,6 +757,14 @@ int cmd_serve(const cli::Args& args) {
       return 2;
     }
   }
+  const int shards = static_cast<int>(args.int_or("shards", 1));
+  if (shards != 1 && !inproc) {
+    // Sharding is an in-process fan-out; the wire server binds one
+    // TransformService per socket, so shard behind a socket by running one
+    // `serve --socket` per shard instead.
+    std::cerr << "serve: --shards requires --inproc\n";
+    return 2;
+  }
   Stores stores(args);
   const index_t n = args.size_or("n", 1024);
   const int producers = static_cast<int>(args.int_or("producers", 4));
@@ -658,11 +777,20 @@ int cmd_serve(const cli::Args& args) {
   cfg.plan_dp = args.has("plan");
   cfg.cost_db = &stores.cost_db;
   cfg.wisdom = &stores.wisdom;
-  svc::TransformService service(cfg);
+  std::unique_ptr<svc::TransformService> single;
+  std::unique_ptr<svc::ShardedService> sharded;
+  if (shards > 1) {
+    svc::ShardedConfig scfg;
+    scfg.shards = shards;
+    scfg.shard = cfg;
+    sharded = std::make_unique<svc::ShardedService>(scfg);
+  } else {
+    single = std::make_unique<svc::TransformService>(cfg);
+  }
   std::unique_ptr<svc::wire::SocketServer> server;
   if (socket_mode) {
     try {
-      server = std::make_unique<svc::wire::SocketServer>(service, socket_path);
+      server = std::make_unique<svc::wire::SocketServer>(*single, socket_path);
     } catch (const std::exception& e) {
       std::cerr << "serve: " << e.what() << "\n";
       return 1;
@@ -692,8 +820,8 @@ int cmd_serve(const cli::Args& args) {
         }
         const auto run_fft = [&](std::span<cplx> data) {
           if (!socket_mode) {
-            return service
-                .submit_fft(data, svc::Direction::forward, 0, tenant)
+            return (sharded ? sharded->submit_fft(data, svc::Direction::forward, 0, tenant)
+                            : single->submit_fft(data, svc::Direction::forward, 0, tenant))
                 .get()
                 .status;
           }
@@ -705,8 +833,8 @@ int cmd_serve(const cli::Args& args) {
         };
         const auto run_wht = [&](std::span<real_t> data) {
           if (!socket_mode) {
-            return service
-                .submit_wht(data, svc::Direction::forward, 0, tenant)
+            return (sharded ? sharded->submit_wht(data, svc::Direction::forward, 0, tenant)
+                            : single->submit_wht(data, svc::Direction::forward, 0, tenant))
                 .get()
                 .status;
           }
@@ -750,11 +878,16 @@ int cmd_serve(const cli::Args& args) {
     for (auto& w : workers) w.join();
   }
   if (server) server->stop();
-  service.drain();
+  if (sharded) {
+    sharded->drain();
+  } else {
+    single->drain();
+  }
 
-  const std::string mode_label =
+  std::string mode_label =
       socket_mode ? "serve --socket n=" + fmt_pow2(n) : "serve --inproc n=" + fmt_pow2(n);
-  const svc::TransformService::Stats stats = service.stats();
+  if (sharded) mode_label += " shards=" + std::to_string(shards);
+  const svc::TransformService::Stats stats = sharded ? sharded->stats() : single->stats();
   TableWriter table({"counter", "value"});
   table.add_row({"ok", std::to_string(ok.load())});
   table.add_row({"shed", std::to_string(shed.load())});
@@ -769,6 +902,13 @@ int cmd_serve(const cli::Args& args) {
   table.add_row({"fallback_plans", std::to_string(stats.fallback_plans)});
   table.add_row({"model_fallbacks", std::to_string(stats.model_fallbacks)});
   table.add_row({"queue_peak", std::to_string(stats.queue_peak)});
+  if (sharded) {
+    for (int s = 0; s < sharded->shards(); ++s) {
+      const svc::TransformService::Stats ss = sharded->shard(s).stats();
+      table.add_row({"shard[" + std::to_string(s) + "] completed/submitted",
+                     std::to_string(ss.completed) + "/" + std::to_string(ss.submitted)});
+    }
+  }
   if (server) {
     table.add_row({"wire_connections", std::to_string(server->connections_accepted())});
     table.add_row({"wire_rejected_frames", std::to_string(server->frames_rejected())});
@@ -1113,6 +1253,8 @@ int main(int argc, char** argv) {
       rc = cmd_stream(args);
     } else if (args.command() == "autotune") {
       rc = cmd_autotune(args);
+    } else if (args.command() == "wisdom") {
+      rc = cmd_wisdom(args);
     } else {
       return usage();
     }

@@ -18,6 +18,13 @@
 //    queue with large transforms. Deficit-round-robin scheduling must keep
 //    the light tenant's p99 within ~2x its solo p99; the ratio is printed
 //    and exported so the regression is visible in BENCH_svc.json.
+//  * soak (--soak-cycles N): one long-lived service instance through N
+//    flood -> recover cycles. Each cycle overloads the bounded queue past
+//    its capacity, stops the flood, and asserts the instance actually
+//    *recovers*: the backlog gauge returns to zero and a closed-loop probe's
+//    p99 returns to the pre-soak baseline band. Guards against slow leaks —
+//    futures never resolved, held buckets never cut, latency ratcheting up
+//    cycle over cycle — that single-shot phases cannot see.
 //
 // Latencies come from Result's submit/done timestamps (obs::now_ns
 // timebase). Rows export through BenchJsonWriter to BENCH_svc.json
@@ -31,6 +38,8 @@
 //               [--delay-us 200] [--plan] [--threads K]
 //               [--heavy-n 16384] [--light-n 256] [--light-requests 64]
 //               [--tenant-delay-us 2500]
+//               [--soak-cycles 0] [--soak-flood-ms 150] [--soak-probe 32]
+//               [--soak-outstanding 0 (0 = 2*queue-cap)]
 
 #include <algorithm>
 #include <atomic>
@@ -427,6 +436,91 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- soak: repeated overload/recovery cycles on one instance ------------
+  bool soak_ok = true;
+  const int soak_cycles = static_cast<int>(args.int_or("soak-cycles", 0));
+  if (soak_cycles > 0) {
+    const auto flood_ms = static_cast<std::uint64_t>(args.int_or("soak-flood-ms", 150));
+    const int probe_requests = static_cast<int>(args.int_or("soak-probe", 32));
+    const int outstanding = static_cast<int>(
+        args.int_or("soak-outstanding", 2 * cfg.queue_capacity));
+    constexpr std::uint32_t kSoakTenant = 7;
+
+    svc::TransformService service(cfg);
+    // Baseline probe on the same instance every cycle is judged against.
+    const PhaseOutcome baseline =
+        run_closed(service, n, /*producers=*/1, probe_requests, kSoakTenant);
+    const double base_p99 = percentile(baseline.latencies_us, 0.99);
+    writer.add(make_record("soak_baseline", n, baseline, service.stats()));
+    std::cout << "soak: baseline p99=" << base_p99 << "us, " << soak_cycles
+              << " cycles of " << flood_ms << "ms flood (outstanding=" << outstanding
+              << " vs queue_cap=" << cfg.queue_capacity << ")\n";
+
+    std::uint64_t total_sheds = 0;
+    for (int cycle = 0; cycle < soak_cycles; ++cycle) {
+      // Flood: more requests in flight than the queue admits, so the
+      // overload tier must engage; runs until the window closes.
+      std::atomic<bool> stop{false};
+      PhaseOutcome flood;
+      std::thread flooder(
+          [&] { flood = run_flood(service, n, kSoakTenant, outstanding, stop); });
+      std::this_thread::sleep_for(  // ddl-lint: allow(raw-clock)
+          std::chrono::milliseconds(flood_ms));
+      stop.store(true);
+      flooder.join();
+      total_sheds += flood.shed_overloaded + flood.shed_expired;
+
+      // Recovery assert 1: the backlog gauge (queued + held) must return
+      // to zero once arrivals stop — a request stuck in a held bucket or a
+      // future never resolved shows up here.
+      const std::uint64_t drain_t0 = obs::now_ns();
+      std::uint64_t backlog = service.stats().backlog;
+      while (backlog > 0 && obs::now_ns() - drain_t0 < 2'000'000'000ULL) {
+        std::this_thread::yield();
+        backlog = service.stats().backlog;
+      }
+      const double drain_ms =
+          static_cast<double>(obs::now_ns() - drain_t0) / 1e6;
+
+      // Recovery assert 2: post-flood service latency is back in the
+      // baseline band. The band is loose — a closed-loop probe's p99 on a
+      // shared host is noisy — but a leak that ratchets latency up cycle
+      // over cycle blows through any constant band by the later cycles.
+      const PhaseOutcome probe =
+          run_closed(service, n, /*producers=*/1, probe_requests, kSoakTenant);
+      const double probe_p99 = percentile(probe.latencies_us, 0.99);
+      const bool p99_recovered =
+          base_p99 <= 0.0 || probe_p99 <= std::max(3.0 * base_p99, base_p99 + 2000.0);
+      const bool cycle_ok = backlog == 0 && p99_recovered && probe.failed == 0;
+      soak_ok = soak_ok && cycle_ok;
+
+      std::cout << "soak cycle " << (cycle + 1) << "/" << soak_cycles
+                << ": flooded=" << flood.submitted << " shed="
+                << flood.shed_overloaded + flood.shed_expired << " drain=" << drain_ms
+                << "ms backlog=" << backlog << " probe_p99=" << probe_p99
+                << "us (baseline " << base_p99 << "us) " << (cycle_ok ? "ok" : "FAIL")
+                << "\n";
+
+      benchutil::BenchRecord rec = make_record("soak_cycle", n, probe, service.stats());
+      rec.extra.push_back({"cycle", static_cast<double>(cycle + 1)});
+      rec.extra.push_back({"flood_submitted", static_cast<double>(flood.submitted)});
+      rec.extra.push_back(
+          {"flood_shed", static_cast<double>(flood.shed_overloaded + flood.shed_expired)});
+      rec.extra.push_back({"drain_ms", drain_ms});
+      rec.extra.push_back({"backlog_after", static_cast<double>(backlog)});
+      rec.extra.push_back({"baseline_p99_us", base_p99});
+      rec.extra.push_back({"recovered", cycle_ok ? 1.0 : 0.0});
+      writer.add(std::move(rec));
+    }
+    service.drain();
+    if (total_sheds == 0) {
+      std::cout << "WARNING: soak floods shed nothing (queue never saturated on this "
+                   "host; raise --soak-outstanding)\n";
+    }
+    std::cout << (soak_ok ? "soak: all cycles recovered\n"
+                          : "soak: FAILED — backlog or p99 did not return to baseline\n");
+  }
+
   // Shed accounting must agree with the ddl::obs counters (the service
   // counts sheds from both phases into the same process-wide log).
   const obs::Snapshot snap = obs::snapshot();
@@ -449,6 +543,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!fairness_ok) return 3;
+  if (!soak_ok) return 4;
   std::cout << "OK: degradation tiers engaged, fairness held, all futures resolved\n";
   return 0;
 }

@@ -1,0 +1,124 @@
+#pragma once
+/// \file numa.hpp
+/// \brief NUMA-aware scratch arenas and worker-thread placement.
+///
+/// Out-of-LLC transforms (ddl::huge) sweep working sets far larger than
+/// any cache, so where their pages *live* finally matters: a four-step
+/// scratch arena faulted entirely on node 0 halves the effective memory
+/// bandwidth of workers pinned to node 1. This header provides the two
+/// primitives the huge path needs:
+///
+///  * **NumaArena** — an anonymous-mapping scratch buffer whose pages are
+///    placed either by *first touch* (the default: whichever worker sweeps
+///    a page faults it onto its own node) or by an explicit best-effort
+///    node binding. `DDL_HUGE_PAGES=1` additionally requests transparent
+///    huge pages (`MADV_HUGEPAGE`) to cut TLB pressure on multi-gigabyte
+///    sweeps; the per-arena option can override the environment either
+///    way.
+///  * **Thread pinning** — `DDL_PIN_THREADS=1` asks the pool to pin each
+///    lane to a stable CPU so a worker's first-touch pages stay local to
+///    the lane that re-sweeps them on later calls. The pool calls
+///    pin_current_thread() from each worker's entry (see
+///    src/common/parallel.cpp); this header only decides *where*.
+///
+/// Everything degrades gracefully: on hosts without /sys/devices/system/
+/// node, without the mbind syscall, or without mmap at all (non-Linux),
+/// the topology collapses to one node, bindings become no-ops, and the
+/// arena falls back to a plain aligned allocation. No libnuma dependency
+/// — the handful of raw syscalls involved live in exactly one TU,
+/// src/common/numa_arena.cpp (enforced by tools/ddl_lint.py's
+/// numa-syscall rule).
+
+#include <cstddef>
+#include <vector>
+
+namespace ddl::parallel {
+
+/// Topology snapshot discovered once from sysfs (Linux) at first use.
+struct NumaTopology {
+  /// Number of NUMA nodes with online CPUs; 1 when undiscoverable.
+  int nodes = 1;
+  /// cpu index -> node id; empty when the mapping is unknown. CPUs that
+  /// sysfs did not list map to -1.
+  std::vector<int> cpu_node;
+};
+
+/// Process-wide topology (discovered once, then cached).
+const NumaTopology& numa_topology();
+
+/// True when DDL_PIN_THREADS requests lane pinning ("1"/"true"/"on").
+bool thread_pinning_enabled();
+
+/// True when DDL_HUGE_PAGES requests MADV_HUGEPAGE on arenas.
+bool huge_pages_enabled();
+
+/// Best-effort: pin the calling thread to `cpu`. Returns false when the
+/// platform has no affinity call or it failed; callers treat that as
+/// "run unpinned", never as an error.
+bool pin_current_thread(int cpu) noexcept;
+
+/// CPU a pool lane should pin to: lanes map round-robin onto the
+/// discovered CPUs, so with the usual contiguous-per-node numbering
+/// sibling lanes spread across cores first and sockets second.
+int preferred_cpu_for_slot(int slot);
+
+/// NUMA node the calling thread's preferred CPU belongs to, or -1 when
+/// the topology is unknown (callers then skip explicit binding).
+int node_of_cpu(int cpu);
+
+/// Anonymous-mapping scratch arena with optional node binding and
+/// transparent-huge-page advice.
+///
+/// Unlike AlignedBuffer, a NumaArena's pages are **not pre-touched**: a
+/// fresh mapping is faulted by whichever thread first writes each page
+/// (that is the whole point — the sweeping worker places its own pages).
+/// Contents start zeroed on the mmap path; the aligned_alloc fallback is
+/// uninitialized, so treat the arena as write-before-read scratch.
+class NumaArena {
+ public:
+  /// Huge-page request for one arena, overriding DDL_HUGE_PAGES.
+  enum class HugePages { env, off, on };
+
+  NumaArena() noexcept = default;
+
+  /// Map `bytes` of scratch. node < 0 leaves placement to first touch;
+  /// node >= 0 requests a best-effort MPOL_BIND to that node (silently
+  /// ignored on single-node hosts or when mbind is unavailable). Throws
+  /// std::bad_alloc only when even the plain-allocation fallback fails.
+  explicit NumaArena(std::size_t bytes, int node = -1,
+                     HugePages huge = HugePages::env);
+
+  NumaArena(NumaArena&& other) noexcept;
+  NumaArena& operator=(NumaArena&& other) noexcept;
+  NumaArena(const NumaArena&) = delete;
+  NumaArena& operator=(const NumaArena&) = delete;
+  ~NumaArena();
+
+  [[nodiscard]] void* data() noexcept { return data_; }
+  [[nodiscard]] const void* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool empty() const noexcept { return data_ == nullptr; }
+
+  /// True when the arena is a real mapping (vs the portable fallback).
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+  /// True when MADV_HUGEPAGE was requested *and accepted* by the kernel.
+  [[nodiscard]] bool huge() const noexcept { return huge_; }
+  /// The node passed at construction (-1 = first touch). Binding is
+  /// best-effort; this records the request, not a kernel guarantee.
+  [[nodiscard]] int node() const noexcept { return node_; }
+
+  /// Typed view of the arena start (alignment is page- or 64-byte).
+  template <typename T>
+  [[nodiscard]] T* as() noexcept {
+    return static_cast<T*>(data_);
+  }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+  bool huge_ = false;
+  int node_ = -1;
+};
+
+}  // namespace ddl::parallel

@@ -37,8 +37,13 @@
 /// ## Scratch ownership
 ///
 /// Executors hold a `ScratchPool<T>`: one arena per slot. A chunk body may
-/// use (only) the arena for its own slot; arenas are sized by the caller
-/// *before* fan-out, so workers never allocate. See docs/PARALLELISM.md.
+/// use (only) the arena for its own slot. The owner *sizes* the pool with
+/// ensure() before fan-out, but each arena is allocated lazily by the
+/// first slot() call on its own lane — so the pages are faulted (first
+/// touch) by the worker that sweeps them, not by the orchestrating
+/// thread. On a NUMA host that places every lane's scratch on the lane's
+/// own node. After the first call an arena is reused without allocation.
+/// See docs/PARALLELISM.md.
 
 #include <memory>
 #include <type_traits>
@@ -129,24 +134,48 @@ void parallel_for(index_t begin, index_t end, index_t grain, const ChunkBody& bo
 /// before fanning out; bodies call slot() only for their own lane, so no
 /// two threads ever share an arena. Arenas grow monotonically and are
 /// value-initialized (zeros) on (re)allocation.
+///
+/// Allocation is deferred to the first slot() call on each lane: ensure()
+/// only records the size and grows the (empty) arena vector. This is a
+/// first-touch placement fix — the old eager ensure() faulted every
+/// lane's pages on the *constructing* thread, which on a NUMA host parked
+/// all scratch on that thread's node no matter which worker later swept
+/// it. A lane that never runs (e.g. the pool shrank) never allocates.
 template <typename T>
 class ScratchPool {
  public:
-  /// Make at least `slots` arenas of at least `points` elements each.
-  /// Must be called outside any parallel region (the executors call it on
-  /// the orchestrating thread immediately before parallel_for).
+  /// Size the pool: at least `slots` lanes of at least `points` elements
+  /// each. Allocates nothing — see slot(). Must be called outside any
+  /// parallel region (the executors call it on the orchestrating thread
+  /// immediately before parallel_for); the vector resize here must not
+  /// race the lanes' slot() calls.
   void ensure(int slots, index_t points) {
     if (static_cast<int>(arenas_.size()) < slots) arenas_.resize(static_cast<std::size_t>(slots));
-    for (auto& a : arenas_) {
-      if (a.size() < points) a = AlignedBuffer<T>(points);
-    }
+    if (points > points_) points_ = points;
   }
 
-  [[nodiscard]] T* slot(int s) noexcept { return arenas_[static_cast<std::size_t>(s)].data(); }
+  /// The lane's arena, allocated (and its pages faulted) on this thread
+  /// the first time the lane asks — or re-allocated after ensure() grew
+  /// the size. May therefore throw std::bad_alloc; inside a chunk body
+  /// that is captured by parallel_for and rethrown on the caller.
+  [[nodiscard]] T* slot(int s) {
+    AlignedBuffer<T>& a = arenas_[static_cast<std::size_t>(s)];
+    if (a.size() < points_) a = AlignedBuffer<T>(points_);
+    return a.data();
+  }
+
   [[nodiscard]] int slots() const noexcept { return static_cast<int>(arenas_.size()); }
+
+  /// True when lane `s` has materialized its arena (test hook for the
+  /// first-touch contract: construction alone must leave this false).
+  [[nodiscard]] bool allocated(int s) const noexcept {
+    return s >= 0 && s < slots() && arenas_[static_cast<std::size_t>(s)].size() >= points_ &&
+           points_ > 0;
+  }
 
  private:
   std::vector<AlignedBuffer<T>> arenas_;
+  index_t points_ = 0;  ///< committed size; lanes allocate up to this lazily
 };
 
 }  // namespace ddl::parallel

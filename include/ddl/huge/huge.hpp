@@ -1,0 +1,100 @@
+#pragma once
+/// \file huge.hpp
+/// \brief ddl::huge — out-of-LLC transforms via explicit four-step stages.
+///
+/// Above last-level-cache capacity the recursive executor's strength — a
+/// shared arena discipline threaded through one recursion — stops
+/// mattering: every stage streams the whole array from DRAM anyway. What
+/// matters instead is *where the pages live* and *how few full-array
+/// sweeps happen*. HugeExecutor runs an `fs(n1, n2)` plan root as five
+/// explicit full-array stages (Bailey's four-step, in the repo's fused
+/// six-sweep form — see docs/HUGE.md for the derivation):
+///
+///   1. transpose-gather  data -> arena        (columns become unit-stride)
+///   2. n2 column FFTs of size n1 in the arena (left subtree, batched)
+///   3. fused twiddle + transpose-scatter back (SIMD twiddle_scatter)
+///   4. n1 row FFTs of size n2 in caller data  (right subtree, batched)
+///   5. stride permutation L^n_{n2}            (natural order out)
+///
+/// These are the *same* primitives the recursive FftExecutor uses for a
+/// ctddlf node — layout::transpose_gather, the codelet twiddle_scatter
+/// kernel, layout::stride_permute_inplace, and FftExecutor itself for the
+/// sub-transforms — so the output is **bitwise identical** to
+/// `FftExecutor(fs_tree).forward()` at every size and thread count (the
+/// per-element operations never depend on partitioning; asserted by
+/// tests/test_huge.cpp). What HugeExecutor changes is the memory story:
+///
+///  * The inter-stage scratch is a **NumaArena**, not a heap buffer: its
+///    pages are faulted by the pool workers that sweep them (first touch),
+///    or bound to an explicit node, and `DDL_HUGE_PAGES=1` requests
+///    transparent huge pages for the multi-gigabyte sweeps.
+///  * The column/row stages go through FftExecutor::forward_batch on the
+///    *subtrees*, so each lane runs a cache-resident sub-transform with
+///    its own lane arena — no shared-buffer serialization at any width.
+///
+/// Plans: FftPlanner::plan_huge(n) force-builds the best fs(n1, n2) root;
+/// the regular DP marks a winning fused split as fs automatically above
+/// PlannerOptions::fourstep_min_points. Both verify under the fs_geometry
+/// rule. See docs/HUGE.md.
+
+#include <span>
+
+#include "ddl/common/numa.hpp"
+#include "ddl/common/types.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/twiddle.hpp"
+#include "ddl/plan/tree.hpp"
+
+namespace ddl::huge {
+
+/// Memory-placement knobs for one HugeExecutor.
+struct HugeOptions {
+  /// NUMA node to bind the inter-stage arena to; -1 (default) leaves
+  /// placement to first touch by the sweeping workers.
+  int arena_node = -1;
+  /// Transparent-huge-page request for the arena; `env` defers to
+  /// DDL_HUGE_PAGES.
+  parallel::NumaArena::HugePages huge_pages = parallel::NumaArena::HugePages::env;
+};
+
+/// Staged four-step executor for an `fs(n1, n2)` plan root.
+///
+/// Thread-safety matches FftExecutor: one driving thread at a time; the
+/// stages fan across the process pool internally.
+class HugeExecutor {
+ public:
+  /// \param tree  a plan whose root is an fs(...) split (Node::fourstep).
+  ///              Children may be arbitrary legal subtrees. Verified under
+  ///              the same enforcement gate as FftExecutor.
+  explicit HugeExecutor(const plan::Node& tree, HugeOptions options = {});
+
+  HugeExecutor(HugeExecutor&&) noexcept = default;
+  HugeExecutor& operator=(HugeExecutor&&) noexcept = default;
+
+  [[nodiscard]] index_t size() const noexcept { return tree_->n; }
+  [[nodiscard]] const plan::Node& tree() const noexcept { return *tree_; }
+
+  /// In-place forward DFT, natural order in and out. Bitwise identical to
+  /// FftExecutor(tree()).forward(data) by the shared-primitive argument
+  /// above.
+  void forward(std::span<cplx> data);
+
+  /// In-place inverse DFT with 1/n scaling (same fused reversal+scale
+  /// finish as FftExecutor::inverse).
+  void inverse(std::span<cplx> data);
+
+  /// 5 n log2(n) — the paper's normalized-MFLOPS operation count.
+  [[nodiscard]] double nominal_flops() const noexcept;
+
+  /// The inter-stage arena (test/diagnostic hook: mapped()/huge()/node()).
+  [[nodiscard]] const parallel::NumaArena& arena() const noexcept { return arena_; }
+
+ private:
+  plan::TreePtr tree_;
+  fft::FftExecutor col_exec_;   ///< left subtree (size n1 column FFTs)
+  fft::FftExecutor row_exec_;   ///< right subtree (size n2 row FFTs)
+  fft::TwiddleCache twiddles_;  ///< W_n table for the fused twiddle pass
+  parallel::NumaArena arena_;   ///< n-element inter-stage scratch
+};
+
+}  // namespace ddl::huge

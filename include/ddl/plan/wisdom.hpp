@@ -9,6 +9,7 @@
 /// The name follows FFTW's equivalent facility.
 
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,6 +38,14 @@ class Wisdom {
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
   void clear() { table_.clear(); }
+
+  /// Visit every entry in key order (snapshot export walks this; the map
+  /// ordering is what makes snapshots byte-deterministic).
+  void for_each(const std::function<void(const std::string& transform,
+                                         const std::string& strategy, index_t n,
+                                         const WisdomEntry& entry)>& fn) const {
+    for (const auto& [k, e] : table_) fn(std::get<0>(k), std::get<1>(k), std::get<2>(k), e);
+  }
 
   /// Persist as "transform strategy n seconds tree" lines; best-effort.
   bool save(const std::filesystem::path& file) const;

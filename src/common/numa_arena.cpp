@@ -1,0 +1,228 @@
+/// \file numa_arena.cpp
+/// \brief The one TU allowed to issue placement syscalls.
+///
+/// Every raw memory-placement and affinity syscall in the codebase —
+/// mmap/munmap, madvise, mbind, pthread_setaffinity_np — lives here, so a
+/// reader auditing "what does this library do to my address space and my
+/// scheduler" has exactly one file to read. tools/ddl_lint.py (rule
+/// `numa-syscall`) rejects these calls anywhere else.
+///
+/// No libnuma: the only syscall libnuma would add here is mbind, and the
+/// raw syscall is three lines. Everything is feature-gated so non-Linux
+/// builds compile to the aligned_alloc fallback with no syscalls at all.
+
+#include "ddl/common/numa.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "ddl/common/env.hpp"
+#include "ddl/common/parallel.hpp"
+
+namespace ddl::parallel {
+
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into cpu indices, appending
+/// node `node` into `cpu_node` (grown as needed). Malformed segments are
+/// skipped — sysfs is trusted but a partial read must not throw.
+void apply_cpulist(const std::string& list, int node, std::vector<int>& cpu_node) {
+  std::size_t i = 0;
+  while (i < list.size()) {
+    while (i < list.size() && (std::isspace(static_cast<unsigned char>(list[i])) != 0 ||
+                               list[i] == ',')) {
+      ++i;
+    }
+    if (i >= list.size() || std::isdigit(static_cast<unsigned char>(list[i])) == 0) break;
+    long lo = 0;
+    while (i < list.size() && std::isdigit(static_cast<unsigned char>(list[i])) != 0) {
+      lo = lo * 10 + (list[i] - '0');
+      ++i;
+    }
+    long hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      hi = 0;
+      while (i < list.size() && std::isdigit(static_cast<unsigned char>(list[i])) != 0) {
+        hi = hi * 10 + (list[i] - '0');
+        ++i;
+      }
+    }
+    if (hi < lo || hi - lo >= kMaxThreads) continue;  // corrupt range
+    if (static_cast<std::size_t>(hi) >= cpu_node.size()) {
+      cpu_node.resize(static_cast<std::size_t>(hi) + 1, -1);
+    }
+    for (long c = lo; c <= hi; ++c) cpu_node[static_cast<std::size_t>(c)] = node;
+  }
+}
+
+NumaTopology discover_topology() {
+  NumaTopology topo;
+#if defined(__linux__)
+  // /sys/devices/system/node/nodeK/cpulist enumerates each node's CPUs.
+  // Probing node ids sequentially (0, 1, 2, ...) covers every real layout
+  // we care about; sparse node numbering just ends the scan early, which
+  // degrades to fewer discovered nodes — never to a wrong mapping.
+  int found = 0;
+  for (int node = 0; node < 256; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.is_open()) break;
+    std::string list;
+    std::getline(in, list);
+    if (!list.empty()) apply_cpulist(list, node, topo.cpu_node);
+    ++found;
+  }
+  if (found > 0) topo.nodes = found;
+#endif
+  if (topo.nodes < 1) topo.nodes = 1;
+  return topo;
+}
+
+#if defined(__linux__) && defined(__NR_mbind)
+/// Best-effort MPOL_BIND of [addr, addr+len) to `node`. Failure is fine:
+/// the pages then fall back to first-touch placement.
+void try_mbind(void* addr, std::size_t len, int node) noexcept {
+  constexpr int kMpolBind = 2;  // MPOL_BIND from <linux/mempolicy.h>
+  constexpr unsigned long kBits = sizeof(unsigned long) * 8;
+  unsigned long mask[8] = {};
+  const auto bit = static_cast<unsigned long>(node);
+  if (bit >= kBits * 8) return;
+  mask[bit / kBits] = 1UL << (bit % kBits);
+  // ddl-lint: allow(numa-syscall) — this TU is the sanctioned home.
+  (void)syscall(__NR_mbind, addr, len, kMpolBind, mask, kBits * 8 + 1, 0UL);
+}
+#endif
+
+}  // namespace
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = discover_topology();
+  return topo;
+}
+
+bool thread_pinning_enabled() {
+  static const bool on = env::get_flag("DDL_PIN_THREADS");
+  return on;
+}
+
+bool huge_pages_enabled() {
+  static const bool on = env::get_flag("DDL_HUGE_PAGES");
+  return on;
+}
+
+bool pin_current_thread(int cpu) noexcept {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int preferred_cpu_for_slot(int slot) {
+  if (slot < 0) return -1;
+  const NumaTopology& topo = numa_topology();
+  if (!topo.cpu_node.empty()) {
+    return slot % static_cast<int>(topo.cpu_node.size());
+  }
+  const int hw = hardware_threads();
+  return hw > 0 ? slot % hw : -1;
+}
+
+int node_of_cpu(int cpu) {
+  const NumaTopology& topo = numa_topology();
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= topo.cpu_node.size()) return -1;
+  return topo.cpu_node[static_cast<std::size_t>(cpu)];
+}
+
+NumaArena::NumaArena(std::size_t bytes, int node, HugePages huge) {
+  if (bytes == 0) return;
+  bytes_ = bytes;
+  node_ = node;
+#if defined(__linux__)
+  // ddl-lint: allow(numa-syscall) — this TU is the sanctioned home.
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    data_ = p;
+    mapped_ = true;
+    const bool want_huge =
+        huge == HugePages::on || (huge == HugePages::env && huge_pages_enabled());
+#if defined(MADV_HUGEPAGE)
+    if (want_huge) {
+      // ddl-lint: allow(numa-syscall)
+      huge_ = madvise(p, bytes, MADV_HUGEPAGE) == 0;
+    }
+#else
+    (void)want_huge;
+#endif
+#if defined(__NR_mbind)
+    if (node >= 0 && node < numa_topology().nodes) try_mbind(p, bytes, node);
+#endif
+    return;
+  }
+#else
+  (void)huge;
+#endif
+  // Portable fallback: placement is then wherever the allocator's pages
+  // land, which single-node hosts (the only ones reaching here in
+  // practice) don't distinguish anyway.
+  constexpr std::size_t kAlign = 64;
+  const std::size_t rounded = (bytes + kAlign - 1) / kAlign * kAlign;
+  data_ = std::aligned_alloc(kAlign, rounded);
+  if (data_ == nullptr) throw std::bad_alloc{};
+  mapped_ = false;
+  node_ = -1;
+}
+
+NumaArena::NumaArena(NumaArena&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      huge_(std::exchange(other.huge_, false)),
+      node_(std::exchange(other.node_, -1)) {}
+
+NumaArena& NumaArena::operator=(NumaArena&& other) noexcept {
+  if (this != &other) {
+    this->~NumaArena();
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    huge_ = std::exchange(other.huge_, false);
+    node_ = std::exchange(other.node_, -1);
+  }
+  return *this;
+}
+
+NumaArena::~NumaArena() {
+  if (data_ == nullptr) return;
+#if defined(__linux__)
+  if (mapped_) {
+    // ddl-lint: allow(numa-syscall)
+    munmap(data_, bytes_);
+    data_ = nullptr;
+    return;
+  }
+#endif
+  std::free(data_);
+  data_ = nullptr;
+}
+
+}  // namespace ddl::parallel

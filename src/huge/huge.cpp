@@ -1,0 +1,120 @@
+#include "ddl/huge/huge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ddl/codelets/codelets.hpp"
+#include "ddl/common/check.hpp"
+#include "ddl/common/parallel.hpp"
+#include "ddl/layout/reorg.hpp"
+#include "ddl/layout/stride_perm.hpp"
+#include "ddl/obs/obs.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl::huge {
+
+namespace {
+
+// Same admission gate as FftExecutor, plus the fs-root shape requirement.
+// Runs on the caller's tree before clone() for the same reason the
+// executor's does: clone rebuilds splits and would renormalize exactly the
+// corruption the verifier exists to catch.
+const plan::Node& admitted(const plan::Node& tree) {
+  DDL_REQUIRE(!tree.is_leaf() && tree.fourstep,
+              "HugeExecutor requires an fs(n1, n2) plan root");
+  if (verify::enforcement_enabled()) {
+    verify::require_verified(tree, verify::Transform::fft, "HugeExecutor");
+  }
+  return tree;
+}
+
+}  // namespace
+
+HugeExecutor::HugeExecutor(const plan::Node& tree, HugeOptions options)
+    : tree_(plan::clone(admitted(tree))),
+      col_exec_(*tree_->left),
+      row_exec_(*tree_->right),
+      arena_(static_cast<std::size_t>(tree_->n) * sizeof(cplx), options.arena_node,
+             options.huge_pages) {
+  twiddles_.ensure(tree_->n);
+}
+
+void HugeExecutor::forward(std::span<cplx> data) {
+  DDL_REQUIRE(static_cast<index_t>(data.size()) == tree_->n, "data size != plan size");
+  const index_t n = tree_->n;
+  const index_t n1 = tree_->left->n;
+  const index_t n2 = tree_->right->n;
+  cplx* scratch = arena_.as<cplx>();
+  const obs::ScopedStage root(obs::Stage::transform, n);
+
+  // Stage 1: gather columns to unit stride in the NUMA arena. The tiled
+  // transpose fans across the pool, so on the first call each worker
+  // faults (first-touches) the arena pages it will keep sweeping.
+  {
+    const obs::ScopedStage st(obs::Stage::huge_transpose, n1, n2);
+    layout::transpose_gather(data.data(), 1, n1, n2, scratch);
+  }
+
+  // Stage 2: n2 unit-stride column FFTs of size n1. forward_batch gives
+  // each lane its own scratch arena, so arbitrary left subtrees (including
+  // nested ddl nodes) run fully parallel.
+  {
+    const obs::ScopedStage st(obs::Stage::huge_cols, n1, n2);
+    col_exec_.forward_batch(scratch, n2, n1);
+  }
+
+  // Stage 3: fused twiddle + transpose-scatter back into caller data —
+  // the same SIMD kernel a ctddlf node dispatches, one sweep instead of a
+  // twiddle pass plus a separate scatter.
+  {
+    const codelets::Isa isa = codelets::active_isa();
+    const auto kernel = codelets::twiddle_scatter_kernel(isa);
+    const cplx* w = twiddles_.get(n);
+    const obs::ScopedStage st(obs::Stage::twiddle_scatter, n1, n2,
+                              static_cast<std::uint8_t>(isa));
+    const index_t grain =
+        std::max<index_t>(1, parallel::kMinParallelReorg / std::max<index_t>(1, n1));
+    parallel::parallel_for(0, n2, grain, [&](index_t j0, index_t j1, int) {
+      kernel(data.data(), 1, scratch, w, n, n1, n2, j0, j1);
+    });
+  }
+
+  // Stage 4: n1 row FFTs of size n2, contiguous rows in caller data.
+  {
+    const obs::ScopedStage st(obs::Stage::huge_rows, n2, n1);
+    row_exec_.forward_batch(data.data(), n1, n2);
+  }
+
+  // Stage 5: L^n_{n2} restores natural order.
+  {
+    const obs::ScopedStage st(obs::Stage::huge_transpose, n1, n2);
+    layout::stride_permute_inplace(data.data(), 1, n, n2, scratch);
+  }
+}
+
+void HugeExecutor::inverse(std::span<cplx> data) {
+  forward(data);
+  // IDFT(x)[k] = DFT(x)[(n-k) mod n] / n — the executor's fused
+  // reversal + scale finish, reproduced so inverse(forward(x)) == x holds
+  // bit-for-bit against FftExecutor::inverse too.
+  const index_t n = tree_->n;
+  const double scale = 1.0 / static_cast<double>(n);
+  cplx* d = data.data();
+  d[0] *= scale;
+  for (index_t lo = 1, hi = n - 1; lo <= hi; ++lo, --hi) {
+    if (lo == hi) {
+      d[lo] *= scale;
+      break;
+    }
+    const cplx t = d[lo] * scale;
+    d[lo] = d[hi] * scale;
+    d[hi] = t;
+  }
+}
+
+double HugeExecutor::nominal_flops() const noexcept {
+  const auto n = static_cast<double>(tree_->n);
+  return 5.0 * n * std::log2(n);
+}
+
+}  // namespace ddl::huge

@@ -1,0 +1,185 @@
+#include "ddl/plan/snapshot.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ddl/plan/grammar.hpp"
+
+namespace ddl::plan {
+namespace {
+
+/// Mirrors the stores' own token discipline (costdb.cpp / wisdom.cpp):
+/// whitespace-split, whole-token numeric parses via from_chars.
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+bool parse_index(const std::string& token, long long& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_double(const std::string& token, double& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+struct StagedCost {
+  CostKey key;
+  double seconds = 0.0;
+  CostSource source = CostSource::probe;
+};
+
+struct StagedWisdom {
+  std::string transform;
+  std::string strategy;
+  index_t n = 0;
+  WisdomEntry entry;
+};
+
+}  // namespace
+
+bool save_snapshot(const std::filesystem::path& file, const CostDb& costs,
+                   const Wisdom& wisdom) {
+  std::ofstream os(file);
+  if (!os) return false;
+  os.precision(17);
+  os << "DDLSNAP 1\n";
+  os << "costdb " << costs.size() << '\n';
+  costs.for_each([&](const CostKey& key, double seconds, CostSource source) {
+    os << key.kind << ' ' << key.a << ' ' << key.b << ' ' << key.c << ' '
+       << (key.isa.empty() ? "-" : key.isa) << ' ' << seconds;
+    if (source == CostSource::calibrated) os << " calib";
+    os << '\n';
+  });
+  os << "wisdom " << wisdom.size() << '\n';
+  wisdom.for_each([&](const std::string& transform, const std::string& strategy, index_t n,
+                      const WisdomEntry& entry) {
+    os << transform << ' ' << strategy << ' ' << n << ' ' << entry.seconds << ' '
+       << entry.tree << '\n';
+  });
+  return static_cast<bool>(os);
+}
+
+bool merge_snapshot(const std::filesystem::path& file, CostDb& costs, Wisdom& wisdom,
+                    std::string* error) {
+  if (error != nullptr) error->clear();
+  std::ifstream is(file);
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      std::ostringstream msg;
+      msg << file.string() << ":" << line_no << ": " << what;
+      *error = msg.str();
+    }
+    return false;
+  };
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + file.string();
+    return false;
+  }
+
+  std::string line;
+  const auto next_line = [&]() -> bool {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  // Header.
+  if (!next_line() || split_tokens(line) != std::vector<std::string>{"DDLSNAP", "1"}) {
+    return fail("expected 'DDLSNAP 1' header");
+  }
+
+  // Section header: "<name> <count>" with a sane count bound (a corrupt
+  // count must fail the parse, not spin reading a billion lines).
+  const auto section = [&](const char* name, long long& count) -> bool {
+    if (!next_line()) return false;
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() != 2 || tokens[0] != name) return false;
+    return parse_index(tokens[1], count) && count >= 0 && count <= (1LL << 32);
+  };
+
+  // --- costdb section: identical line rules to CostDb::load. ---
+  long long cost_count = 0;
+  if (!section("costdb", cost_count)) return fail("expected 'costdb <count>' section");
+  std::vector<StagedCost> staged_costs;
+  staged_costs.reserve(static_cast<std::size_t>(cost_count));
+  for (long long i = 0; i < cost_count; ++i) {
+    if (!next_line()) return fail("snapshot truncated inside costdb section");
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() < 6 || tokens.size() > 7) {
+      return fail("expected 'kind a b c isa seconds [calib]'");
+    }
+    StagedCost sc;
+    if (tokens.size() == 7) {
+      if (tokens[6] != "calib") return fail("unknown provenance tag (expected 'calib')");
+      sc.source = CostSource::calibrated;
+    }
+    long long a = 0;
+    long long b = 0;
+    long long c = 0;
+    if (!parse_index(tokens[1], a) || !parse_index(tokens[2], b) ||
+        !parse_index(tokens[3], c)) {
+      return fail("malformed key parameter");
+    }
+    sc.key.kind = tokens[0];
+    sc.key.a = a;
+    sc.key.b = b;
+    sc.key.c = c;
+    if (tokens[4] != "-") sc.key.isa = tokens[4];
+    if (!parse_double(tokens[5], sc.seconds)) return fail("malformed cost");
+    if (!std::isfinite(sc.seconds) || sc.seconds < 0.0) {
+      return fail("cost must be finite and non-negative");
+    }
+    staged_costs.push_back(std::move(sc));
+  }
+
+  // --- wisdom section: identical line rules to Wisdom::load. ---
+  long long wisdom_count = 0;
+  if (!section("wisdom", wisdom_count)) return fail("expected 'wisdom <count>' section");
+  std::vector<StagedWisdom> staged_wisdom;
+  staged_wisdom.reserve(static_cast<std::size_t>(wisdom_count));
+  for (long long i = 0; i < wisdom_count; ++i) {
+    if (!next_line()) return fail("snapshot truncated inside wisdom section");
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() != 5) return fail("expected 'transform strategy n seconds tree'");
+    long long n = 0;
+    if (!parse_index(tokens[2], n) || n < 1) return fail("malformed size");
+    double seconds = 0.0;
+    if (!parse_double(tokens[3], seconds)) return fail("malformed predicted time");
+    if (!std::isfinite(seconds) || seconds < 0.0) {
+      return fail("predicted time must be finite and non-negative");
+    }
+    try {
+      const TreePtr parsed = parse_tree(tokens[4]);
+      if (parsed->n != n) return fail("tree size does not match key size");
+    } catch (const std::invalid_argument& e) {
+      return fail(std::string("bad tree: ") + e.what());
+    }
+    staged_wisdom.push_back({tokens[0], tokens[1], n, WisdomEntry{tokens[4], seconds}});
+  }
+
+  // Anything after the counted sections is corruption, not slack.
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!split_tokens(line).empty()) return fail("trailing content after wisdom section");
+  }
+
+  // Everything validated: commit, last-writer-wins per key.
+  for (const StagedCost& sc : staged_costs) costs.put(sc.key, sc.seconds, sc.source);
+  for (const StagedWisdom& sw : staged_wisdom) {
+    wisdom.remember(sw.transform, sw.strategy, sw.n, sw.entry);
+  }
+  return true;
+}
+
+}  // namespace ddl::plan

@@ -257,6 +257,14 @@ struct TransformService::Impl {
   }
 
   PlanInfo dp_plan(Kind kind, index_t n) {
+    // A sharded front-end points every shard's planners at one shared
+    // CostDb/Wisdom pair, and those stores are not thread-safe — so DP
+    // planning (the only store access on a batcher thread) is serialized
+    // process-wide. Planning is rare (first-seen sizes, idle upgrades) and
+    // holds no dispatch lock, so the serialization is invisible in steady
+    // state.
+    static std::mutex store_mutex;
+    const std::lock_guard<std::mutex> store_lock(store_mutex);
     PlanInfo info;
     if (kind == Kind::fft) {
       if (!fft_planner) {

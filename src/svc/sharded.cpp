@@ -1,0 +1,150 @@
+#include "ddl/svc/sharded.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ddl/obs/obs.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl::svc {
+
+namespace {
+
+/// Fixed 32->64 bit mixer (splitmix64 finalizer). Routing must be stable
+/// across runs, builds, and hosts — a tenant's shard is part of its
+/// observable fairness domain — so this is hand-pinned rather than
+/// std::hash (whose value is implementation-defined).
+std::uint64_t mix_tenant(std::uint32_t tenant) noexcept {
+  std::uint64_t x = static_cast<std::uint64_t>(tenant) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mirror of the TransformService constructor's admission: build the
+/// verify shape, run the rules, throw with the report on violation.
+void require_valid_shards(int shards, const ServiceConfig& cfg) {
+  verify::ServiceLimits limits;
+  limits.queue_capacity = cfg.queue_capacity;
+  limits.max_batch = cfg.max_batch;
+  limits.batch_delay_ns = cfg.batch_delay_ns;
+  limits.min_points = cfg.min_points;
+  limits.max_points = cfg.max_points;
+  limits.tenants.reserve(cfg.tenants.size());
+  for (const ServiceConfig::TenantPolicy& t : cfg.tenants) {
+    limits.tenants.push_back({static_cast<long long>(t.id), t.weight, t.max_queued});
+  }
+  limits.default_tenant_weight = cfg.default_tenant_weight;
+  limits.default_tenant_quota = cfg.default_tenant_quota;
+  limits.critical_reserve = cfg.critical_reserve;
+  const verify::Report report = verify::verify_shard_config(shards, limits);
+  if (!report.ok()) {
+    std::ostringstream msg;
+    msg << "invalid sharded service configuration:\n" << report.to_string();
+    throw std::invalid_argument(msg.str());
+  }
+}
+
+}  // namespace
+
+ShardedService::ShardedService(ShardedConfig config) {
+  require_valid_shards(config.shards, config.shard);
+  // One process-wide store pair: caller-provided wins (they may be loading
+  // a shipped snapshot), otherwise own fresh ones for the service's life.
+  if (config.shard.cost_db != nullptr) {
+    cost_db_ = config.shard.cost_db;
+  } else {
+    owned_cost_db_ = std::make_unique<plan::CostDb>();
+    cost_db_ = owned_cost_db_.get();
+  }
+  if (config.shard.wisdom != nullptr) {
+    wisdom_ = config.shard.wisdom;
+  } else {
+    owned_wisdom_ = std::make_unique<plan::Wisdom>();
+    wisdom_ = owned_wisdom_.get();
+  }
+  ServiceConfig shard_cfg = config.shard;
+  shard_cfg.cost_db = cost_db_;
+  shard_cfg.wisdom = wisdom_;
+  shards_.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    shards_.push_back(std::make_unique<TransformService>(shard_cfg));
+  }
+}
+
+ShardedService::~ShardedService() { drain(); }
+
+int ShardedService::shard_for(std::uint32_t tenant) const noexcept {
+  return static_cast<int>(mix_tenant(tenant) % static_cast<std::uint64_t>(shards_.size()));
+}
+
+std::future<Result> ShardedService::submit(Request req) {
+  obs::count(obs::Counter::svc_shard_routed);
+  return shards_[static_cast<std::size_t>(shard_for(req.tenant))]->submit(std::move(req));
+}
+
+std::future<Result> ShardedService::submit_fft(std::span<cplx> data, Direction dir,
+                                               std::uint64_t deadline_ns,
+                                               std::uint32_t tenant, bool critical) {
+  Request req;
+  req.kind = Kind::fft;
+  req.dir = dir;
+  req.cdata = data;
+  req.deadline_ns = deadline_ns;
+  req.tenant = tenant;
+  req.critical = critical;
+  return submit(std::move(req));
+}
+
+std::future<Result> ShardedService::submit_wht(std::span<real_t> data, Direction dir,
+                                               std::uint64_t deadline_ns,
+                                               std::uint32_t tenant, bool critical) {
+  Request req;
+  req.kind = Kind::wht;
+  req.dir = dir;
+  req.rdata = data;
+  req.deadline_ns = deadline_ns;
+  req.tenant = tenant;
+  req.critical = critical;
+  return submit(std::move(req));
+}
+
+TransformService::Stats ShardedService::stats() const {
+  TransformService::Stats total;
+  for (const auto& s : shards_) {
+    const TransformService::Stats one = s->stats();
+    total.submitted += one.submitted;
+    total.completed += one.completed;
+    total.rejected_full += one.rejected_full;
+    total.quota_rejected += one.quota_rejected;
+    total.deadline_expired += one.deadline_expired;
+    total.cancelled += one.cancelled;
+    total.failed += one.failed;
+    total.batches += one.batches;
+    total.batched_requests += one.batched_requests;
+    total.critical_batches += one.critical_batches;
+    total.fallback_plans += one.fallback_plans;
+    total.model_fallbacks += one.model_fallbacks;
+    total.queue_peak += one.queue_peak;
+    total.backlog += one.backlog;
+    for (const auto& [id, ts] : one.tenants) {
+      TransformService::TenantStats& agg = total.tenants[id];
+      agg.submitted += ts.submitted;
+      agg.shed += ts.shed;
+      agg.expired += ts.expired;
+      agg.served += ts.served;
+    }
+  }
+  return total;
+}
+
+void ShardedService::drain() {
+  for (const auto& s : shards_) s->drain();
+}
+
+void ShardedService::shutdown_now() {
+  for (const auto& s : shards_) s->shutdown_now();
+}
+
+}  // namespace ddl::svc

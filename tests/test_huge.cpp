@@ -1,0 +1,563 @@
+// ddl::huge acceptance suite: fs(...) grammar and factory legality, the
+// fs_geometry verify rule under hand-corrupted trees, HugeExecutor's
+// bitwise identity with the recursive executor across sizes and thread
+// counts, NumaArena placement/fallback behavior, plan_huge, the sharded
+// service front-end, and the DDLSNAP wisdom/costdb snapshot round-trip.
+// Registered under the ctest labels `huge;concurrency`.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ddl/common/aligned.hpp"
+#include "ddl/common/numa.hpp"
+#include "ddl/common/parallel.hpp"
+#include "ddl/common/rng.hpp"
+#include "ddl/fft/executor.hpp"
+#include "ddl/fft/planner.hpp"
+#include "ddl/huge/huge.hpp"
+#include "ddl/plan/grammar.hpp"
+#include "ddl/plan/snapshot.hpp"
+#include "ddl/plan/tree.hpp"
+#include "ddl/svc/sharded.hpp"
+#include "ddl/verify/plan_verify.hpp"
+
+namespace ddl {
+namespace {
+
+/// Every test leaves the pool back at one thread so test order can't leak
+/// parallelism into suites that assume the serial default.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_threads(n); }
+  ~ThreadGuard() { parallel::set_threads(1); }
+};
+
+std::vector<cplx> random_signal(index_t n, std::uint64_t seed) {
+  AlignedBuffer<cplx> buf(n);
+  fill_random(buf.span(), seed);
+  return {buf.begin(), buf.end()};
+}
+
+/// Bitwise equality — the acceptance bar for the staged-vs-recursive
+/// four-step pipelines.
+void expect_bitwise_equal(std::span<const cplx> a, std::span<const cplx> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].real(), b[i].real()) << "at " << i;
+    ASSERT_EQ(a[i].imag(), b[i].imag()) << "at " << i;
+  }
+}
+
+std::filesystem::path temp_file(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("ddl_huge_") + tag + "_" + std::to_string(::getpid()) + ".txt");
+}
+
+std::string slurp(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// fs(...) grammar, factory, and structural equality
+// ---------------------------------------------------------------------------
+
+TEST(FsGrammar, RoundTripAndRendering) {
+  const plan::TreePtr tree = plan::parse_tree("fs(ct(16,16),st(4096))");
+  ASSERT_FALSE(tree->is_leaf());
+  EXPECT_TRUE(tree->fourstep);
+  EXPECT_TRUE(tree->ddl);
+  EXPECT_TRUE(tree->fused);
+  EXPECT_EQ(tree->n, 256 * 4096);
+  EXPECT_EQ(plan::to_string(*tree), "fs(ct(16,16),st(4096))");
+  EXPECT_TRUE(plan::round_trips(*tree));
+}
+
+TEST(FsGrammar, FsIsDistinctFromCtddlf) {
+  // fs implies ddl+fused, so the only structural difference from ctddlf is
+  // the marker itself — equal() must still tell them apart, or a wisdom
+  // entry planned for the huge path would dedupe against the in-cache one.
+  const plan::TreePtr fs = plan::parse_tree("fs(st(256),st(256))");
+  const plan::TreePtr ctddlf = plan::parse_tree("ctddlf(st(256),st(256))");
+  EXPECT_FALSE(plan::equal(*fs, *ctddlf));
+  EXPECT_TRUE(plan::equal(*fs, *plan::parse_tree("fs(st(256),st(256))")));
+
+  // clone() carries the marker.
+  const plan::TreePtr copy = plan::clone(*fs);
+  EXPECT_TRUE(copy->fourstep);
+  EXPECT_TRUE(plan::equal(*fs, *copy));
+}
+
+TEST(FsGrammar, ParserRejectsIllegalGeometry) {
+  // Below kMinFourStepPoints.
+  EXPECT_THROW(plan::parse_tree("fs(2,4)"), std::invalid_argument);
+  // Aspect ratio 256/2 = 128 > kMaxFourStepAspect.
+  EXPECT_THROW(plan::parse_tree("fs(2,st(256))"), std::invalid_argument);
+  // Size-1 factors are degenerate for any ddl split, fs included.
+  EXPECT_THROW(plan::parse_tree("fs(ct(4,4),1)"), std::invalid_argument);
+}
+
+TEST(FsFactory, EnforcesSameGeometryAsParser) {
+  // Legal: 256 = 16 x 16, aspect 1.
+  const plan::TreePtr ok =
+      plan::make_fourstep_split(plan::make_stockham_leaf(16), plan::make_stockham_leaf(16));
+  EXPECT_TRUE(ok->fourstep && ok->ddl && ok->fused);
+  EXPECT_EQ(ok->n, 256);
+
+  // 2 x 4 = 8 < kMinFourStepPoints.
+  EXPECT_THROW(plan::make_fourstep_split(plan::make_leaf(2), plan::make_leaf(4)),
+               std::invalid_argument);
+  // 2 x 256: aspect 128 > kMaxFourStepAspect.
+  EXPECT_THROW(
+      plan::make_fourstep_split(plan::make_leaf(2), plan::make_stockham_leaf(256)),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// fs_geometry verify rule: corrupt trees the factory refuses to build
+// ---------------------------------------------------------------------------
+
+TEST(FsVerify, CleanFsTreeVerifies) {
+  const plan::TreePtr tree = plan::parse_tree("fs(st(512),st(512))");
+  const verify::Report report = verify::verify_plan(*tree);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FsVerify, MutationsTripFsGeometry) {
+  // The factory and parser refuse these, so build a legal tree and corrupt
+  // the Node fields by hand — exactly the hole the verifier closes.
+  {
+    plan::TreePtr t = plan::parse_tree("fs(st(512),st(512))");
+    t->ddl = false;  // fs without the reorg stage is unexecutable as written
+    const verify::Report report = verify::verify_plan(*t);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(verify::Rule::fs_geometry)) << report.to_string();
+  }
+  {
+    plan::TreePtr t = plan::parse_tree("fs(st(512),st(512))");
+    t->fused = false;  // fs pipeline is the *fused* ctddlf per-element math
+    const verify::Report report = verify::verify_plan(*t);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(verify::Rule::fs_geometry)) << report.to_string();
+  }
+  {
+    // Sub-minimum node: ctddlf(2,4) marked fs by hand.
+    plan::TreePtr t = plan::parse_tree("ctddlf(2,4)");
+    t->fourstep = true;
+    const verify::Report report = verify::verify_plan(*t);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(verify::Rule::fs_geometry)) << report.to_string();
+  }
+  {
+    // Skewed aspect: 2 x 256 marked fs by hand.
+    plan::TreePtr t = plan::parse_tree("ctddlf(2,st(256))");
+    t->fourstep = true;
+    const verify::Report report = verify::verify_plan(*t);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(verify::Rule::fs_geometry)) << report.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HugeExecutor: bitwise identity with the recursive executor
+// ---------------------------------------------------------------------------
+
+TEST(HugeExec, ForwardBitwiseIdenticalToFftExecutorAcrossThreadCounts) {
+  const struct {
+    index_t n;
+    const char* tree;
+  } cases[] = {
+      {index_t{1} << 16, "fs(st(256),st(256))"},
+      {index_t{1} << 18, "fs(st(512),st(512))"},
+      {index_t{1} << 20, "fs(ct(16,16),st(4096))"},
+  };
+  for (const auto& c : cases) {
+    const plan::TreePtr tree = plan::parse_tree(c.tree);
+    ASSERT_EQ(tree->n, c.n);
+
+    // Reference: the recursive executor's own fs (ddl+fused) path, serial.
+    std::vector<cplx> expect = random_signal(c.n, 0xdd1 + c.n);
+    {
+      const ThreadGuard guard(1);
+      fft::FftExecutor exec(*tree);
+      exec.forward(expect);
+    }
+
+    for (const int threads : {1, 2, 4}) {
+      const ThreadGuard guard(threads);
+      std::vector<cplx> data = random_signal(c.n, 0xdd1 + c.n);
+      huge::HugeExecutor exec(*tree);
+      exec.forward(data);
+      expect_bitwise_equal(data, expect);
+    }
+  }
+}
+
+TEST(HugeExec, InverseBitwiseIdenticalToFftExecutor) {
+  const index_t n = index_t{1} << 16;
+  const plan::TreePtr tree = plan::parse_tree("fs(st(256),st(256))");
+
+  std::vector<cplx> expect = random_signal(n, 77);
+  {
+    const ThreadGuard guard(1);
+    fft::FftExecutor exec(*tree);
+    exec.inverse(expect);
+  }
+
+  const ThreadGuard guard(4);
+  std::vector<cplx> data = random_signal(n, 77);
+  huge::HugeExecutor exec(*tree);
+  exec.inverse(data);
+  expect_bitwise_equal(data, expect);
+}
+
+TEST(HugeExec, InverseOfForwardRecoversInput) {
+  const index_t n = index_t{1} << 16;
+  const plan::TreePtr tree = plan::parse_tree("fs(st(256),st(256))");
+  const std::vector<cplx> original = random_signal(n, 9);
+  std::vector<cplx> data = original;
+
+  huge::HugeExecutor exec(*tree);
+  exec.forward(data);
+  exec.inverse(data);
+
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9) << i;
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9) << i;
+  }
+}
+
+TEST(HugeExec, RejectsNonFourStepRoot) {
+  EXPECT_THROW(huge::HugeExecutor{*plan::parse_tree("ct(256,256)")},
+               std::invalid_argument);
+  EXPECT_THROW(huge::HugeExecutor{*plan::parse_tree("ctddlf(st(256),st(256))")},
+               std::invalid_argument);
+  EXPECT_THROW(huge::HugeExecutor{*plan::parse_tree("st(256)")},
+               std::invalid_argument);
+}
+
+TEST(HugeExec, ReportsTreeAndFlops) {
+  const plan::TreePtr tree = plan::parse_tree("fs(st(256),st(256))");
+  huge::HugeExecutor exec(*tree);
+  EXPECT_EQ(exec.size(), index_t{1} << 16);
+  EXPECT_TRUE(plan::equal(exec.tree(), *tree));
+  EXPECT_DOUBLE_EQ(exec.nominal_flops(), 5.0 * 65536.0 * 16.0);
+  EXPECT_GE(exec.arena().size_bytes(), (index_t{1} << 16) * sizeof(cplx));
+}
+
+// ---------------------------------------------------------------------------
+// NumaArena: placement knobs and graceful fallback
+// ---------------------------------------------------------------------------
+
+TEST(NumaArena, AllocatesWritableZeroableMemory) {
+  parallel::NumaArena arena(1 << 20);
+  ASSERT_FALSE(arena.empty());
+  ASSERT_NE(arena.data(), nullptr);
+  EXPECT_GE(arena.size_bytes(), std::size_t{1} << 20);
+
+  // Arena memory is write-before-read scratch; writes must stick.
+  double* d = arena.as<double>();
+  const std::size_t count = arena.size_bytes() / sizeof(double);
+  for (std::size_t i = 0; i < count; i += 4096) d[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < count; i += 4096) {
+    ASSERT_EQ(d[i], static_cast<double>(i)) << i;
+  }
+}
+
+TEST(NumaArena, MoveTransfersOwnership) {
+  parallel::NumaArena a(1 << 16);
+  ASSERT_FALSE(a.empty());
+  void* p = a.data();
+  const bool was_mapped = a.mapped();
+
+  parallel::NumaArena b(std::move(a));
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.mapped(), was_mapped);
+
+  parallel::NumaArena c(64);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(NumaArena, ExplicitHugePagesOverrideAndBogusNodeFallBack) {
+  // An out-of-range node id must degrade to first-touch, never fail.
+  parallel::NumaArena arena(1 << 16, /*node=*/4095,
+                            parallel::NumaArena::HugePages::on);
+  ASSERT_FALSE(arena.empty());
+  arena.as<char>()[0] = 1;
+  EXPECT_EQ(arena.as<char>()[0], 1);
+
+  parallel::NumaArena off(1 << 16, -1, parallel::NumaArena::HugePages::off);
+  ASSERT_FALSE(off.empty());
+  EXPECT_FALSE(off.huge());
+}
+
+TEST(NumaTopology, ReportsSaneShape) {
+  const parallel::NumaTopology& topo = parallel::numa_topology();
+  EXPECT_GE(topo.nodes, 1);
+  for (const int node : topo.cpu_node) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, topo.nodes);
+  }
+  // preferred_cpu_for_slot must always return a valid cpu index.
+  for (int slot = 0; slot < 8; ++slot) {
+    EXPECT_GE(parallel::preferred_cpu_for_slot(slot), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plan_huge: forced fs roots from the DP
+// ---------------------------------------------------------------------------
+
+TEST(PlanHuge, ReturnsVerifyingFourStepRoot) {
+  fft::PlannerOptions opts;
+  opts.cache_model.cold_start_model = true;  // no wall-clock probes in tests
+  fft::FftPlanner planner(std::move(opts));
+
+  for (const index_t n : {index_t{1} << 12, index_t{1} << 16}) {
+    const plan::TreePtr tree = planner.plan_huge(n);
+    ASSERT_TRUE(tree);
+    EXPECT_EQ(tree->n, n);
+    EXPECT_TRUE(tree->fourstep);
+    EXPECT_TRUE(tree->ddl && tree->fused);
+    const verify::Report report = verify::verify_plan(*tree);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    // Both factors within the legal aspect band.
+    const index_t n1 = tree->left->n;
+    const index_t n2 = tree->right->n;
+    EXPECT_EQ(n1 * n2, n);
+    EXPECT_LE(std::max(n1, n2), plan::kMaxFourStepAspect * std::min(n1, n2));
+  }
+}
+
+TEST(PlanHuge, RemembersUnderHugeStrategy) {
+  plan::Wisdom wisdom;
+  fft::PlannerOptions opts;
+  opts.cache_model.cold_start_model = true;
+  opts.wisdom = &wisdom;
+  fft::FftPlanner planner(std::move(opts));
+
+  const plan::TreePtr tree = planner.plan_huge(index_t{1} << 14);
+  ASSERT_TRUE(tree->fourstep);
+  const auto hit = wisdom.recall("fft", "huge", index_t{1} << 14);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(plan::equal(*plan::parse_tree(hit->tree), *tree));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedService: routing, correctness, aggregated stats
+// ---------------------------------------------------------------------------
+
+svc::ServiceConfig shard_test_config() {
+  svc::ServiceConfig cfg;
+  cfg.plan_dp = false;
+  cfg.batch_delay_ns = 0;
+  return cfg;
+}
+
+TEST(Sharded, InvalidShardCountsThrow) {
+  for (const int shards : {0, -1, static_cast<int>(verify::kMaxServiceShards) + 1}) {
+    svc::ShardedConfig cfg;
+    cfg.shards = shards;
+    cfg.shard = shard_test_config();
+    EXPECT_THROW(svc::ShardedService{cfg}, std::invalid_argument) << shards;
+  }
+}
+
+TEST(Sharded, RoutingIsStableAndInRange) {
+  svc::ShardedConfig cfg;
+  cfg.shards = 4;
+  cfg.shard = shard_test_config();
+  svc::ShardedService service(cfg);
+
+  std::set<int> seen;
+  for (std::uint32_t tenant = 0; tenant < 64; ++tenant) {
+    const int s = service.shard_for(tenant);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    EXPECT_EQ(s, service.shard_for(tenant));  // stable within a run
+    seen.insert(s);
+  }
+  // splitmix64 over 64 tenants must spread past a single shard.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Sharded, ResultsMatchDirectExecutorAndStatsAggregate) {
+  const index_t n = 256;
+  const int kTenants = 6;
+  const int kPerTenant = 4;
+
+  std::vector<cplx> expect = random_signal(n, 21);
+  fft::FftExecutor exec(*svc::default_tree(svc::Kind::fft, n));
+  exec.forward(expect);
+
+  svc::ShardedConfig cfg;
+  cfg.shards = 3;
+  cfg.shard = shard_test_config();
+  svc::ShardedService service(cfg);
+
+  std::vector<std::vector<cplx>> data;
+  std::vector<std::future<svc::Result>> futures;
+  data.reserve(kTenants * kPerTenant);
+  for (std::uint32_t tenant = 0; tenant < kTenants; ++tenant) {
+    for (int i = 0; i < kPerTenant; ++i) {
+      data.push_back(random_signal(n, 21));
+      futures.push_back(service.submit_fft(data.back(), svc::Direction::forward, 0, tenant));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const svc::Result r = futures[i].get();
+    ASSERT_EQ(r.status, svc::Status::ok) << i;
+    expect_bitwise_equal(data[i], expect);
+  }
+  service.drain();
+
+  const svc::TransformService::Stats total = service.stats();
+  EXPECT_EQ(total.submitted, static_cast<std::uint64_t>(kTenants * kPerTenant));
+  EXPECT_EQ(total.completed, static_cast<std::uint64_t>(kTenants * kPerTenant));
+  EXPECT_EQ(total.tenants.size(), static_cast<std::size_t>(kTenants));
+
+  // Per-shard tallies must sum to the aggregate.
+  std::uint64_t per_shard = 0;
+  for (int s = 0; s < service.shards(); ++s) per_shard += service.shard(s).stats().completed;
+  EXPECT_EQ(per_shard, total.completed);
+}
+
+TEST(Sharded, SharedStoresAreProcessWide) {
+  // Caller-provided stores pass through; owned stores are created once.
+  plan::CostDb costs;
+  plan::Wisdom wisdom;
+  svc::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.shard = shard_test_config();
+  cfg.shard.cost_db = &costs;
+  cfg.shard.wisdom = &wisdom;
+  svc::ShardedService service(cfg);
+  EXPECT_EQ(&service.cost_db(), &costs);
+  EXPECT_EQ(&service.wisdom(), &wisdom);
+
+  svc::ShardedConfig owned;
+  owned.shards = 2;
+  owned.shard = shard_test_config();
+  svc::ShardedService service2(owned);
+  EXPECT_EQ(&service2.cost_db(), &service2.cost_db());  // stable reference
+}
+
+// ---------------------------------------------------------------------------
+// DDLSNAP snapshots: byte-identical round-trip, fail-closed merges
+// ---------------------------------------------------------------------------
+
+void fill_stores(plan::CostDb& costs, plan::Wisdom& wisdom) {
+  costs.put({"dft_leaf", 16, 1, 0, "avx2"}, 1.25e-8, plan::CostSource::calibrated);
+  costs.put({"dft_leaf", 32, 4, 0, ""}, 3.5e-8, plan::CostSource::probe);
+  costs.put({"reorg_gather", 256, 4096, 0, ""}, 9.75e-7, plan::CostSource::probe);
+  wisdom.remember("fft", "ddl_dp", 65536, {"ctddlf(st(256),st(256))", 4.0e-4});
+  wisdom.remember("fft", "huge", 1 << 20, {"fs(ct(16,16),st(4096))", 8.0e-3});
+}
+
+TEST(Snapshot, ExportMergeExportIsByteIdentical) {
+  plan::CostDb costs;
+  plan::Wisdom wisdom;
+  fill_stores(costs, wisdom);
+
+  const std::filesystem::path first = temp_file("snap_a");
+  const std::filesystem::path second = temp_file("snap_b");
+  ASSERT_TRUE(plan::save_snapshot(first, costs, wisdom));
+
+  plan::CostDb merged_costs;
+  plan::Wisdom merged_wisdom;
+  std::string error;
+  ASSERT_TRUE(plan::merge_snapshot(first, merged_costs, merged_wisdom, &error)) << error;
+  EXPECT_EQ(merged_costs.size(), costs.size());
+  EXPECT_EQ(merged_wisdom.size(), wisdom.size());
+
+  ASSERT_TRUE(plan::save_snapshot(second, merged_costs, merged_wisdom));
+  EXPECT_EQ(slurp(first), slurp(second));
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+}
+
+TEST(Snapshot, MergeIsLastWriterWinsPerKey) {
+  plan::CostDb costs;
+  plan::Wisdom wisdom;
+  fill_stores(costs, wisdom);
+  const std::filesystem::path file = temp_file("snap_lww");
+  ASSERT_TRUE(plan::save_snapshot(file, costs, wisdom));
+
+  plan::CostDb target;
+  plan::Wisdom target_wisdom;
+  // Pre-existing entries: one overlapping key (overwritten), one foreign
+  // key (preserved).
+  target.put({"dft_leaf", 16, 1, 0, "avx2"}, 99.0, plan::CostSource::probe);
+  target.put({"dft_leaf", 8, 1, 0, "sse2"}, 5.0e-9, plan::CostSource::calibrated);
+
+  ASSERT_TRUE(plan::merge_snapshot(file, target, target_wisdom, nullptr));
+  EXPECT_EQ(target.size(), costs.size() + 1);  // foreign key survived
+  // The snapshot's calibrated 1.25e-8 overwrote the stale probe value (the
+  // measure closure must not run — the key is present).
+  const double merged =
+      target.get_or_measure({"dft_leaf", 16, 1, 0, "avx2"}, [] { return 0.0; });
+  EXPECT_DOUBLE_EQ(merged, 1.25e-8);
+  EXPECT_TRUE(target.is_calibrated({"dft_leaf", 16, 1, 0, "avx2"}));
+  std::filesystem::remove(file);
+}
+
+TEST(Snapshot, CorruptFilesRejectedWithStoresUntouched) {
+  const struct {
+    const char* tag;
+    const char* body;
+  } cases[] = {
+      {"bad_header", "DDLSNAP 2\ncostdb 0\nwisdom 0\n"},
+      {"truncated", "DDLSNAP 1\ncostdb 3\ndft_leaf 16 1 0 - 1e-8\n"},
+      {"bad_count", "DDLSNAP 1\ncostdb zillions\nwisdom 0\n"},
+      {"bad_cost", "DDLSNAP 1\ncostdb 1\ndft_leaf 16 1 0 - -3.0\nwisdom 0\n"},
+      {"bad_tree",
+       "DDLSNAP 1\ncostdb 0\nwisdom 1\nfft ddl_dp 64 1e-5 ct(not,a,tree)\n"},
+      {"size_mismatch",
+       "DDLSNAP 1\ncostdb 0\nwisdom 1\nfft ddl_dp 128 1e-5 ct(16,16)\n"},
+      {"trailing",
+       "DDLSNAP 1\ncostdb 0\nwisdom 0\nsome trailing garbage\n"},
+  };
+  for (const auto& c : cases) {
+    const std::filesystem::path file = temp_file(c.tag);
+    {
+      std::ofstream os(file);
+      os << c.body;
+    }
+    plan::CostDb costs;
+    plan::Wisdom wisdom;
+    std::string error;
+    EXPECT_FALSE(plan::merge_snapshot(file, costs, wisdom, &error)) << c.tag;
+    EXPECT_FALSE(error.empty()) << c.tag;
+    EXPECT_EQ(costs.size(), 0u) << c.tag;   // fail-closed: nothing committed
+    EXPECT_EQ(wisdom.size(), 0u) << c.tag;
+    std::filesystem::remove(file);
+  }
+}
+
+TEST(Snapshot, MissingFileReportsOpenFailure) {
+  plan::CostDb costs;
+  plan::Wisdom wisdom;
+  std::string error;
+  EXPECT_FALSE(plan::merge_snapshot(temp_file("nonexistent_zzz"), costs, wisdom, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddl

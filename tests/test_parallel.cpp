@@ -172,6 +172,63 @@ TEST(ThreadPool, ParseEnvThreadsRejectsMalformedValues) {
 }
 
 // ---------------------------------------------------------------------------
+// ScratchPool: first-touch lane allocation
+// ---------------------------------------------------------------------------
+
+TEST(ScratchPool, EnsureReservesButAllocatesNothing) {
+  // Regression for the NUMA first-touch contract (docs/PARALLELISM.md):
+  // ensure() used to materialize every lane's arena on the orchestrating
+  // thread, faulting all pages onto its node. It must now only record the
+  // committed size; lanes allocate in slot() on their own thread.
+  parallel::ScratchPool<cplx> pool;
+  pool.ensure(4, 1 << 12);
+  ASSERT_EQ(pool.slots(), 4);
+  for (int s = 0; s < 4; ++s) EXPECT_FALSE(pool.allocated(s)) << s;
+
+  // First slot() call materializes that lane — and only that lane.
+  cplx* p = pool.slot(2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(pool.allocated(2));
+  EXPECT_FALSE(pool.allocated(0));
+  EXPECT_FALSE(pool.allocated(1));
+  EXPECT_FALSE(pool.allocated(3));
+
+  // Growing the committed size invalidates the lane until it re-asks.
+  pool.ensure(4, 1 << 13);
+  EXPECT_FALSE(pool.allocated(2));
+  cplx* q = pool.slot(2);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(pool.allocated(2));
+}
+
+TEST(ScratchPool, LanesAllocateOnTheExecutingWorker) {
+  const ThreadGuard guard(4);
+  parallel::ScratchPool<double> pool;
+  const index_t points = 1 << 10;
+  pool.ensure(parallel::max_threads(), points);
+
+  // Sweep a range wide enough to fan out; each lane writes through its own
+  // slot() pointer — the allocation happens on the executing lane, after
+  // construction and ensure() ran on this thread. Which lanes run is the
+  // scheduler's business, so assert over the set that actually did.
+  const index_t n = 1 << 16;
+  std::vector<std::atomic<int>> used(static_cast<std::size_t>(pool.slots()));
+  parallel::parallel_for(0, n, 256, [&](index_t i0, index_t i1, int slot) {
+    double* scratch = pool.slot(slot);
+    for (index_t i = i0; i < i1; ++i) scratch[i % points] = static_cast<double>(i);
+    used[static_cast<std::size_t>(slot)].store(1, std::memory_order_relaxed);
+  });
+  int lanes_used = 0;
+  for (int s = 0; s < pool.slots(); ++s) {
+    const bool ran = used[static_cast<std::size_t>(s)].load() != 0;
+    lanes_used += ran ? 1 : 0;
+    // Exactly the lanes that ran are materialized: first touch, no more.
+    EXPECT_EQ(pool.allocated(s), ran) << s;
+  }
+  EXPECT_GT(lanes_used, 0);
+}
+
+// ---------------------------------------------------------------------------
 // FFT executor: serial/parallel bitwise equivalence
 // ---------------------------------------------------------------------------
 

@@ -3,7 +3,8 @@
 #
 #   1. tools/ddl_lint.py           project-specific lint (stride-arith,
 #                                  reinterpret-cast, naked-new, require-entry,
-#                                  raw-clock, raw-thread, stream-alloc)
+#                                  raw-clock, raw-thread, stream-alloc,
+#                                  wire-copy, numa-syscall, stage-coverage)
 #   2. clang-tidy                  .clang-tidy profile over src/ and apps/
 #                                  (skipped with a note if not installed)
 #   3. default preset              warning-free -Werror build + full ctest
@@ -18,12 +19,21 @@
 #                                  flags reject ambiguous invocations (exit 2)
 #   5d. svc sustained (not --fast) full loadgen run refreshing BENCH_svc.json
 #                                  at the repo root: per-tenant p50/p99/p99.9
-#                                  rows, and the fairness gate — light-tenant
+#                                  rows, the fairness gate — light-tenant
 #                                  p99 under flood within 2x its solo p99
-#                                  (loadgen exit 3 = fairness regression)
+#                                  (loadgen exit 3 = fairness regression) —
+#                                  and the soak gate: 3 overload/recovery
+#                                  cycles whose backlog and probe p99 must
+#                                  return to baseline (exit 4 = leak)
 #   5b. stream smoke               `ddlfft stream` chain verify (RFFT/STFT/
 #                                  partitioned convolution vs direct
 #                                  reference) + stream_latency JSON export
+#   5e. huge smoke                 `ddlfft plan --huge` returns an fs(...)
+#                                  four-step root at 2^20, the root verifies
+#                                  clean, the profile path executes it through
+#                                  the staged HugeExecutor, and analyze-plan
+#                                  on a canonical fs tree diffs against its
+#                                  checked-in golden (tools/golden/)
 #   6. autotune smoke              `ddlfft autotune` on tiny sizes: calibrate
 #                                  from traced runs, re-plan over measured
 #                                  costs (fails if the DP never consulted
@@ -152,6 +162,27 @@ assert all('p50_us' in r['extra'] and 'p99_us' in r['extra'] for r in rows)
 }
 check "ddlfft stream smoke (chain verify + BENCH_stream JSON)" stream_smoke
 
+# 5e. huge smoke: the out-of-LLC path end to end at a CI-friendly size —
+#     plan_huge must return an fs(...) root, the root must pass the static
+#     verifier (fs_geometry et al.), the staged executor must run it, and
+#     the symbolic analyzer's fs stage catalogue is pinned by a golden.
+huge_smoke() {
+  local plan_out
+  plan_out="$(./build/apps/ddlfft plan --huge --n 2^20)" || return 1
+  grep -q 'fs(' <<<"$plan_out" ||
+    { echo "plan --huge did not return an fs(...) root:"; echo "$plan_out"; return 1; }
+  local tree
+  tree="$(sed -n 's/^ *tree: *//p' <<<"$plan_out" | head -1)"
+  ./build/apps/ddlfft verify --tree "$tree" >/dev/null ||
+    { echo "huge plan failed verification: $tree"; return 1; }
+  ./build/apps/ddlfft profile 2^20 --huge --reps 2 >/dev/null ||
+    { echo "profile --huge failed on $tree"; return 1; }
+  ./build/apps/ddlfft analyze-plan --tree "fs(st(1024),st(1024))" \
+    --cache 32K:8,512K:1 > build/analyze_fs.txt &&
+    diff -u tools/golden/analyze_fs_st1024_st1024.txt build/analyze_fs.txt
+}
+check "huge smoke (plan --huge fs root + verify + staged profile + golden)" huge_smoke
+
 # 5d. sustained service run: refreshes the committed BENCH_svc.json at the
 #     repo root and enforces the multi-tenant fairness figure. Exit 2 (open
 #     loop failed to shed) is tolerated like the smoke; exit 3 — the light
@@ -160,7 +191,8 @@ check "ddlfft stream smoke (chain verify + BENCH_stream JSON)" stream_smoke
 if [[ "$FAST" == "0" ]]; then
   svc_sustained() {
     DDL_BENCH_JSON=BENCH_svc.json \
-      ./build/bench/svc_loadgen --requests 512 --open-ms 300 >/dev/null
+      ./build/bench/svc_loadgen --requests 512 --open-ms 300 --soak-cycles 3 \
+      >/dev/null
     local rc=$?
     [[ "$rc" == 0 || "$rc" == 2 ]] || return 1
     python3 -c "
@@ -170,6 +202,9 @@ tenant = {r['strategy']: r['extra'] for r in rows if r['strategy'].startswith('t
 assert {'tenant_light_solo', 'tenant_light_skewed', 'tenant_heavy_skewed'} <= tenant.keys(), rows
 assert all('p999_us' in x for x in tenant.values()), tenant
 assert tenant['tenant_light_skewed']['p99_vs_solo_ratio'] <= 2.0, tenant
+cycles = [r['extra'] for r in rows if r['strategy'] == 'soak_cycle']
+assert len(cycles) == 3, rows
+assert all(c['recovered'] == 1.0 and c['backlog_after'] == 0.0 for c in cycles), cycles
 "
   }
   check "svc sustained loadgen (BENCH_svc.json + fairness gate)" svc_sustained
